@@ -1,0 +1,255 @@
+//! Bandwidth trace generation.
+//!
+//! Three trace families mirror the paper's datasets (Table 3 and §A.5):
+//!
+//! - [`TraceKind::FccLike`] — broadband: piecewise-stationary levels with
+//!   mild noise and occasional level shifts (the FCC "measuring broadband
+//!   america" character);
+//! - [`TraceKind::CellularLike`] — 3G/HSDPA commute-style: lower mean,
+//!   bursty, with deep fades;
+//! - [`TraceKind::SynthWide`] — the Pensieve synthetic method: a Markovian
+//!   level process over a wider range with much more frequent switching
+//!   (the paper's `SynthTrace`, used as unseen setting 1/3).
+//!
+//! A trace is a step function of Mbps over seconds, sampled on a 1 s grid.
+
+use nt_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A bandwidth trace: `mbps[i]` holds during second `[i, i+1)`. The trace
+/// repeats cyclically when a session outlives it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    pub mbps: Vec<f64>,
+    pub name: String,
+}
+
+impl BandwidthTrace {
+    pub fn new(name: impl Into<String>, mbps: Vec<f64>) -> Self {
+        assert!(!mbps.is_empty(), "empty trace");
+        assert!(mbps.iter().all(|&b| b > 0.0 && b.is_finite()), "non-positive bandwidth");
+        BandwidthTrace { mbps, name: name.into() }
+    }
+
+    /// Bandwidth at absolute time `t` seconds (cyclic).
+    pub fn at(&self, t: f64) -> f64 {
+        let idx = (t.max(0.0) as usize) % self.mbps.len();
+        self.mbps[idx]
+    }
+
+    pub fn duration(&self) -> f64 {
+        self.mbps.len() as f64
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mbps.iter().sum::<f64>() / self.mbps.len() as f64
+    }
+
+    /// Simulate downloading `megabits` starting at time `t0`; returns the
+    /// transfer duration in seconds (bandwidth integrated over the step
+    /// function).
+    pub fn transfer_time(&self, t0: f64, megabits: f64) -> f64 {
+        assert!(megabits >= 0.0);
+        let mut remaining = megabits;
+        let mut t = t0.max(0.0);
+        let mut elapsed = 0.0;
+        // Guard: trace bandwidths are > 0 so this terminates.
+        while remaining > 1e-12 {
+            let cap = self.at(t);
+            let next_boundary = t.floor() + 1.0;
+            let span = next_boundary - t;
+            let can = cap * span;
+            if can >= remaining {
+                let dt = remaining / cap;
+                elapsed += dt;
+                remaining = 0.0;
+            } else {
+                remaining -= can;
+                elapsed += span;
+                t = next_boundary;
+            }
+        }
+        elapsed
+    }
+}
+
+/// Trace family selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    FccLike,
+    CellularLike,
+    SynthWide,
+}
+
+impl TraceKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::FccLike => "fcc-like",
+            TraceKind::CellularLike => "cellular-like",
+            TraceKind::SynthWide => "synth-wide",
+        }
+    }
+}
+
+/// Generate one trace of `secs` seconds.
+pub fn generate(kind: TraceKind, secs: usize, rng: &mut Rng) -> BandwidthTrace {
+    let mbps = match kind {
+        TraceKind::FccLike => fcc_like(secs, rng),
+        TraceKind::CellularLike => cellular_like(secs, rng),
+        TraceKind::SynthWide => synth_wide(secs, rng),
+    };
+    BandwidthTrace::new(format!("{}-{}", kind.name(), secs), mbps)
+}
+
+/// Generate a dataset of `n` traces.
+pub fn generate_set(kind: TraceKind, n: usize, secs: usize, rng: &mut Rng) -> Vec<BandwidthTrace> {
+    (0..n).map(|_| generate(kind, secs, rng)).collect()
+}
+
+fn fcc_like(secs: usize, rng: &mut Rng) -> Vec<f64> {
+    // Broadband: long stationary levels in [0.4, 5.0] Mbps, small noise,
+    // a level shift every ~30 s on average.
+    let mut level = rng.uniform(0.8, 4.2) as f64;
+    let mut out = Vec::with_capacity(secs);
+    for _ in 0..secs {
+        if rng.chance(1.0 / 15.0) {
+            level = (level + rng.normal_ms(0.0, 1.2) as f64).clamp(0.4, 5.0);
+        }
+        let noisy = level * (1.0 + rng.normal_ms(0.0, 0.12) as f64);
+        out.push(noisy.clamp(0.2, 6.0));
+    }
+    out
+}
+
+fn cellular_like(secs: usize, rng: &mut Rng) -> Vec<f64> {
+    // 3G commute: low mean, bursty multiplicative noise, deep fades lasting
+    // a few seconds (tunnels / handovers).
+    let mut level = rng.uniform(0.5, 1.8) as f64;
+    let mut fade = 0usize;
+    let mut out = Vec::with_capacity(secs);
+    for _ in 0..secs {
+        if fade == 0 && rng.chance(0.02) {
+            fade = rng.range(2, 6);
+        }
+        if fade > 0 {
+            fade -= 1;
+            out.push(rng.uniform(0.05, 0.2) as f64);
+            continue;
+        }
+        level = (level * (1.0 + rng.normal_ms(0.0, 0.18) as f64)).clamp(0.15, 2.5);
+        out.push(level);
+    }
+    out
+}
+
+fn synth_wide(secs: usize, rng: &mut Rng) -> Vec<f64> {
+    // Pensieve-style synthetic: Markov level over a wider range with state
+    // changes every 1–3 s — more dynamic than FCC in both range and rate.
+    let states: [f64; 8] = [0.3, 0.75, 1.2, 1.85, 2.85, 4.3, 5.3, 6.5];
+    let mut s = rng.below(states.len());
+    let mut hold = rng.range(1, 3);
+    let mut out = Vec::with_capacity(secs);
+    for _ in 0..secs {
+        if hold == 0 {
+            // jump to a nearby or far state
+            let delta: i32 = if rng.chance(0.6) {
+                if rng.chance(0.5) { 1 } else { -1 }
+            } else {
+                rng.range(0, 5) as i32 - 2
+            };
+            s = (s as i32 + delta).clamp(0, states.len() as i32 - 1) as usize;
+            hold = rng.range(1, 3);
+        }
+        hold -= 1;
+        let noisy = states[s] * (1.0 + rng.normal_ms(0.0, 0.15) as f64);
+        out.push(noisy.clamp(0.15, 8.0));
+    }
+    out
+}
+
+/// Summary statistics used by tests and the curriculum.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceStats {
+    pub mean: f64,
+    pub std: f64,
+    /// Mean absolute one-second change (Mbps/s) — the "fluctuation rate".
+    pub volatility: f64,
+}
+
+pub fn stats(trace: &BandwidthTrace) -> TraceStats {
+    let n = trace.mbps.len() as f64;
+    let mean = trace.mean();
+    let var = trace.mbps.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / n;
+    let volatility = trace
+        .mbps
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .sum::<f64>()
+        / (n - 1.0).max(1.0);
+    TraceStats { mean, std: var.sqrt(), volatility }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_constant_bandwidth() {
+        let t = BandwidthTrace::new("c", vec![2.0; 10]);
+        // 4 megabits at 2 Mbps = 2 s
+        assert!((t.transfer_time(0.0, 4.0) - 2.0).abs() < 1e-9);
+        // starting mid-second
+        assert!((t.transfer_time(0.5, 1.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_crosses_boundaries() {
+        let t = BandwidthTrace::new("v", vec![1.0, 3.0]);
+        // 2 megabits: 1 s at 1 Mbps + 1/3 s at 3 Mbps
+        assert!((t.transfer_time(0.0, 2.0) - (1.0 + 1.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_wraps_cyclically() {
+        let t = BandwidthTrace::new("w", vec![1.0, 2.0]);
+        assert_eq!(t.at(0.5), 1.0);
+        assert_eq!(t.at(2.2), 1.0);
+        assert_eq!(t.at(3.9), 2.0);
+    }
+
+    #[test]
+    fn families_have_distinct_character() {
+        let n = 20;
+        let avg = |kind| {
+            let set = generate_set(kind, n, 300, &mut Rng::seeded(9));
+            let s: Vec<TraceStats> = set.iter().map(stats).collect();
+            (
+                s.iter().map(|x| x.mean).sum::<f64>() / n as f64,
+                s.iter().map(|x| x.volatility).sum::<f64>() / n as f64,
+            )
+        };
+        let (fcc_mean, fcc_vol) = avg(TraceKind::FccLike);
+        let (cell_mean, _cell_vol) = avg(TraceKind::CellularLike);
+        let (synth_mean, synth_vol) = avg(TraceKind::SynthWide);
+        assert!(cell_mean < fcc_mean, "cellular should be slower than broadband");
+        assert!(synth_vol > 1.25 * fcc_vol, "synth must fluctuate more: {synth_vol} vs {fcc_vol}");
+        assert!(synth_mean > fcc_mean * 0.8, "synth covers a wider/higher range");
+    }
+
+    #[test]
+    fn generated_traces_are_positive_and_sized() {
+        let mut rng = Rng::seeded(1);
+        for kind in [TraceKind::FccLike, TraceKind::CellularLike, TraceKind::SynthWide] {
+            let t = generate(kind, 120, &mut rng);
+            assert_eq!(t.mbps.len(), 120);
+            assert!(t.mbps.iter().all(|&b| b > 0.0));
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = generate(TraceKind::SynthWide, 60, &mut Rng::seeded(5));
+        let b = generate(TraceKind::SynthWide, 60, &mut Rng::seeded(5));
+        assert_eq!(a.mbps, b.mbps);
+    }
+}

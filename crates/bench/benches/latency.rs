@@ -1,0 +1,51 @@
+//! Answer-generation latency: networking head (single inference) vs token
+//! decoding (one inference per token) — the Fig 2 (right) and §5.4
+//! computation-overhead measurements, per backbone size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netllm::{AdaptMode, LoraSpec, NetLlmVp, PromptVp};
+use nt_llm::{size_spec, Zoo, SIZE_LADDER};
+use nt_tensor::{Rng, Tensor};
+use nt_vp::{VpPredictor, VpSample};
+
+fn sample() -> VpSample {
+    let mut rng = Rng::seeded(1);
+    VpSample {
+        history: (0..10).map(|i| [0.0, rng.uniform(-5.0, 5.0), i as f32]).collect(),
+        future: (0..20).map(|i| [0.0, 0.0, 10.0 + i as f32]).collect(),
+        saliency: Tensor::randn([8, 8], 1.0, &mut rng),
+    }
+}
+
+fn head_vs_token(c: &mut Criterion) {
+    let zoo = Zoo::new(std::env::temp_dir().join("bench-latency-zoo"));
+    let s = sample();
+    let mut group = c.benchmark_group("answer_generation");
+    for label in ["0.35b-sim", "7b-sim"] {
+        let spec = size_spec(label);
+        let mut netllm_model = NetLlmVp::new(
+            zoo.build_random(&spec),
+            AdaptMode::NoDomain,
+            LoraSpec::default(),
+            20,
+            1,
+        );
+        group.bench_with_input(BenchmarkId::new("networking_head", label), &(), |b, _| {
+            b.iter(|| netllm_model.predict(&s, 20))
+        });
+        let prompt_model = PromptVp::new(zoo.build_random(&spec), LoraSpec::default(), 2);
+        let mut rng = Rng::seeded(3);
+        group.bench_with_input(BenchmarkId::new("token_decoding", label), &(), |b, _| {
+            b.iter(|| prompt_model.generate(&s, &mut rng))
+        });
+    }
+    group.finish();
+    let _ = SIZE_LADDER; // full ladder covered by `figures --fig 16`
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = head_vs_token
+}
+criterion_main!(benches);

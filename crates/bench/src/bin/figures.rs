@@ -1,0 +1,799 @@
+//! Regenerate every evaluation figure of the NetLLM paper.
+//!
+//! ```text
+//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16]
+//!                                                  [--fidelity smoke|default|paper]
+//! ```
+//!
+//! Each figure prints a console table and writes `reports/figN_*.json`.
+//! Absolute numbers are simulator-scale; the reproduction target is the
+//! *shape* (winners, orderings, crossovers) — see EXPERIMENTS.md.
+
+use netllm::{
+    build_abr_env, build_cjs_workloads, build_vp_data, evaluate_token_path, AdaptMode, Fidelity,
+    PromptVp, ABR_DEFAULT, ABR_UNSEEN1, ABR_UNSEEN2, ABR_UNSEEN3, CJS_DEFAULT, CJS_UNSEEN1,
+    CJS_UNSEEN2, CJS_UNSEEN3, VP_DEFAULT, VP_UNSEEN1, VP_UNSEEN2, VP_UNSEEN3,
+};
+use nt_abr::{
+    run_emulated_session, run_session, AbrPolicy, Bba, LinkConfig, Mpc, QoeWeights, SessionStats,
+    SimConfig, TraceKind,
+};
+use nt_bench::stats::{box_stats, cdf_points, mean, min_max_normalize, percentile};
+use nt_bench::{print_table, write_report, Engine};
+use nt_cjs::{Fair, Fifo, Scheduler};
+use nt_llm::{profile_spec, size_spec, Profile, SIZE_LADDER};
+use nt_tensor::Rng;
+use nt_vp::{evaluate_each, LinearRegression, Velocity, VpPredictor};
+use serde_json::json;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fig = flag(&args, "--fig").unwrap_or_else(|| "all".into());
+    let fidelity = match flag(&args, "--fidelity").as_deref() {
+        Some("smoke") => Fidelity::Smoke,
+        Some("paper") => Fidelity::Paper,
+        _ => Fidelity::Default,
+    };
+    let engine = Engine::new(fidelity);
+    println!("netllm figures — fidelity {:?}, artifacts in {}", fidelity, engine.dir.display());
+
+    let run = |f: &str| fig == "all" || fig == f;
+    let t0 = Instant::now();
+    if run("2") {
+        fig2(&engine);
+    }
+    if run("3") {
+        fig3(&engine);
+    }
+    if run("4") {
+        fig4(&engine);
+    }
+    if run("10") {
+        fig10(&engine);
+    }
+    if run("11") {
+        fig11(&engine);
+    }
+    if run("12") {
+        fig12(&engine);
+    }
+    if run("13") {
+        fig13(&engine);
+    }
+    if run("14") {
+        fig14(&engine);
+    }
+    if run("15") {
+        fig15(&engine);
+    }
+    if run("16") {
+        fig16(&engine);
+    }
+    println!("\nall requested figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: why naive alternatives fall short (prompt learning / token path)
+// ---------------------------------------------------------------------------
+
+fn fig2(e: &Engine) {
+    println!("\n[fig 2] prompt learning & token decoding vs NetLLM (VP, 1s->1s)");
+    let data = e.vp_data();
+    // §A.1 setup: predict the next 1 s (5 samples); history available 2 s.
+    let pw = 5usize;
+    let n_eval = data.test.len().min(e.fidelity.count(60));
+    let eval = &data.test[..n_eval];
+
+    // Prompt-learning adaptation (LoRA fine-tune of the token pathway).
+    let mut prompt = PromptVp::new(e.backbone(), netllm::default_lora(netllm::Task::Vp), 0x9A);
+    prompt.adapt(&data.train, e.vp_adapt_iters(), 1e-3, 0x9B);
+    let token_stats = evaluate_token_path(&prompt, eval, 0x9C);
+
+    let mut track = e.track(&data);
+    let track_mae = mean(&to64(&evaluate_each(&mut track, eval, pw)));
+    let mut netllm_model = e.netllm_vp(&data, AdaptMode::FullKnowledge);
+    let t_lat = Instant::now();
+    let netllm_each = evaluate_each(&mut netllm_model, eval, pw);
+    let netllm_lat = t_lat.elapsed().as_secs_f64() / n_eval.max(1) as f64;
+    let netllm_mae = mean(&to64(&netllm_each));
+
+    let prompt_mae = token_stats.mae_valid as f64;
+    let valid_frac = token_stats.valid as f64 / token_stats.total.max(1) as f64;
+    let token_lat = token_stats.mean_latency.as_secs_f64();
+
+    print_table(
+        "fig2 left: Avg MAE (deg, lower better)",
+        &["method", "mae"],
+        &[
+            vec!["PromptLearning".into(), format!("{prompt_mae:.2}")],
+            vec!["TRACK".into(), format!("{track_mae:.2}")],
+            vec!["NetLLM".into(), format!("{netllm_mae:.2}")],
+        ],
+    );
+    print_table(
+        "fig2 middle/right: validity & latency",
+        &["pathway", "valid %", "latency s", "inferences"],
+        &[
+            vec![
+                "token prediction".into(),
+                format!("{:.1}", 100.0 * valid_frac),
+                format!("{token_lat:.4}"),
+                format!("{:.1}", token_stats.mean_inferences),
+            ],
+            vec!["networking head".into(), "100.0".into(), format!("{netllm_lat:.4}"), "1.0".into()],
+        ],
+    );
+    let path = write_report(
+        "fig2_alternatives",
+        &json!({
+            "left_mae": {"prompt_learning": prompt_mae, "track": track_mae, "netllm": netllm_mae},
+            "middle_valid_fraction": {"token_prediction": valid_frac, "netllm": 1.0},
+            "right_latency_secs": {"token_prediction": token_lat, "netllm": netllm_lat,
+                                    "token_inferences_per_answer": token_stats.mean_inferences},
+        }),
+    )
+    .unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: standard RL vs DD-LRNA training-time split
+// ---------------------------------------------------------------------------
+
+fn fig3(e: &Engine) {
+    println!("\n[fig 3] environment-interaction cost: standard RL vs DD-LRNA");
+    // Methodology: measure *per-unit* costs (one LLM rollout episode, one
+    // update step, one-time dataset collection with the existing policy),
+    // then compose them at the paper's iteration counts — ABR 10000, CJS
+    // 100 (§3, Fig 3). Running 10000 real LLM episodes would measure the
+    // same quantity 10000x slower.
+    let reps = e.fidelity.iters(6).min(12);
+    let paper_abr_iters = 10_000.0;
+    let paper_cjs_iters = 100.0;
+
+    // ---- ABR unit costs ----
+    let (video, traces) = build_abr_env(&ABR_DEFAULT, e.fidelity, true, 31);
+    let cfg = SimConfig::default();
+    let w = QoeWeights::default();
+    let mut llm_abr = e.netllm_abr(AdaptMode::FullKnowledge);
+    let mut rollout_unit = 0.0;
+    let mut trajs = Vec::new();
+    for i in 0..reps {
+        let tr = &traces[i % traces.len()];
+        let t = Instant::now();
+        let mut rec = netllm::AbrRecorder::new(&mut llm_abr);
+        run_session(&mut rec, &video, tr, &cfg, &w);
+        trajs.push(rec.traj);
+        rollout_unit += t.elapsed().as_secs_f64();
+    }
+    rollout_unit /= reps as f64;
+    let t = Instant::now();
+    for i in 0..reps {
+        llm_abr.adapt(&trajs[..1.max(trajs.len())], 1, 1e-3, i as u64);
+    }
+    let update_unit = t.elapsed().as_secs_f64() / reps as f64;
+    let t = Instant::now();
+    let _dataset = e.abr_experience();
+    let dd_collect_once = t.elapsed().as_secs_f64();
+
+    // ---- CJS unit costs ----
+    let workloads = build_cjs_workloads(&CJS_DEFAULT, e.fidelity, &[1, 2]);
+    let mut llm_cjs = e.netllm_cjs(AdaptMode::FullKnowledge);
+    let cjs_reps = (reps / 2).max(1);
+    let mut cjs_rollout_unit = 0.0;
+    let mut cjs_trajs = Vec::new();
+    for i in 0..cjs_reps {
+        let jobs = &workloads[i % workloads.len()];
+        let t = Instant::now();
+        cjs_trajs.push(netllm::collect_episode(&mut llm_cjs, jobs, CJS_DEFAULT.executors));
+        cjs_rollout_unit += t.elapsed().as_secs_f64();
+    }
+    cjs_rollout_unit /= cjs_reps as f64;
+    let t = Instant::now();
+    for i in 0..cjs_reps {
+        llm_cjs.adapt(&cjs_trajs[..1], 1, 1e-3, i as u64);
+    }
+    let cjs_update_unit = t.elapsed().as_secs_f64() / cjs_reps as f64;
+    let t = Instant::now();
+    let _cjs_dataset = e.cjs_experience();
+    let cjs_dd_collect_once = t.elapsed().as_secs_f64();
+
+    // ---- compose at the paper's iteration counts ----
+    let compose = |rollout: f64, update: f64, dd_once: f64, iters: f64| {
+        let std_collect = rollout * iters;
+        let std_update = update * iters;
+        let dd_update = update * iters;
+        (std_collect, std_update, dd_once, dd_update)
+    };
+    let (a_sc, a_su, a_dc, a_du) = compose(rollout_unit, update_unit, dd_collect_once, paper_abr_iters);
+    let (c_sc, c_su, c_dc, c_du) =
+        compose(cjs_rollout_unit, cjs_update_unit, cjs_dd_collect_once, paper_cjs_iters);
+
+    let pct = |c: f64, u: f64| 100.0 * c / (c + u).max(1e-9);
+    print_table(
+        "fig3: training-time split at paper iteration counts",
+        &["task", "pipeline", "collect s", "update s", "collect %"],
+        &[
+            vec!["ABR".into(), "standard RL".into(), format!("{a_sc:.1}"), format!("{a_su:.1}"), format!("{:.2}", pct(a_sc, a_su))],
+            vec!["ABR".into(), "DD-LRNA".into(), format!("{a_dc:.1}"), format!("{a_du:.1}"), format!("{:.2}", pct(a_dc, a_du))],
+            vec!["CJS".into(), "standard RL".into(), format!("{c_sc:.1}"), format!("{c_su:.1}"), format!("{:.2}", pct(c_sc, c_su))],
+            vec!["CJS".into(), "DD-LRNA".into(), format!("{c_dc:.1}"), format!("{c_du:.1}"), format!("{:.2}", pct(c_dc, c_du))],
+        ],
+    );
+    let reduction = |std_total: f64, dd_total: f64| 100.0 * (1.0 - dd_total / std_total);
+    println!(
+        "training-time reduction: ABR {:.1}% (paper 51.1%), CJS {:.1}% (paper 37.7%)",
+        reduction(a_sc + a_su, a_dc + a_du),
+        reduction(c_sc + c_su, c_dc + c_du)
+    );
+    let path = write_report(
+        "fig3_training_time",
+        &json!({
+            "unit_costs_s": {
+                "abr": {"llm_rollout_episode": rollout_unit, "update_step": update_unit, "dd_collect_once": dd_collect_once},
+                "cjs": {"llm_rollout_episode": cjs_rollout_unit, "update_step": cjs_update_unit, "dd_collect_once": cjs_dd_collect_once},
+            },
+            "paper_iterations": {"abr": paper_abr_iters, "cjs": paper_cjs_iters},
+            "abr": {
+                "standard_rl": {"collect_s": a_sc, "update_s": a_su, "collect_pct": pct(a_sc, a_su)},
+                "dd_lrna": {"collect_s": a_dc, "update_s": a_du, "collect_pct": pct(a_dc, a_du)},
+                "time_reduction_pct": reduction(a_sc + a_su, a_dc + a_du),
+            },
+            "cjs": {
+                "standard_rl": {"collect_s": c_sc, "update_s": c_su, "collect_pct": pct(c_sc, c_su)},
+                "dd_lrna": {"collect_s": c_dc, "update_s": c_du, "collect_pct": pct(c_dc, c_du)},
+                "time_reduction_pct": reduction(c_sc + c_su, c_dc + c_du),
+            },
+        }),
+    )
+    .unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: full fine-tune vs LoRA cost
+// ---------------------------------------------------------------------------
+
+fn fig4(e: &Engine) {
+    println!("\n[fig 4] full-parameter fine-tune vs DD-LRNA low-rank adaptation (VP)");
+    let data = e.vp_data();
+    let sample = &data.train[0];
+    let iters = e.fidelity.iters(120);
+
+    // Full fine-tune: pre-trained backbone, every parameter trainable
+    // (AdaptMode::NoPretrain configures trainability only — here it is fed
+    // the *pre-trained* backbone, which is exactly full fine-tuning).
+    let mut full = netllm::NetLlmVp::new(
+        e.backbone(),
+        AdaptMode::NoPretrain,
+        netllm::default_lora(netllm::Task::Vp),
+        VP_UNSEEN1.pw(),
+        0x41,
+    );
+    let full_frac = full.store.num_trainable() as f64 / full.store.num_params() as f64;
+    // Parameter/optimizer state (params + grads + Adam moments) — on real
+    // 7B-scale hardware this dominates GPU memory, which is what the paper's
+    // 65.88 GB -> 27.24 GB measures. Peak-with-activations is reported too.
+    let full_state = full.store.bytes_params() + full.store.bytes_training_state();
+    let full_peak = full.training_step_bytes(sample, 20);
+    let t = Instant::now();
+    full.adapt(&data.train, iters, 1e-3, 0x42);
+    let full_time = t.elapsed().as_secs_f64();
+
+    let mut lora = netllm::NetLlmVp::new(
+        e.backbone(),
+        AdaptMode::FullKnowledge,
+        netllm::default_lora(netllm::Task::Vp),
+        VP_UNSEEN1.pw(),
+        0x43,
+    );
+    // The paper's "0.31%" counts the backbone's trainable fraction:
+    let backbone_total: usize = lora
+        .store
+        .ids()
+        .filter(|&i| lora.store.name(i).starts_with("llm."))
+        .map(|i| lora.store.data(i).numel())
+        .sum();
+    let backbone_trainable: usize = lora
+        .store
+        .ids()
+        .filter(|&i| lora.store.name(i).starts_with("llm.") && lora.store.is_trainable(i))
+        .map(|i| lora.store.data(i).numel())
+        .sum();
+    let lora_frac = lora.store.num_trainable() as f64 / lora.store.num_params() as f64;
+    let lora_backbone_frac = backbone_trainable as f64 / backbone_total.max(1) as f64;
+    let lora_state = lora.store.bytes_params() + lora.store.bytes_training_state();
+    let lora_peak = lora.training_step_bytes(sample, 20);
+    let t = Instant::now();
+    lora.adapt(&data.train, iters, 1e-3, 0x44);
+    let lora_time = t.elapsed().as_secs_f64();
+
+    print_table(
+        "fig4: adaptation cost",
+        &["config", "trainable %", "param+opt state KB", "peak KB", "time s"],
+        &[
+            vec![
+                "full fine-tune".into(),
+                format!("{:.2}", 100.0 * full_frac),
+                format!("{:.1}", full_state as f64 / 1e3),
+                format!("{:.1}", full_peak as f64 / 1e3),
+                format!("{full_time:.2}"),
+            ],
+            vec![
+                "NetLLM (LoRA)".into(),
+                format!("{:.2}", 100.0 * lora_frac),
+                format!("{:.1}", lora_state as f64 / 1e3),
+                format!("{:.1}", lora_peak as f64 / 1e3),
+                format!("{lora_time:.2}"),
+            ],
+        ],
+    );
+    println!(
+        "backbone-only trainable fraction: {:.2}% (paper 0.31%) | state reduction {:.1}% (paper 60.9%) | time reduction {:.1}% (paper 15.1%)",
+        100.0 * lora_backbone_frac,
+        100.0 * (1.0 - lora_state as f64 / full_state as f64),
+        100.0 * (1.0 - lora_time / full_time),
+    );
+    let path = write_report(
+        "fig4_finetune_cost",
+        &json!({
+            "iterations": iters,
+            "full_finetune": {"trainable_frac": full_frac, "param_opt_state_bytes": full_state,
+                               "peak_bytes": full_peak, "time_s": full_time},
+            "netllm_lora": {"trainable_frac": lora_frac, "backbone_trainable_frac": lora_backbone_frac,
+                             "param_opt_state_bytes": lora_state, "peak_bytes": lora_peak, "time_s": lora_time},
+            "state_reduction_pct": 100.0 * (1.0 - lora_state as f64 / full_state as f64),
+            "time_reduction_pct": 100.0 * (1.0 - lora_time / full_time),
+        }),
+    )
+    .unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Figures 10/11: general evaluation + generalization
+// ---------------------------------------------------------------------------
+
+fn vp_eval(e: &Engine, setting: &netllm::VpSetting) -> Vec<(String, Vec<f64>)> {
+    let data = build_vp_data(setting, e.fidelity);
+    let default_data = e.vp_data();
+    let pw = setting.pw();
+    let mut out = Vec::new();
+    let mut lr = LinearRegression;
+    out.push(("LR".to_string(), to64(&evaluate_each(&mut lr, &data.test, pw))));
+    let mut vel = Velocity::default();
+    out.push(("Velocity".to_string(), to64(&evaluate_each(&mut vel, &data.test, pw))));
+    let mut track = e.track(&default_data);
+    out.push(("TRACK".to_string(), to64(&evaluate_each(&mut track, &data.test, pw))));
+    let mut nl = e.netllm_vp(&default_data, AdaptMode::FullKnowledge);
+    out.push(("NetLLM".to_string(), to64(&evaluate_each(&mut nl, &data.test, pw))));
+    out
+}
+
+fn abr_eval(e: &Engine, setting: &netllm::AbrSetting) -> Vec<(String, Vec<SessionStats>)> {
+    let (video, traces) = build_abr_env(setting, e.fidelity, false, 0xE7);
+    let cfg = SimConfig::default();
+    let w = QoeWeights::default();
+    let mut out: Vec<(String, Vec<SessionStats>)> = Vec::new();
+    {
+        let mut bba = Bba::default();
+        out.push(("BBA".into(), traces.iter().map(|t| run_session(&mut bba, &video, t, &cfg, &w).0).collect()));
+    }
+    {
+        let mut mpc = Mpc::default();
+        out.push(("MPC".into(), traces.iter().map(|t| run_session(&mut mpc, &video, t, &cfg, &w).0).collect()));
+    }
+    {
+        let mut genet = e.genet();
+        out.push(("GENET".into(), traces.iter().map(|t| run_session(&mut genet, &video, t, &cfg, &w).0).collect()));
+    }
+    {
+        let mut nl = e.netllm_abr(AdaptMode::FullKnowledge);
+        out.push(("NetLLM".into(), traces.iter().map(|t| run_session(&mut nl, &video, t, &cfg, &w).0).collect()));
+    }
+    out
+}
+
+fn cjs_eval(e: &Engine, setting: &netllm::CjsSetting) -> Vec<(String, Vec<f64>)> {
+    let seeds: Vec<u64> = match e.fidelity {
+        Fidelity::Smoke => vec![11],
+        _ => vec![11, 12, 13],
+    };
+    let workloads = build_cjs_workloads(setting, e.fidelity, &seeds);
+    let run_all = |s: &mut dyn Scheduler| -> Vec<f64> {
+        workloads
+            .iter()
+            .flat_map(|jobs| nt_cjs::run_workload(s, jobs, setting.executors, None).jcts)
+            .collect()
+    };
+    let mut out: Vec<(String, Vec<f64>)> = Vec::new();
+    out.push(("FIFO".into(), run_all(&mut Fifo)));
+    out.push(("Fair".into(), run_all(&mut Fair)));
+    let mut decima = e.decima();
+    out.push(("Decima".into(), run_all(&mut decima)));
+    let mut nl = e.netllm_cjs(AdaptMode::FullKnowledge);
+    out.push(("NetLLM".into(), run_all(&mut nl)));
+    out
+}
+
+fn fig10(e: &Engine) {
+    println!("\n[fig 10] general evaluation (default settings, means + CDFs)");
+    let vp = vp_eval(e, &VP_DEFAULT);
+    let abr = abr_eval(e, &ABR_DEFAULT);
+    let cjs = cjs_eval(e, &CJS_DEFAULT);
+
+    let abr_qoe: Vec<(String, Vec<f64>)> =
+        abr.iter().map(|(n, s)| (n.clone(), s.iter().map(|x| x.qoe_per_chunk).collect())).collect();
+
+    let rows = |series: &[(String, Vec<f64>)]| -> Vec<Vec<String>> {
+        series.iter().map(|(n, xs)| vec![n.clone(), format!("{:.3}", mean(xs))]).collect()
+    };
+    print_table("fig10a VP: avg MAE (deg, lower=better)", &["method", "mae"], &rows(&vp));
+    print_table("fig10a ABR: avg QoE (higher=better)", &["method", "qoe"], &rows(&abr_qoe));
+    print_table("fig10a CJS: avg JCT (s, lower=better)", &["method", "jct"], &rows(&cjs));
+
+    let j = json!({
+        "vp": series_json(&vp),
+        "abr": series_json(&abr_qoe),
+        "cjs": series_json(&cjs),
+        "cjs_p90": cjs.iter().map(|(n, xs)| json!({"method": n, "p90": percentile(xs, 0.9)})).collect::<Vec<_>>(),
+    });
+    let path = write_report("fig10_general_evaluation", &j).unwrap();
+    println!("wrote {}", path.display());
+}
+
+fn fig11(e: &Engine) {
+    println!("\n[fig 11] generalization to unseen settings (box stats)");
+    let mut report = serde_json::Map::new();
+    for (name, setting) in
+        [("unseen1", VP_UNSEEN1), ("unseen2", VP_UNSEEN2), ("unseen3", VP_UNSEEN3)]
+    {
+        let series = vp_eval(e, &setting);
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|(n, xs)| {
+                vec![n.clone(), format!("{:.2}", mean(xs)), format!("{:.2}", percentile(xs, 0.5))]
+            })
+            .collect();
+        print_table(&format!("fig11a VP {name}: MAE"), &["method", "mean", "median"], &rows);
+        report.insert(format!("vp_{name}"), box_json(&series));
+    }
+    for (name, setting) in
+        [("unseen1", ABR_UNSEEN1), ("unseen2", ABR_UNSEEN2), ("unseen3", ABR_UNSEEN3)]
+    {
+        let series = abr_eval(e, &setting);
+        let qoe: Vec<(String, Vec<f64>)> = series
+            .iter()
+            .map(|(n, s)| (n.clone(), s.iter().map(|x| x.qoe_per_chunk).collect()))
+            .collect();
+        let rows: Vec<Vec<String>> =
+            qoe.iter().map(|(n, xs)| vec![n.clone(), format!("{:.3}", mean(xs))]).collect();
+        print_table(&format!("fig11b ABR {name}: QoE"), &["method", "mean"], &rows);
+        report.insert(format!("abr_{name}"), box_json(&qoe));
+    }
+    for (name, setting) in
+        [("unseen1", CJS_UNSEEN1), ("unseen2", CJS_UNSEEN2), ("unseen3", CJS_UNSEEN3)]
+    {
+        let series = cjs_eval(e, &setting);
+        let rows: Vec<Vec<String>> =
+            series.iter().map(|(n, xs)| vec![n.clone(), format!("{:.1}", mean(xs))]).collect();
+        print_table(&format!("fig11c CJS {name}: JCT"), &["method", "mean"], &rows);
+        report.insert(format!("cjs_{name}"), box_json(&series));
+    }
+    let path = write_report("fig11_generalization", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+fn fig12(e: &Engine) {
+    println!("\n[fig 12] ABR QoE factor breakdown on unseen settings (min-max normalised)");
+    let mut report = serde_json::Map::new();
+    for (name, setting) in
+        [("unseen1", ABR_UNSEEN1), ("unseen2", ABR_UNSEEN2), ("unseen3", ABR_UNSEEN3)]
+    {
+        let series = abr_eval(e, &setting);
+        let methods: Vec<String> = series.iter().map(|(n, _)| n.clone()).collect();
+        let agg = |f: &dyn Fn(&SessionStats) -> f64| -> Vec<f64> {
+            series.iter().map(|(_, s)| mean(&s.iter().map(|x| f(x)).collect::<Vec<_>>())).collect()
+        };
+        let qoe = agg(&|x| x.qoe_per_chunk);
+        let bitrate = agg(&|x| x.mean_bitrate_mbps);
+        let rebuf = agg(&|x| x.total_rebuffer_secs);
+        let change = agg(&|x| x.mean_bitrate_change_mbps);
+        let rows: Vec<Vec<String>> = methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                vec![
+                    m.clone(),
+                    format!("{:.3}", qoe[i]),
+                    format!("{:.2}", bitrate[i]),
+                    format!("{:.1}", rebuf[i]),
+                    format!("{:.2}", change[i]),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("fig12 {name}: raw factors"),
+            &["method", "QoE+", "bitrate+", "rebuf s-", "change-"],
+            &rows,
+        );
+        report.insert(
+            name.to_string(),
+            json!({
+                "methods": methods,
+                "qoe": qoe, "bitrate": bitrate, "rebuffer": rebuf, "change": change,
+                "normalized": {
+                    "qoe": min_max_normalize(&qoe),
+                    "bitrate": min_max_normalize(&bitrate),
+                    "rebuffer": min_max_normalize(&rebuf),
+                    "change": min_max_normalize(&change),
+                }
+            }),
+        );
+    }
+    let path = write_report("fig12_qoe_breakdown", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: knowledge ablation
+// ---------------------------------------------------------------------------
+
+fn fig13(e: &Engine) {
+    println!("\n[fig 13] pre-trained vs domain knowledge ablation");
+    let data = e.vp_data();
+    let modes = [AdaptMode::NoPretrain, AdaptMode::NoDomain, AdaptMode::FullKnowledge];
+
+    let mut vp_rows = Vec::new();
+    let mut abr_rows = Vec::new();
+    let mut cjs_rows = Vec::new();
+    let mut report = serde_json::Map::new();
+    for mode in modes {
+        let mut vp_m = e.netllm_vp(&data, mode);
+        let vp_mae = mean(&to64(&evaluate_each(&mut vp_m, &data.test, VP_DEFAULT.pw())));
+        vp_rows.push(vec![mode.name().into(), format!("{vp_mae:.2}")]);
+
+        let (video, traces) = build_abr_env(&ABR_DEFAULT, e.fidelity, false, 0xE7);
+        let mut abr_m = e.netllm_abr(mode);
+        let qoe: Vec<f64> = traces
+            .iter()
+            .map(|t| {
+                run_session(&mut abr_m, &video, t, &SimConfig::default(), &QoeWeights::default())
+                    .0
+                    .qoe_per_chunk
+            })
+            .collect();
+        abr_rows.push(vec![mode.name().into(), format!("{:.3}", mean(&qoe))]);
+
+        let workloads = build_cjs_workloads(&CJS_DEFAULT, e.fidelity, &[11]);
+        let mut cjs_m = e.netllm_cjs(mode);
+        let jcts: Vec<f64> = workloads
+            .iter()
+            .flat_map(|jobs| nt_cjs::run_workload(&mut cjs_m, jobs, CJS_DEFAULT.executors, None).jcts)
+            .collect();
+        cjs_rows.push(vec![mode.name().into(), format!("{:.1}", mean(&jcts))]);
+
+        report.insert(
+            mode.name().to_string(),
+            json!({"vp_mae": vp_mae, "abr_qoe": mean(&qoe), "cjs_jct": mean(&jcts)}),
+        );
+    }
+    print_table("fig13 VP: avg MAE (lower=better)", &["knowledge", "mae"], &vp_rows);
+    print_table("fig13 ABR: avg QoE (higher=better)", &["knowledge", "qoe"], &abr_rows);
+    print_table("fig13 CJS: avg JCT (lower=better)", &["knowledge", "jct"], &cjs_rows);
+    let path =
+        write_report("fig13_knowledge_ablation", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14: real-world-style emulated links
+// ---------------------------------------------------------------------------
+
+fn fig14(e: &Engine) {
+    println!("\n[fig 14] emulated client/server links (80 ms RTT): broadband + cellular");
+    let mut report = serde_json::Map::new();
+    let link = LinkConfig::default();
+    let cfg = SimConfig::default();
+    let w = QoeWeights::default();
+    let video = nt_abr::envivio_like(&mut Rng::seeded(0x56AD));
+    for (label, kind) in [("broadband", TraceKind::FccLike), ("cellular", TraceKind::CellularLike)]
+    {
+        let traces = nt_abr::generate_set(kind, e.fidelity.count(20), 350, &mut Rng::seeded(0xE14));
+        let run_all = |p: &mut dyn AbrPolicy| -> f64 {
+            mean(
+                &traces
+                    .iter()
+                    .map(|t| run_emulated_session(p, &video, t, &link, &cfg, &w).0.qoe_per_chunk)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let bba = run_all(&mut Bba::default());
+        let mpc = run_all(&mut Mpc::default());
+        let mut genet = e.genet();
+        let gen = run_all(&mut genet);
+        let mut nl = e.netllm_abr(AdaptMode::FullKnowledge);
+        let netllm_qoe = run_all(&mut nl);
+        print_table(
+            &format!("fig14 {label}: avg QoE"),
+            &["method", "qoe"],
+            &[
+                vec!["BBA".into(), format!("{bba:.3}")],
+                vec!["MPC".into(), format!("{mpc:.3}")],
+                vec!["GENET".into(), format!("{gen:.3}")],
+                vec!["NetLLM".into(), format!("{netllm_qoe:.3}")],
+            ],
+        );
+        report.insert(
+            label.to_string(),
+            json!({"BBA": bba, "MPC": mpc, "GENET": gen, "NetLLM": netllm_qoe}),
+        );
+    }
+    let path = write_report("fig14_real_world", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15: different LLM families
+// ---------------------------------------------------------------------------
+
+fn fig15(e: &Engine) {
+    println!("\n[fig 15] different LLM families adapted by NetLLM (VP + ABR)");
+    let data = e.vp_data();
+    let mut track = e.track(&data);
+    let track_mae = mean(&to64(&evaluate_each(&mut track, &data.test, VP_DEFAULT.pw())));
+    let (video, traces) = build_abr_env(&ABR_DEFAULT, e.fidelity, false, 0xE7);
+    let qoe_of = |p: &mut dyn AbrPolicy| -> f64 {
+        mean(
+            &traces
+                .iter()
+                .map(|t| {
+                    run_session(p, &video, t, &SimConfig::default(), &QoeWeights::default())
+                        .0
+                        .qoe_per_chunk
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    let mut genet = e.genet();
+    let genet_qoe = qoe_of(&mut genet);
+
+    let mut rows = Vec::new();
+    let mut report = serde_json::Map::new();
+    for p in Profile::ALL {
+        let spec = profile_spec(p);
+        let mut vp_m = e.netllm_vp_spec(&spec, &data, AdaptMode::FullKnowledge);
+        let mae = mean(&to64(&evaluate_each(&mut vp_m, &data.test, VP_DEFAULT.pw())));
+        let mut abr_m = e.netllm_abr_spec(&spec, AdaptMode::FullKnowledge);
+        let qoe = qoe_of(&mut abr_m);
+        rows.push(vec![spec.name.clone(), format!("{mae:.2}"), format!("{qoe:.3}")]);
+        report.insert(spec.name.clone(), json!({"vp_mae": mae, "abr_qoe": qoe}));
+    }
+    rows.push(vec!["TRACK (baseline)".into(), format!("{track_mae:.2}"), "-".into()]);
+    rows.push(vec!["GENET (baseline)".into(), "-".into(), format!("{genet_qoe:.3}")]);
+    print_table("fig15: adapted LLM families", &["model", "VP mae", "ABR qoe"], &rows);
+    report.insert("baseline_track_mae".into(), json!(track_mae));
+    report.insert("baseline_genet_qoe".into(), json!(genet_qoe));
+    let path = write_report("fig15_llm_families", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16: LLM size ladder (+ §5.4 overhead)
+// ---------------------------------------------------------------------------
+
+fn fig16(e: &Engine) {
+    println!("\n[fig 16] LLM size ladder: gains vs baselines (VP + ABR) + overhead");
+    let data = e.vp_data();
+    let pw = VP_DEFAULT.pw();
+    let mut lr = LinearRegression;
+    let mut vel = Velocity::default();
+    let mut track = e.track(&data);
+    let vp_base: Vec<(&str, f64)> = vec![
+        ("LR", mean(&to64(&evaluate_each(&mut lr, &data.test, pw)))),
+        ("Velocity", mean(&to64(&evaluate_each(&mut vel, &data.test, pw)))),
+        ("TRACK", mean(&to64(&evaluate_each(&mut track, &data.test, pw)))),
+    ];
+    let (video, traces) = build_abr_env(&ABR_DEFAULT, e.fidelity, false, 0xE7);
+    let qoe_of = |p: &mut dyn AbrPolicy| -> f64 {
+        mean(
+            &traces
+                .iter()
+                .map(|t| {
+                    run_session(p, &video, t, &SimConfig::default(), &QoeWeights::default())
+                        .0
+                        .qoe_per_chunk
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    let mut genet = e.genet();
+    let abr_base: Vec<(&str, f64)> = vec![
+        ("BBA", qoe_of(&mut Bba::default())),
+        ("MPC", qoe_of(&mut Mpc::default())),
+        ("GENET", qoe_of(&mut genet)),
+    ];
+    let vp_best = vp_base.iter().map(|(_, b)| *b).fold(f64::INFINITY, f64::min);
+    let abr_best = abr_base.iter().map(|(_, b)| *b).fold(f64::NEG_INFINITY, f64::max);
+
+    let mut rows = Vec::new();
+    let mut report = serde_json::Map::new();
+    for label in SIZE_LADDER {
+        let spec = size_spec(label);
+        let mut vp_m = e.netllm_vp_spec(&spec, &data, AdaptMode::FullKnowledge);
+        let mae = mean(&to64(&evaluate_each(&mut vp_m, &data.test, pw)));
+        let mut abr_m = e.netllm_abr_spec(&spec, AdaptMode::FullKnowledge);
+        let qoe = qoe_of(&mut abr_m);
+        // §5.4 overhead: load size + per-answer latency.
+        let load_bytes = vp_m.store.bytes_params();
+        let t = Instant::now();
+        let reps = 5usize;
+        for i in 0..reps {
+            let _ = vp_m.predict(&data.test[i % data.test.len()], pw);
+        }
+        let latency = t.elapsed().as_secs_f64() / reps as f64;
+
+        let vp_gain = 100.0 * (vp_best - mae) / vp_best;
+        let abr_gain = 100.0 * (qoe - abr_best) / abr_best.abs().max(1e-9);
+        rows.push(vec![
+            label.to_string(),
+            format!("{mae:.2}"),
+            format!("{vp_gain:+.1}%"),
+            format!("{qoe:.3}"),
+            format!("{abr_gain:+.1}%"),
+            format!("{:.2}", load_bytes as f64 / 1e6),
+            format!("{:.4}", latency),
+        ]);
+        report.insert(
+            label.to_string(),
+            json!({"vp_mae": mae, "abr_qoe": qoe, "load_mb": load_bytes as f64 / 1e6,
+                   "answer_latency_s": latency,
+                   "vp_gain_vs_best_baseline_pct": vp_gain,
+                   "abr_gain_vs_best_baseline_pct": abr_gain}),
+        );
+    }
+    print_table(
+        "fig16: size ladder",
+        &["size", "VP mae", "vs best", "ABR qoe", "vs best", "load MB", "latency s"],
+        &rows,
+    );
+    report.insert(
+        "vp_baselines".into(),
+        json!(vp_base.iter().map(|(n, v)| json!({"name": n, "mae": v})).collect::<Vec<_>>()),
+    );
+    report.insert(
+        "abr_baselines".into(),
+        json!(abr_base.iter().map(|(n, v)| json!({"name": n, "qoe": v})).collect::<Vec<_>>()),
+    );
+    let path = write_report("fig16_size_ladder", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+
+fn to64(xs: &[f32]) -> Vec<f64> {
+    xs.iter().map(|&x| x as f64).collect()
+}
+
+fn series_json(series: &[(String, Vec<f64>)]) -> serde_json::Value {
+    json!(series
+        .iter()
+        .map(|(n, xs)| json!({
+            "method": n,
+            "mean": mean(xs),
+            "cdf": cdf_points(xs, 20).iter().map(|(v, p)| json!([v, p])).collect::<Vec<_>>(),
+        }))
+        .collect::<Vec<_>>())
+}
+
+fn box_json(series: &[(String, Vec<f64>)]) -> serde_json::Value {
+    json!(series
+        .iter()
+        .map(|(n, xs)| json!({"method": n, "box": box_stats(xs)}))
+        .collect::<Vec<_>>())
+}

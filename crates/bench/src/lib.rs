@@ -1,0 +1,16 @@
+//! # nt-bench
+//!
+//! Benchmark harness for the NetLLM reproduction: the [`engine::Engine`]
+//! builds and caches every trained artifact (baselines + adapted models),
+//! [`figures`](../src/bin/figures.rs) regenerates each paper figure into
+//! `reports/`, and the Criterion benches cover latency/overhead and
+//! simulator micro-performance.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod report;
+pub mod stats;
+
+pub use engine::Engine;
+pub use report::{print_table, reports_dir, write_report};

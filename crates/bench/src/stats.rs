@@ -1,0 +1,101 @@
+//! Small statistics helpers for figure generation.
+
+/// Arithmetic mean (0 on empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Percentile by nearest-rank on a copy (p in [0,1]).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    v[idx]
+}
+
+/// Five-number box stats `(min, q1, median, q3, max)` plus mean.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct BoxStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+pub fn box_stats(xs: &[f64]) -> BoxStats {
+    BoxStats {
+        min: percentile(xs, 0.0),
+        q1: percentile(xs, 0.25),
+        median: percentile(xs, 0.5),
+        q3: percentile(xs, 0.75),
+        max: percentile(xs, 1.0),
+        mean: mean(xs),
+    }
+}
+
+/// CDF sample points `(value, fraction <= value)` at `k` quantiles.
+pub fn cdf_points(xs: &[f64], k: usize) -> Vec<(f64, f64)> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (0..=k)
+        .map(|i| {
+            let p = i as f64 / k as f64;
+            (percentile(&v, p), p)
+        })
+        .collect()
+}
+
+/// Min-max normalise a slice (all-equal slices map to 0.5).
+pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
+    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (hi - lo).abs() < 1e-12 {
+        return vec![0.5; xs.len()];
+    }
+    xs.iter().map(|x| (x - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let b = box_stats(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+        assert_eq!(b.mean, 3.0);
+    }
+
+    #[test]
+    fn minmax_handles_constant() {
+        assert_eq!(min_max_normalize(&[2.0, 2.0]), vec![0.5, 0.5]);
+        let n = min_max_normalize(&[0.0, 5.0, 10.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0, 5.0, 4.0], 10);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

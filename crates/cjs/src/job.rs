@@ -1,0 +1,239 @@
+//! Job model and the TPC-H-like workload generator.
+//!
+//! A job is a DAG of stages; each stage is a bag of independent tasks with
+//! pre-sampled durations (fixed per job instance, so every scheduler sees
+//! the *same* work — a fairness requirement for comparisons). The generator
+//! mirrors the TPC-H character the paper uses: 22 query templates with
+//! distinctive DAG shapes (map/reduce, chains, fan-ins, diamonds), heavy-
+//! tailed task counts and durations.
+
+use nt_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One stage: `durations[i]` is task `i`'s service time in seconds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Stage {
+    pub durations: Vec<f64>,
+}
+
+impl Stage {
+    pub fn num_tasks(&self) -> usize {
+        self.durations.len()
+    }
+
+    pub fn total_work(&self) -> f64 {
+        self.durations.iter().sum()
+    }
+
+    pub fn mean_duration(&self) -> f64 {
+        self.total_work() / self.num_tasks().max(1) as f64
+    }
+}
+
+/// A DAG job.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Job {
+    pub id: usize,
+    /// Which TPC-H-like template produced this job (0..22).
+    pub template: usize,
+    pub arrival: f64,
+    pub stages: Vec<Stage>,
+    /// `(parent, child)` stage indices; child starts only after all parents.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Job {
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    pub fn total_work(&self) -> f64 {
+        self.stages.iter().map(Stage::total_work).sum()
+    }
+
+    /// Parents of each stage.
+    pub fn parents(&self) -> Vec<Vec<usize>> {
+        let mut p = vec![Vec::new(); self.stages.len()];
+        for &(a, b) in &self.edges {
+            p[b].push(a);
+        }
+        p
+    }
+
+    /// Children of each stage.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut c = vec![Vec::new(); self.stages.len()];
+        for &(a, b) in &self.edges {
+            c[a].push(b);
+        }
+        c
+    }
+
+    /// Verify the edge list is a DAG over valid indices (edges point from a
+    /// lower to a strictly higher stage index, our canonical topological
+    /// form).
+    pub fn validate(&self) -> Result<(), String> {
+        for &(a, b) in &self.edges {
+            if a >= self.stages.len() || b >= self.stages.len() {
+                return Err(format!("edge ({a},{b}) out of range"));
+            }
+            if a >= b {
+                return Err(format!("edge ({a},{b}) not topologically ordered"));
+            }
+        }
+        if self.stages.iter().any(|s| s.durations.is_empty()) {
+            return Err("stage with zero tasks".into());
+        }
+        Ok(())
+    }
+}
+
+/// Number of distinct query templates (TPC-H has 22).
+pub const NUM_TEMPLATES: usize = 22;
+
+/// DAG shape families the templates are drawn from.
+#[derive(Clone, Copy, Debug)]
+enum Shape {
+    MapReduce,
+    Chain(usize),
+    FanIn(usize),
+    Diamond,
+    JoinTree,
+}
+
+fn template_shape(template: usize) -> Shape {
+    match template % 5 {
+        0 => Shape::MapReduce,
+        1 => Shape::Chain(2 + template % 4),
+        2 => Shape::FanIn(2 + template % 3),
+        3 => Shape::Diamond,
+        _ => Shape::JoinTree,
+    }
+}
+
+/// Instantiate one job from a template with per-instance jitter.
+pub fn instantiate(template: usize, id: usize, arrival: f64, rng: &mut Rng) -> Job {
+    assert!(template < NUM_TEMPLATES);
+    // Template-intrinsic scale, deterministic per template.
+    let mut trng = Rng::seeded(0xDA6 ^ template as u64);
+    let base_tasks = (trng.log_normal(2.6, 0.7) as f64).clamp(4.0, 120.0);
+    let base_dur = (trng.log_normal(0.2, 0.5) as f64).clamp(0.4, 4.0);
+
+    let shape = template_shape(template);
+    let (n, edges): (usize, Vec<(usize, usize)>) = match shape {
+        Shape::MapReduce => (2, vec![(0, 1)]),
+        Shape::Chain(k) => (k, (0..k - 1).map(|i| (i, i + 1)).collect()),
+        Shape::FanIn(k) => {
+            // k parallel maps feeding one reduce.
+            let mut e: Vec<(usize, usize)> = (0..k).map(|i| (i, k)).collect();
+            e.sort_unstable();
+            (k + 1, e)
+        }
+        Shape::Diamond => (4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]),
+        Shape::JoinTree => {
+            // 4 scans -> 2 joins -> final aggregate.
+            (7, vec![(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)])
+        }
+    };
+
+    let scale = rng.uniform(0.7, 1.4) as f64;
+    let mut stages = Vec::with_capacity(n);
+    for s in 0..n {
+        // Later stages (reduces/joins) have fewer, longer tasks.
+        let depth_factor = 1.0 / (1.0 + s as f64 * 0.35);
+        let tasks = ((base_tasks * scale * depth_factor).round() as usize).clamp(1, 150);
+        let dur_mean = base_dur * (1.0 + s as f64 * 0.25);
+        let durations: Vec<f64> = (0..tasks)
+            .map(|_| (dur_mean * rng.log_normal(0.0, 0.35) as f64).clamp(0.05, 30.0))
+            .collect();
+        stages.push(Stage { durations });
+    }
+    let job = Job { id, template, arrival, stages, edges };
+    debug_assert!(job.validate().is_ok(), "{:?}", job.validate());
+    job
+}
+
+/// Workload configuration (Table 4 knobs).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    pub num_jobs: usize,
+    /// Mean inter-arrival gap in seconds (Poisson process).
+    pub mean_interarrival: f64,
+    pub seed: u64,
+}
+
+/// Sample a workload: jobs with Poisson arrivals, templates uniform over
+/// the 22 TPC-H-like shapes.
+pub fn generate_workload(cfg: &WorkloadConfig) -> Vec<Job> {
+    let mut rng = Rng::seeded(cfg.seed);
+    let mut t = 0.0f64;
+    (0..cfg.num_jobs)
+        .map(|id| {
+            let template = rng.below(NUM_TEMPLATES);
+            let job = instantiate(template, id, t, &mut rng);
+            t += rng.exponential((1.0 / cfg.mean_interarrival) as f32) as f64;
+            job
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_produce_valid_dags() {
+        let mut rng = Rng::seeded(1);
+        for t in 0..NUM_TEMPLATES {
+            let j = instantiate(t, t, 0.0, &mut rng);
+            j.validate().unwrap();
+            assert!(j.num_stages() >= 2);
+            assert!(j.total_work() > 0.0);
+        }
+    }
+
+    #[test]
+    fn join_tree_shape_has_expected_dependencies() {
+        let mut rng = Rng::seeded(2);
+        // template 4 -> JoinTree per template_shape
+        let j = instantiate(4, 0, 0.0, &mut rng);
+        assert_eq!(j.num_stages(), 7);
+        let parents = j.parents();
+        assert_eq!(parents[6], vec![4, 5]);
+        assert!(parents[0].is_empty());
+    }
+
+    #[test]
+    fn workload_arrivals_are_monotone() {
+        let jobs = generate_workload(&WorkloadConfig { num_jobs: 50, mean_interarrival: 2.0, seed: 3 });
+        assert_eq!(jobs.len(), 50);
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn instances_of_same_template_differ_but_share_shape() {
+        let mut rng = Rng::seeded(4);
+        let a = instantiate(7, 0, 0.0, &mut rng);
+        let b = instantiate(7, 1, 0.0, &mut rng);
+        assert_eq!(a.edges, b.edges, "same template => same DAG shape");
+        assert_ne!(
+            a.stages[0].durations, b.stages[0].durations,
+            "instances must jitter durations"
+        );
+    }
+
+    #[test]
+    fn workload_is_deterministic_under_seed() {
+        let cfg = WorkloadConfig { num_jobs: 10, mean_interarrival: 1.0, seed: 11 };
+        let a = generate_workload(&cfg);
+        let b = generate_workload(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.template, y.template);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.total_work(), y.total_work());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # nt-cjs
+//!
+//! Cluster-job-scheduling substrate: an event-driven Spark-like cluster
+//! simulator, a TPC-H-like DAG workload generator, rule-based schedulers
+//! (FIFO, Fair, plus SRPT), and the Decima-like GNN scheduler trained with
+//! behaviour cloning + REINFORCE.
+//!
+//! ## Feature inventory
+//!
+//! - [`job`] — stage DAGs with pre-sampled task durations, 22 query
+//!   templates, Poisson arrivals (Table 4 knobs)
+//! - [`sim`] — event-driven executor model, scheduler trait, decision hook
+//!   (used for RL training and NetLLM experience collection), JCT stats
+//! - [`policies`] — FIFO, Fair, SRPT
+//! - [`snapshot`] — graph featurisation shared by Decima and NetLLM's
+//!   graph-modality encoder
+//! - [`decima`] — GNN + stage/cap heads, BC warm start, exact Decima reward
+//!
+//! Not implemented (by design): data locality, executor moving cost,
+//! preemption, multi-resource packing.
+
+#![forbid(unsafe_code)]
+
+pub mod decima;
+pub mod job;
+pub mod policies;
+pub mod sim;
+pub mod snapshot;
+
+pub use decima::{train_decima, DecimaNet, DecimaPolicy, DecimaTrainConfig, CAP_FRACS};
+pub use job::{generate_workload, instantiate, Job, Stage, WorkloadConfig, NUM_TEMPLATES};
+pub use policies::{Fair, Fifo, Srpt};
+pub use sim::{
+    run_workload, Candidate, CjsStats, Decision, JobState, SchedView, Scheduler, StageState,
+};
+pub use snapshot::{snapshot, GraphSnapshot, NODE_FEATS};

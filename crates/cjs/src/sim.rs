@@ -1,0 +1,396 @@
+//! Event-driven cluster simulator (Spark-like executor model).
+//!
+//! Executors are fungible slots; a scheduling decision picks a *runnable
+//! stage* (all parents complete, tasks waiting) and a parallelism cap, and
+//! the simulator assigns up to `cap` free executors to that stage. Each
+//! executor runs one task to completion and returns to the pool. The
+//! scheduler is re-invoked whenever executors free up or new stages unlock
+//! — exactly Decima's interaction model.
+
+use crate::job::Job;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Live state of one stage.
+#[derive(Clone, Debug)]
+pub struct StageState {
+    /// Durations of tasks not yet started (consumed from the back).
+    pub waiting: Vec<f64>,
+    pub running: usize,
+    pub total_tasks: usize,
+    pub mean_duration: f64,
+    /// All parent stages complete.
+    pub unlocked: bool,
+    pub completed: bool,
+}
+
+impl StageState {
+    pub fn remaining_work(&self) -> f64 {
+        self.waiting.iter().sum::<f64>() + self.running as f64 * self.mean_duration
+    }
+}
+
+/// Live state of one job.
+#[derive(Clone, Debug)]
+pub struct JobState {
+    pub arrival: f64,
+    pub arrived: bool,
+    pub completed: bool,
+    pub finish: f64,
+    pub stages: Vec<StageState>,
+    pub remaining_parents: Vec<usize>,
+    pub children: Vec<Vec<usize>>,
+    /// Executors currently running this job's tasks.
+    pub running_executors: usize,
+}
+
+impl JobState {
+    fn from_job(job: &Job) -> Self {
+        let parents = job.parents();
+        let children = job.children();
+        let stages = job
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StageState {
+                waiting: s.durations.clone(),
+                running: 0,
+                total_tasks: s.num_tasks(),
+                mean_duration: s.mean_duration(),
+                unlocked: parents[i].is_empty(),
+                completed: false,
+            })
+            .collect();
+        JobState {
+            arrival: job.arrival,
+            arrived: false,
+            completed: false,
+            finish: 0.0,
+            stages,
+            remaining_parents: parents.iter().map(Vec::len).collect(),
+            children,
+            running_executors: 0,
+        }
+    }
+
+    pub fn remaining_work(&self) -> f64 {
+        self.stages.iter().map(StageState::remaining_work).sum()
+    }
+
+    pub fn frac_done(&self) -> f64 {
+        let total: usize = self.stages.iter().map(|s| s.total_tasks).sum();
+        let done: usize =
+            self.stages.iter().map(|s| s.total_tasks - s.waiting.len() - s.running).sum();
+        done as f64 / total.max(1) as f64
+    }
+}
+
+/// A schedulable (job, stage) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    pub job: usize,
+    pub stage: usize,
+}
+
+/// What the scheduler sees at each invocation.
+pub struct SchedView<'a> {
+    pub now: f64,
+    pub free_executors: usize,
+    pub total_executors: usize,
+    pub jobs: &'a [JobState],
+    pub candidates: &'a [Candidate],
+}
+
+/// A scheduling decision: which candidate, and the executor cap for this
+/// assignment round.
+#[derive(Clone, Copy, Debug)]
+pub struct Decision {
+    pub candidate: usize,
+    pub cap: usize,
+}
+
+/// Scheduling policy.
+pub trait Scheduler {
+    fn name(&self) -> &str;
+    fn reset(&mut self) {}
+    fn decide(&mut self, view: &SchedView) -> Option<Decision>;
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    Arrival(usize),
+    TaskDone { job: usize, stage: usize },
+}
+
+struct Timed {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Result of a workload run.
+#[derive(Clone, Debug, Default)]
+pub struct CjsStats {
+    /// Per-job completion time (finish − arrival), in arrival order.
+    pub jcts: Vec<f64>,
+    pub makespan: f64,
+    /// Time-integral of the number of active jobs (the Decima reward, up to
+    /// sign), useful as a scheduling-quality scalar.
+    pub active_job_seconds: f64,
+}
+
+impl CjsStats {
+    pub fn mean_jct(&self) -> f64 {
+        if self.jcts.is_empty() {
+            0.0
+        } else {
+            self.jcts.iter().sum::<f64>() / self.jcts.len() as f64
+        }
+    }
+
+    pub fn percentile_jct(&self, p: f64) -> f64 {
+        if self.jcts.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.jcts.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+        v[idx]
+    }
+}
+
+/// Hook invoked at every scheduling decision (used by RL training and by
+/// NetLLM's experience collection). Receives the view and the decision the
+/// scheduler made, plus the simulation time of the *previous* decision.
+pub type DecisionHook<'h> = &'h mut dyn FnMut(&SchedView, &Decision);
+
+/// Run `jobs` (must be sorted by arrival) on a cluster of `executors` slots.
+pub fn run_workload(
+    scheduler: &mut dyn Scheduler,
+    jobs: &[Job],
+    executors: usize,
+    mut hook: Option<DecisionHook>,
+) -> CjsStats {
+    assert!(executors > 0, "cluster with zero executors");
+    scheduler.reset();
+    let mut states: Vec<JobState> = jobs.iter().map(JobState::from_job).collect();
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, j) in jobs.iter().enumerate() {
+        heap.push(Timed { time: j.arrival, seq, event: Event::Arrival(i) });
+        seq += 1;
+    }
+    let mut free = executors;
+    let mut now = 0.0f64;
+    let mut last_event_time = 0.0f64;
+    let mut active_jobs = 0usize;
+    let mut active_integral = 0.0f64;
+    let mut completed = 0usize;
+    let mut stats = CjsStats::default();
+    stats.jcts = vec![0.0; jobs.len()];
+
+    while let Some(Timed { time, event, .. }) = heap.pop() {
+        now = time;
+        active_integral += active_jobs as f64 * (now - last_event_time);
+        last_event_time = now;
+        match event {
+            Event::Arrival(j) => {
+                states[j].arrived = true;
+                active_jobs += 1;
+            }
+            Event::TaskDone { job, stage } => {
+                free += 1;
+                let js = &mut states[job];
+                js.running_executors -= 1;
+                let ss = &mut js.stages[stage];
+                ss.running -= 1;
+                if ss.waiting.is_empty() && ss.running == 0 && !ss.completed {
+                    ss.completed = true;
+                    // Unlock children.
+                    let children = js.children[stage].clone();
+                    for c in children {
+                        js.remaining_parents[c] -= 1;
+                        if js.remaining_parents[c] == 0 {
+                            js.stages[c].unlocked = true;
+                        }
+                    }
+                    if js.stages.iter().all(|s| s.completed) {
+                        js.completed = true;
+                        js.finish = now;
+                        stats.jcts[job] = now - js.arrival;
+                        active_jobs -= 1;
+                        completed += 1;
+                    }
+                }
+            }
+        }
+
+        // Scheduling rounds until no free executors / no work / policy idles.
+        loop {
+            if free == 0 {
+                break;
+            }
+            let candidates: Vec<Candidate> = collect_candidates(&states);
+            if candidates.is_empty() {
+                break;
+            }
+            let view = SchedView {
+                now,
+                free_executors: free,
+                total_executors: executors,
+                jobs: &states,
+                candidates: &candidates,
+            };
+            let Some(decision) = scheduler.decide(&view) else { break };
+            let d = Decision {
+                candidate: decision.candidate.min(candidates.len() - 1),
+                cap: decision.cap.max(1),
+            };
+            if let Some(h) = hook.as_mut() {
+                h(&view, &d);
+            }
+            let c = candidates[d.candidate];
+            let js = &mut states[c.job];
+            let ss = &mut js.stages[c.stage];
+            // Parallelism cap counts tasks running in this stage.
+            let headroom = d.cap.saturating_sub(ss.running).max(1);
+            let take = free.min(headroom).min(ss.waiting.len());
+            debug_assert!(take >= 1);
+            for _ in 0..take {
+                let dur = ss.waiting.pop().expect("waiting task");
+                ss.running += 1;
+                js.running_executors += 1;
+                free -= 1;
+                heap.push(Timed {
+                    time: now + dur,
+                    seq,
+                    event: Event::TaskDone { job: c.job, stage: c.stage },
+                });
+                seq += 1;
+            }
+        }
+    }
+
+    assert_eq!(completed, jobs.len(), "all jobs must finish");
+    stats.makespan = now;
+    stats.active_job_seconds = active_integral;
+    stats
+}
+
+fn collect_candidates(states: &[JobState]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (j, js) in states.iter().enumerate() {
+        if !js.arrived || js.completed {
+            continue;
+        }
+        for (s, ss) in js.stages.iter().enumerate() {
+            if ss.unlocked && !ss.completed && !ss.waiting.is_empty() {
+                out.push(Candidate { job: j, stage: s });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{generate_workload, WorkloadConfig};
+    use crate::policies::Fifo;
+
+    fn small_workload(n: usize, seed: u64) -> Vec<Job> {
+        generate_workload(&WorkloadConfig { num_jobs: n, mean_interarrival: 1.0, seed })
+    }
+
+    #[test]
+    fn all_jobs_complete_and_jcts_positive() {
+        let jobs = small_workload(12, 1);
+        let stats = run_workload(&mut Fifo, &jobs, 10, None);
+        assert_eq!(stats.jcts.len(), 12);
+        assert!(stats.jcts.iter().all(|&j| j > 0.0));
+        assert!(stats.makespan > 0.0);
+    }
+
+    #[test]
+    fn more_executors_never_hurt_fifo_makespan() {
+        let jobs = small_workload(10, 2);
+        let s_small = run_workload(&mut Fifo, &jobs, 4, None);
+        let big = run_workload(&mut Fifo, &jobs, 40, None);
+        assert!(big.makespan <= s_small.makespan + 1e-9);
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        // A chain job: stage i+1 cannot start before stage i finishes, so
+        // the makespan is at least the sum of per-stage critical paths.
+        let job = Job {
+            id: 0,
+            template: 1,
+            arrival: 0.0,
+            stages: vec![
+                crate::job::Stage { durations: vec![1.0, 1.0] },
+                crate::job::Stage { durations: vec![2.0] },
+            ],
+            edges: vec![(0, 1)],
+        };
+        let stats = run_workload(&mut Fifo, &[job], 8, None);
+        // stage0 finishes at 1.0 (parallel), stage1 at 3.0
+        assert!((stats.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_executor_serialises_everything() {
+        let job = Job {
+            id: 0,
+            template: 0,
+            arrival: 0.0,
+            stages: vec![crate::job::Stage { durations: vec![1.0, 1.0, 1.0] }],
+            edges: vec![],
+        };
+        let stats = run_workload(&mut Fifo, &[job], 1, None);
+        assert!((stats.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hook_sees_every_decision() {
+        let jobs = small_workload(5, 3);
+        let mut count = 0usize;
+        let mut hook = |_v: &SchedView, _d: &Decision| count += 1;
+        run_workload(&mut Fifo, &jobs, 6, Some(&mut hook));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn active_job_seconds_is_consistent_with_jcts() {
+        // For jobs all arriving at t=0, integral of active jobs = sum of JCTs.
+        let mut jobs = small_workload(6, 4);
+        for j in &mut jobs {
+            j.arrival = 0.0;
+        }
+        let stats = run_workload(&mut Fifo, &jobs, 8, None);
+        let sum: f64 = stats.jcts.iter().sum();
+        assert!((stats.active_job_seconds - sum).abs() / sum < 1e-6);
+    }
+}

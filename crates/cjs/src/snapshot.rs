@@ -1,0 +1,107 @@
+//! Graph featurisation of scheduler views.
+//!
+//! Both Decima and NetLLM's graph-modality encoder consume the cluster
+//! state as a feature matrix over stage nodes plus DAG adjacency. The
+//! snapshot is taken per scheduling decision and is self-contained (owned
+//! tensors), so recorded decisions can be replayed during training.
+
+use crate::sim::SchedView;
+use nt_nn::normalized_adjacency;
+use nt_tensor::Tensor;
+
+/// Features per stage node.
+pub const NODE_FEATS: usize = 8;
+
+/// A frozen, self-contained view of the cluster graph at decision time.
+#[derive(Clone, Debug)]
+pub struct GraphSnapshot {
+    /// Number of stage nodes (stages of active jobs).
+    pub n: usize,
+    /// `[n, NODE_FEATS]` node features.
+    pub feats: Tensor,
+    /// Row-normalised adjacency `[n, n]` (children aggregate parents).
+    pub adj: Tensor,
+    /// Node index of each candidate, aligned with `SchedView::candidates`.
+    pub candidates: Vec<usize>,
+    /// Free-executor fraction at decision time.
+    pub free_frac: f32,
+}
+
+/// Build a snapshot from a live view.
+pub fn snapshot(view: &SchedView) -> GraphSnapshot {
+    // Map (job, stage) of active jobs to dense node ids.
+    let mut node_of = std::collections::HashMap::new();
+    let mut feats: Vec<f32> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut n = 0usize;
+    for (j, js) in view.jobs.iter().enumerate() {
+        if !js.arrived || js.completed {
+            continue;
+        }
+        let job_work = js.remaining_work();
+        let frac_done = js.frac_done();
+        let base = n;
+        for (s, ss) in js.stages.iter().enumerate() {
+            node_of.insert((j, s), n);
+            let runnable = ss.unlocked && !ss.completed && !ss.waiting.is_empty();
+            feats.extend_from_slice(&[
+                (ss.waiting.len() as f32 / 20.0).min(5.0),
+                (ss.running as f32 / 10.0).min(5.0),
+                (ss.mean_duration as f32 / 3.0).min(5.0),
+                (ss.remaining_work() as f32 / 50.0).min(5.0),
+                runnable as u8 as f32,
+                frac_done as f32,
+                (job_work as f32 / 200.0).min(5.0),
+                view.free_executors as f32 / view.total_executors.max(1) as f32,
+            ]);
+            n += 1;
+        }
+        for (s, children) in js.children.iter().enumerate() {
+            for &c in children {
+                edges.push((base + s, base + c));
+            }
+        }
+    }
+    let candidates = view
+        .candidates
+        .iter()
+        .map(|c| *node_of.get(&(c.job, c.stage)).expect("candidate must be an active node"))
+        .collect();
+    GraphSnapshot {
+        n,
+        feats: Tensor::from_vec([n, NODE_FEATS], feats),
+        adj: normalized_adjacency(n, &edges),
+        candidates,
+        free_frac: view.free_executors as f32 / view.total_executors.max(1) as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{generate_workload, WorkloadConfig};
+    use crate::policies::Fifo;
+    use crate::sim::{run_workload, Decision, SchedView};
+
+    #[test]
+    fn snapshots_are_consistent_during_a_run() {
+        let jobs =
+            generate_workload(&WorkloadConfig { num_jobs: 8, mean_interarrival: 1.0, seed: 5 });
+        let mut checked = 0usize;
+        let mut hook = |view: &SchedView, d: &Decision| {
+            let snap = snapshot(view);
+            assert_eq!(snap.feats.shape(), &[snap.n, NODE_FEATS]);
+            assert_eq!(snap.adj.shape(), &[snap.n, snap.n]);
+            assert_eq!(snap.candidates.len(), view.candidates.len());
+            assert!(d.candidate < snap.candidates.len());
+            // Candidate nodes must be flagged runnable in the features.
+            for &node in &snap.candidates {
+                assert_eq!(snap.feats.at(&[node, 4]), 1.0, "candidate not runnable");
+            }
+            assert!(snap.free_frac >= 0.0 && snap.free_frac <= 1.0);
+            checked += 1;
+        };
+        run_workload(&mut Fifo, &jobs, 6, Some(&mut hook));
+        assert!(checked > 5);
+    }
+}

@@ -1,0 +1,35 @@
+//! # nt-llm
+//!
+//! The foundation-model substrate of the NetLLM reproduction: a from-scratch
+//! decoder-only Transformer ("TinyLM") with a character tokenizer, an LM
+//! head for the token pathway, autoregressive generation, LoRA attachment,
+//! and an actually-executed synthetic pre-training stage that stands in for
+//! "pre-trained on massive corpora" (see `DESIGN.md` for why the
+//! substitution preserves the paper's claims).
+//!
+//! ## Feature inventory
+//!
+//! - [`tokenizer::Tokenizer`] — char-level vocabulary (digits + letters +
+//!   punctuation), BOS/EOS/PAD/UNK
+//! - [`model::TinyLm`] — causal Transformer backbone; token pathway
+//!   ([`model::TinyLm::forward_logits`], [`model::TinyLm::generate`]) and
+//!   embedding pathway ([`model::TinyLm::forward_embeddings`]) for NetLLM
+//! - [`pretrain`] — multi-skill synthetic corpus + pre-training loop
+//! - [`zoo`] — named profiles (llama/opt/mistral/llava-sim, Fig 15), the
+//!   size ladder (0.35b–13b-sim, Fig 16), disk-cached checkpoints
+//!
+//! Not implemented (by design): KV-cache generation (full re-forward per
+//! token keeps the Fig 2 latency account honest and is cheap at this scale),
+//! beam search, BPE.
+
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod pretrain;
+pub mod tokenizer;
+pub mod zoo;
+
+pub use model::{sample_logits, LmConfig, TinyLm};
+pub use pretrain::{eval_loss, pretrain, Corpus, CorpusMix, PretrainReport};
+pub use tokenizer::{Tokenizer, BOS, EOS, PAD, UNK};
+pub use zoo::{profile_spec, size_spec, LoadedLm, ModelSpec, Profile, Zoo, SIZE_LADDER};

@@ -1,0 +1,327 @@
+//! The decoder-only Transformer backbone ("TinyLM").
+//!
+//! This is the stand-in for Llama2/OPT/Mistral in the reproduction: a causal
+//! Transformer with learned positional embeddings, an LM head for the token
+//! pathway, and two extra entry points NetLLM needs:
+//!
+//! - [`TinyLm::forward_embeddings`] — run the backbone over *pre-embedded*
+//!   inputs (the multimodal encoder's token-like embeddings), returning
+//!   hidden states for the networking head;
+//! - [`TinyLm::attach_lora`] — freeze the backbone and attach low-rank
+//!   adapters to every projection, the DD-LRNA parameter budget.
+//!
+//! Generation re-runs the full forward per emitted token (no KV cache). At
+//! the model sizes used here that is cheap, and it keeps the token-pathway
+//! latency comparison of Figure 2 honest: each extra token really costs one
+//! more backbone inference.
+
+use crate::tokenizer::EOS;
+use nt_nn::{Embedding, Fwd, Init, LayerNorm, Linear, ParamStore, TransformerBlock};
+use nt_tensor::{NodeId, Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LmConfig {
+    pub vocab: usize,
+    pub d_model: usize,
+    pub n_layers: usize,
+    pub n_heads: usize,
+    pub mlp_mult: usize,
+    pub max_seq: usize,
+    pub dropout: f32,
+}
+
+impl LmConfig {
+    /// The default backbone used when none is specified (the "Llama2-7B" of
+    /// the reproduction). `max_seq` leaves room for the prompt-learning
+    /// templates of the Figure 2 comparison (position table only; attention
+    /// cost scales with actual sequence length).
+    pub fn base(vocab: usize) -> Self {
+        LmConfig { vocab, d_model: 48, n_layers: 2, n_heads: 4, mlp_mult: 4, max_seq: 160, dropout: 0.0 }
+    }
+}
+
+/// Decoder-only causal Transformer with LM head.
+pub struct TinyLm {
+    pub cfg: LmConfig,
+    pub tok_emb: Embedding,
+    pub pos_emb: Embedding,
+    pub blocks: Vec<TransformerBlock>,
+    pub ln_f: LayerNorm,
+    pub lm_head: Linear,
+}
+
+impl TinyLm {
+    /// Build with fresh random weights. All parameters are prefixed `llm.`
+    /// so they can be frozen as a group.
+    pub fn new(store: &mut ParamStore, cfg: LmConfig, rng: &mut Rng) -> Self {
+        let tok_emb = Embedding::new(store, "llm.tok", cfg.vocab, cfg.d_model, rng);
+        let pos_emb = Embedding::new(store, "llm.pos", cfg.max_seq, cfg.d_model, rng);
+        let blocks = (0..cfg.n_layers)
+            .map(|l| {
+                TransformerBlock::new(
+                    store,
+                    &format!("llm.block{l}"),
+                    cfg.d_model,
+                    cfg.n_heads,
+                    cfg.mlp_mult,
+                    cfg.dropout,
+                    rng,
+                )
+            })
+            .collect();
+        let ln_f = LayerNorm::new(store, "llm.ln_f", cfg.d_model);
+        let lm_head =
+            Linear::new(store, "llm.lm_head", cfg.d_model, cfg.vocab, false, Init::Xavier, rng);
+        TinyLm { cfg, tok_emb, pos_emb, blocks, ln_f, lm_head }
+    }
+
+    /// Freeze the whole backbone (pre-trained knowledge is preserved) and
+    /// attach rank-`r` LoRA adapters to every attention and MLP projection.
+    /// Returns the number of trainable adapter parameters added.
+    pub fn attach_lora(&mut self, store: &mut ParamStore, r: usize, alpha: f32, rng: &mut Rng) -> usize {
+        store.freeze_prefix("llm.");
+        let before = store.num_trainable();
+        for blk in &mut self.blocks {
+            for lin in blk.attn.projections_mut() {
+                lin.attach_lora(store, r, alpha, rng);
+            }
+            blk.mlp.up.attach_lora(store, r, alpha, rng);
+            blk.mlp.down.attach_lora(store, r, alpha, rng);
+        }
+        store.num_trainable() - before
+    }
+
+    /// Remove all adapters (the "no domain knowledge" ablation of Fig 13).
+    pub fn detach_lora(&mut self) {
+        for blk in &mut self.blocks {
+            for lin in blk.attn.projections_mut() {
+                lin.detach_lora();
+            }
+            blk.mlp.up.detach_lora();
+            blk.mlp.down.detach_lora();
+        }
+    }
+
+    /// Backbone over token ids -> hidden states `[t, d_model]`.
+    pub fn forward_hidden(&self, f: &mut Fwd, store: &ParamStore, ids: &[usize]) -> NodeId {
+        assert!(!ids.is_empty(), "empty input sequence");
+        assert!(
+            ids.len() <= self.cfg.max_seq,
+            "sequence {} exceeds max_seq {}",
+            ids.len(),
+            self.cfg.max_seq
+        );
+        let emb = self.tok_emb.forward(f, store, ids);
+        self.backbone(f, store, emb, ids.len())
+    }
+
+    /// Backbone over already-embedded inputs `[t, d_model]` (the NetLLM
+    /// multimodal pathway).
+    pub fn forward_embeddings(&self, f: &mut Fwd, store: &ParamStore, emb: NodeId) -> NodeId {
+        let t = f.g.value(emb).shape()[0];
+        assert!(t <= self.cfg.max_seq, "sequence {t} exceeds max_seq {}", self.cfg.max_seq);
+        self.backbone(f, store, emb, t)
+    }
+
+    fn backbone(&self, f: &mut Fwd, store: &ParamStore, emb: NodeId, t: usize) -> NodeId {
+        let pos: Vec<usize> = (0..t).collect();
+        let p = self.pos_emb.forward(f, store, &pos);
+        let mut x = f.g.add(emb, p);
+        for blk in &self.blocks {
+            x = blk.forward(f, store, x, true);
+        }
+        self.ln_f.forward(f, store, x)
+    }
+
+    /// Token logits `[t, vocab]`.
+    pub fn forward_logits(&self, f: &mut Fwd, store: &ParamStore, ids: &[usize]) -> NodeId {
+        let h = self.forward_hidden(f, store, ids);
+        self.lm_head.forward(f, store, h)
+    }
+
+    /// Next-token logits for the last position only.
+    pub fn next_token_logits(&self, store: &ParamStore, ids: &[usize]) -> Tensor {
+        let mut f = Fwd::eval();
+        let h = self.forward_hidden(&mut f, store, ids);
+        let t = f.g.value(h).shape()[0];
+        let last = f.g.narrow(h, 0, t - 1, 1);
+        let logits = self.lm_head.forward(&mut f, store, last);
+        f.g.value(logits).clone()
+    }
+
+    /// Autoregressive sampling. Stops at EOS or `max_new` tokens. Returns the
+    /// generated ids (prompt excluded) and the number of backbone inferences
+    /// performed (= tokens generated; used for the Fig 2 latency account).
+    pub fn generate(
+        &self,
+        store: &ParamStore,
+        prompt: &[usize],
+        max_new: usize,
+        temperature: f32,
+        rng: &mut Rng,
+    ) -> (Vec<usize>, usize) {
+        let mut ids = prompt.to_vec();
+        let mut out = Vec::new();
+        let mut inferences = 0;
+        for _ in 0..max_new {
+            if ids.len() >= self.cfg.max_seq {
+                break;
+            }
+            let logits = self.next_token_logits(store, &ids);
+            inferences += 1;
+            let next = sample_logits(logits.row(0), temperature, rng);
+            if next == EOS {
+                break;
+            }
+            ids.push(next);
+            out.push(next);
+        }
+        (out, inferences)
+    }
+
+    /// Mean next-token cross-entropy of the model on a sequence (teacher
+    /// forcing): predicts `ids[1..]` from `ids[..len-1]`.
+    pub fn sequence_loss(&self, f: &mut Fwd, store: &ParamStore, ids: &[usize]) -> NodeId {
+        assert!(ids.len() >= 2, "need at least 2 tokens");
+        let inputs = &ids[..ids.len() - 1];
+        let targets = &ids[1..];
+        let logits = self.forward_logits(f, store, inputs);
+        f.g.cross_entropy(logits, targets)
+    }
+
+    /// Total parameter count of the backbone + LM head.
+    pub fn num_params(&self, store: &ParamStore) -> usize {
+        store
+            .ids()
+            .filter(|&id| store.name(id).starts_with("llm."))
+            .map(|id| store.data(id).numel())
+            .sum()
+    }
+}
+
+/// Temperature sampling over a logits row; temperature 0 is argmax.
+pub fn sample_logits(logits: &[f32], temperature: f32, rng: &mut Rng) -> usize {
+    if temperature <= 0.0 {
+        let mut best = 0;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > logits[best] {
+                best = i;
+            }
+        }
+        return best;
+    }
+    let mut scaled: Vec<f32> = logits.iter().map(|&x| x / temperature).collect();
+    nt_tensor::tensor::softmax_in_place(&mut scaled);
+    rng.categorical(&scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn tiny(store: &mut ParamStore) -> TinyLm {
+        let mut rng = Rng::seeded(1);
+        let cfg = LmConfig {
+            vocab: 16,
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            mlp_mult: 2,
+            max_seq: 16,
+            dropout: 0.0,
+        };
+        TinyLm::new(store, cfg, &mut rng)
+    }
+
+    #[test]
+    fn hidden_and_logit_shapes() {
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let mut f = Fwd::eval();
+        let h = lm.forward_hidden(&mut f, &s, &[1, 2, 3]);
+        assert_eq!(f.g.value(h).shape(), &[3, 16]);
+        let mut f2 = Fwd::eval();
+        let l = lm.forward_logits(&mut f2, &s, &[1, 2, 3]);
+        assert_eq!(f2.g.value(l).shape(), &[3, 16]);
+    }
+
+    #[test]
+    fn embeddings_pathway_matches_token_pathway() {
+        // forward_embeddings(tok_emb(ids)) == forward_hidden(ids)
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let ids = [4usize, 5, 6, 7];
+        let mut f1 = Fwd::eval();
+        let h1 = lm.forward_hidden(&mut f1, &s, &ids);
+        let v1 = f1.g.value(h1).clone();
+        let mut f2 = Fwd::eval();
+        let emb = lm.tok_emb.forward(&mut f2, &s, &ids);
+        let h2 = lm.forward_embeddings(&mut f2, &s, emb);
+        let v2 = f2.g.value(h2).clone();
+        for (a, b) in v1.data().iter().zip(v2.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn generate_counts_one_inference_per_token() {
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let mut rng = Rng::seeded(2);
+        let (out, inf) = lm.generate(&s, &[1, 4, 5], 6, 0.0, &mut rng);
+        assert!(inf >= out.len());
+        assert!(inf <= 6);
+    }
+
+    #[test]
+    fn generate_respects_max_seq() {
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let mut rng = Rng::seeded(3);
+        let prompt: Vec<usize> = (0..14).map(|i| 4 + (i % 8)).collect();
+        let (out, _) = lm.generate(&s, &prompt, 100, 1.0, &mut rng);
+        assert!(prompt.len() + out.len() <= 16);
+    }
+
+    #[test]
+    fn lora_freezes_backbone_and_adds_small_fraction() {
+        let mut s = ParamStore::new();
+        let mut lm = tiny(&mut s);
+        let total = s.num_params();
+        let mut rng = Rng::seeded(4);
+        let added = lm.attach_lora(&mut s, 2, 4.0, &mut rng);
+        assert!(added > 0);
+        assert_eq!(s.num_trainable(), added, "only adapters trainable");
+        assert!((added as f32) / (total as f32) < 0.5, "adapters must be a small fraction");
+    }
+
+    #[test]
+    fn sequence_loss_is_finite_and_differentiable() {
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let mut f = Fwd::eval();
+        let l = lm.sequence_loss(&mut f, &s, &[1, 4, 5, 6, 2]);
+        let v = f.g.value(l).item();
+        assert!(v.is_finite() && v > 0.0);
+        let grads = f.backward(l);
+        assert!(grads.len() > 5);
+    }
+
+    #[test]
+    fn sample_logits_temperature_zero_is_argmax() {
+        let mut rng = Rng::seeded(5);
+        assert_eq!(sample_logits(&[0.0, 5.0, 1.0], 0.0, &mut rng), 1);
+    }
+
+    #[test]
+    fn vocab_matches_tokenizer() {
+        let t = Tokenizer::new();
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(6);
+        let lm = TinyLm::new(&mut s, LmConfig::base(t.vocab_size()), &mut rng);
+        assert_eq!(lm.cfg.vocab, t.vocab_size());
+    }
+}

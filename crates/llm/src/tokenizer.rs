@@ -1,0 +1,154 @@
+//! Character-level tokenizer over a fixed charset.
+//!
+//! The paper's LLMs use sub-word BPE; what the reproduction needs from the
+//! token pathway is (a) a vocabulary that can express numeric answers (for
+//! the prompt-learning / token-decoding alternatives of Figure 2), and (b) a
+//! deterministic mapping both ways. A character vocabulary gives both with
+//! zero training, and makes "a single number spans several tokens" — the
+//! paper's latency argument — literally true.
+
+/// Special token ids.
+pub const PAD: usize = 0;
+pub const BOS: usize = 1;
+pub const EOS: usize = 2;
+pub const UNK: usize = 3;
+
+/// Offset where charset tokens begin.
+const CHAR_BASE: usize = 4;
+
+/// Character set: digits, letters, arithmetic/punctuation used by prompt
+/// templates and the synthetic pre-training corpus.
+const CHARSET: &str = "0123456789abcdefghijklmnopqrstuvwxyz .,:;()[]{}<>+-*/=_|#!?\n'\"%";
+
+/// Deterministic char-level tokenizer.
+#[derive(Clone, Debug)]
+pub struct Tokenizer {
+    to_id: [usize; 256],
+    to_char: Vec<char>,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tokenizer {
+    pub fn new() -> Self {
+        let mut to_id = [UNK; 256];
+        let mut to_char = Vec::new();
+        for (i, c) in CHARSET.chars().enumerate() {
+            to_id[c as usize] = CHAR_BASE + i;
+            to_char.push(c);
+        }
+        Tokenizer { to_id, to_char }
+    }
+
+    /// Vocabulary size including specials.
+    pub fn vocab_size(&self) -> usize {
+        CHAR_BASE + self.to_char.len()
+    }
+
+    /// Encode text (lossy: unknown chars become `UNK`, uppercase is folded).
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.chars()
+            .map(|c| {
+                let c = c.to_ascii_lowercase();
+                if (c as usize) < 256 {
+                    self.to_id[c as usize]
+                } else {
+                    UNK
+                }
+            })
+            .collect()
+    }
+
+    /// Encode with BOS/EOS wrapping.
+    pub fn encode_wrapped(&self, text: &str) -> Vec<usize> {
+        let mut ids = vec![BOS];
+        ids.extend(self.encode(text));
+        ids.push(EOS);
+        ids
+    }
+
+    /// Decode ids back to text; specials render as markers, `UNK` as `\u{fffd}`.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            match id {
+                PAD => {}
+                BOS => {}
+                EOS => break,
+                UNK => out.push('\u{fffd}'),
+                _ => {
+                    if let Some(&c) = self.to_char.get(id - CHAR_BASE) {
+                        out.push(c);
+                    } else {
+                        out.push('\u{fffd}');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Token id of a single char (must be in the charset).
+    pub fn id_of(&self, c: char) -> usize {
+        let id = self.to_id[c.to_ascii_lowercase() as usize];
+        assert_ne!(id, UNK, "char {c:?} not in tokenizer charset");
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_plain_text() {
+        let t = Tokenizer::new();
+        let s = "next bitrate: 1850 kbps (buffer 12.4s)";
+        assert_eq!(t.decode(&t.encode(s)), s);
+    }
+
+    #[test]
+    fn eos_terminates_decoding() {
+        let t = Tokenizer::new();
+        let mut ids = t.encode("abc");
+        ids.push(EOS);
+        ids.extend(t.encode("junk"));
+        assert_eq!(t.decode(&ids), "abc");
+    }
+
+    #[test]
+    fn unknown_chars_become_unk() {
+        let t = Tokenizer::new();
+        let ids = t.encode("a€b");
+        assert_eq!(ids[1], UNK);
+        assert_eq!(t.decode(&ids), "a\u{fffd}b");
+    }
+
+    #[test]
+    fn uppercase_folds() {
+        let t = Tokenizer::new();
+        assert_eq!(t.encode("ABR"), t.encode("abr"));
+    }
+
+    #[test]
+    fn wrapped_has_bos_eos() {
+        let t = Tokenizer::new();
+        let ids = t.encode_wrapped("x");
+        assert_eq!(ids[0], BOS);
+        assert_eq!(*ids.last().unwrap(), EOS);
+    }
+
+    #[test]
+    fn vocab_ids_are_dense_and_distinct() {
+        let t = Tokenizer::new();
+        let mut seen = std::collections::HashSet::new();
+        for c in CHARSET.chars() {
+            assert!(seen.insert(t.id_of(c)), "duplicate id for {c:?}");
+            assert!(t.id_of(c) < t.vocab_size());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Adaptation modes and the LoRA budget (paper §4.3 + Fig 13 ablations).
+
+use nt_llm::TinyLm;
+use nt_nn::ParamStore;
+use nt_tensor::Rng;
+
+/// Low-rank adaptation budget. The paper uses rank 32 (VP) / 128 (ABR/CJS)
+/// on a 7B model; ranks here are scaled with the backbone.
+#[derive(Clone, Copy, Debug)]
+pub struct LoraSpec {
+    pub rank: usize,
+    pub alpha: f32,
+}
+
+impl Default for LoraSpec {
+    fn default() -> Self {
+        LoraSpec { rank: 4, alpha: 8.0 }
+    }
+}
+
+/// Which knowledge the adapted model keeps (Fig 13):
+///
+/// - `FullKnowledge`: frozen pre-trained backbone + trainable LoRA —
+///   the NetLLM configuration;
+/// - `NoPretrain`: randomly initialised backbone trained end-to-end
+///   (destroys pre-trained knowledge, keeps domain adaptation);
+/// - `NoDomain`: frozen pre-trained backbone, *no* LoRA (encoder and head
+///   still train — they are task plumbing, not backbone knowledge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdaptMode {
+    FullKnowledge,
+    NoPretrain,
+    NoDomain,
+}
+
+impl AdaptMode {
+    /// Configure the backbone's trainability for this mode.
+    pub fn apply(self, lm: &mut TinyLm, store: &mut ParamStore, lora: LoraSpec, rng: &mut Rng) {
+        match self {
+            AdaptMode::FullKnowledge => {
+                lm.attach_lora(store, lora.rank, lora.alpha, rng);
+            }
+            AdaptMode::NoPretrain => {
+                // Backbone stays fully trainable; caller supplies a
+                // randomly-initialised backbone (Zoo::build_random).
+            }
+            AdaptMode::NoDomain => {
+                store.freeze_prefix("llm.");
+                lm.detach_lora();
+            }
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AdaptMode::FullKnowledge => "full-knowledge",
+            AdaptMode::NoPretrain => "no-pretrained-knowledge",
+            AdaptMode::NoDomain => "no-domain-knowledge",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_llm::{size_spec, Zoo};
+
+    #[test]
+    fn modes_configure_trainability_correctly() {
+        let zoo = Zoo::new(std::env::temp_dir().join("adapt-mode-test"));
+        for mode in [AdaptMode::FullKnowledge, AdaptMode::NoPretrain, AdaptMode::NoDomain] {
+            let mut loaded = zoo.build_random(&size_spec("0.35b-sim"));
+            let mut rng = Rng::seeded(1);
+            mode.apply(&mut loaded.lm, &mut loaded.store, LoraSpec::default(), &mut rng);
+            let backbone_trainable: Vec<String> = loaded
+                .store
+                .ids()
+                .filter(|&id| {
+                    loaded.store.name(id).starts_with("llm.") && loaded.store.is_trainable(id)
+                })
+                .map(|id| loaded.store.name(id).to_string())
+                .collect();
+            match mode {
+                AdaptMode::FullKnowledge => {
+                    assert!(!backbone_trainable.is_empty());
+                    assert!(backbone_trainable.iter().all(|n| n.contains("lora")), "{backbone_trainable:?}");
+                }
+                AdaptMode::NoPretrain => {
+                    assert!(backbone_trainable.iter().any(|n| !n.contains("lora")));
+                }
+                AdaptMode::NoDomain => {
+                    assert!(backbone_trainable.is_empty(), "{backbone_trainable:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! NetLLM adapter for ABR (data-driven RL pipeline of DD-LRNA, §4.3).
+//!
+//! Experiences are collected **once** with an existing policy (GENET by
+//! default, as in the paper) and never refreshed. Each trajectory is the
+//! return-conditioned sequence of Eq. (2):
+//! `{R_t, s_t^throughput, s_t^delay, s_t^sizes, s_t^buffer, a_t}` — every
+//! piece of state is treated as its own modality with its own encoder and
+//! projection, exactly the paper's "process them separately".
+//!
+//! Training samples a context window of `w` steps (Eq. 3) and minimises
+//! cross-entropy between the head's bitrate distribution at each state's
+//! final token and the recorded action (Eq. 4). At inference the model is
+//! prompted with a target return (the best behaviour-policy return in the
+//! dataset, slightly stretched) and the return-to-go is decremented by the
+//! realised per-chunk QoE.
+
+use crate::adapt::{AdaptMode, LoraSpec};
+use crate::heads::AbrHead;
+use crate::multimodal::{LearnedTokens, Projection, ScalarEncoder, SeriesEncoder};
+use nt_abr::{chunk_qoe, AbrObservation, AbrPolicy, QoeWeights};
+use nt_llm::zoo::LoadedLm;
+use nt_llm::TinyLm;
+use nt_nn::{clip_grad_norm, Adam, Fwd, ParamStore};
+use nt_tensor::{NodeId, Rng, Tensor};
+
+const FEAT: usize = 24;
+/// Tokens per trajectory step: return, throughput, delay, sizes, buffer, action.
+const TOK_PER_STEP: usize = 6;
+/// Reward scale: per-chunk QoE is divided by this before entering returns.
+const R_SCALE: f64 = 5.0;
+
+/// One step of recorded experience.
+#[derive(Clone, Debug)]
+pub struct AbrStep {
+    pub thr_hist: Vec<f64>,
+    pub delay_hist: Vec<f64>,
+    pub next_sizes: Vec<f64>,
+    pub buffer: f64,
+    pub action: usize,
+    pub reward: f64,
+}
+
+/// A full episode of experience.
+#[derive(Clone, Debug, Default)]
+pub struct AbrTrajectory {
+    pub steps: Vec<AbrStep>,
+}
+
+impl AbrTrajectory {
+    /// Scaled returns-to-go `R_t = sum_{i>=t} r_i / R_SCALE`.
+    pub fn returns_to_go(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.steps.len()];
+        let mut acc = 0.0f64;
+        for i in (0..self.steps.len()).rev() {
+            acc += self.steps[i].reward / R_SCALE;
+            out[i] = acc as f32;
+        }
+        out
+    }
+
+    pub fn total_return(&self) -> f64 {
+        self.steps.iter().map(|s| s.reward).sum::<f64>() / R_SCALE
+    }
+}
+
+/// Record experiences by wrapping any existing policy (the paper's
+/// `RL_Collect` API, Fig 9).
+pub struct AbrRecorder<'a> {
+    pub inner: &'a mut dyn AbrPolicy,
+    pub traj: AbrTrajectory,
+    weights: QoeWeights,
+    prev_bitrate: Option<f64>,
+    prev_buffer: f64,
+}
+
+impl<'a> AbrRecorder<'a> {
+    pub fn new(inner: &'a mut dyn AbrPolicy) -> Self {
+        AbrRecorder {
+            inner,
+            traj: AbrTrajectory::default(),
+            weights: QoeWeights::default(),
+            prev_bitrate: None,
+            prev_buffer: 0.0,
+        }
+    }
+}
+
+impl AbrPolicy for AbrRecorder<'_> {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.prev_bitrate = None;
+        self.prev_buffer = 0.0;
+    }
+
+    fn select(&mut self, obs: &AbrObservation) -> usize {
+        // Settle the previous step's reward now that its outcome is visible.
+        if let Some(prev) = self.traj.steps.last_mut() {
+            let download = *obs.delay_hist.last().unwrap_or(&0.0);
+            let rebuf = if obs.chunk_index <= 1 {
+                0.0
+            } else {
+                (download - self.prev_buffer).max(0.0)
+            };
+            let br = obs.ladder_mbps[prev.action];
+            prev.reward = chunk_qoe(&self.weights, br, rebuf, self.prev_bitrate);
+            self.prev_bitrate = Some(br);
+        }
+        let a = self.inner.select(obs);
+        self.prev_buffer = obs.buffer_secs;
+        self.traj.steps.push(AbrStep {
+            thr_hist: obs.throughput_hist.clone(),
+            delay_hist: obs.delay_hist.clone(),
+            next_sizes: obs.next_sizes.clone(),
+            buffer: obs.buffer_secs,
+            action: a,
+            reward: 0.0, // settled on the next call (or left 0 for the final chunk)
+        });
+        a
+    }
+}
+
+/// The adapted ABR model.
+pub struct NetLlmAbr {
+    pub lm: TinyLm,
+    pub store: ParamStore,
+    rtg_enc: ScalarEncoder,
+    thr_enc: SeriesEncoder,
+    delay_enc: SeriesEncoder,
+    sizes_enc: ScalarEncoder,
+    buf_enc: ScalarEncoder,
+    rtg_proj: Projection,
+    thr_proj: Projection,
+    delay_proj: Projection,
+    sizes_proj: Projection,
+    buf_proj: Projection,
+    action_tokens: LearnedTokens,
+    head: AbrHead,
+    pub window: usize,
+    pub mode: AdaptMode,
+    /// Target return used to prompt the model at inference.
+    pub target_return: f32,
+    // ---- inference episode state ----
+    episode: AbrTrajectory,
+    rtg_now: f32,
+    prev_bitrate: Option<f64>,
+    prev_buffer: f64,
+    weights: QoeWeights,
+}
+
+impl NetLlmAbr {
+    pub fn new(loaded: LoadedLm, mode: AdaptMode, lora: LoraSpec, window: usize, seed: u64) -> Self {
+        let LoadedLm { mut lm, mut store, .. } = loaded;
+        let mut rng = Rng::seeded(seed);
+        let d = lm.cfg.d_model;
+        assert!(window * TOK_PER_STEP <= lm.cfg.max_seq, "window too large for backbone");
+        let rtg_enc = ScalarEncoder::new(&mut store, "mm.rtg", 1, FEAT, &mut rng);
+        let thr_enc = SeriesEncoder::new(&mut store, "mm.thr", 1, FEAT, 3, &mut rng);
+        let delay_enc = SeriesEncoder::new(&mut store, "mm.delay", 1, FEAT, 3, &mut rng);
+        let sizes_enc = ScalarEncoder::new(&mut store, "mm.sizes", 6, FEAT, &mut rng);
+        let buf_enc = ScalarEncoder::new(&mut store, "mm.buf", 1, FEAT, &mut rng);
+        let rtg_proj = Projection::new(&mut store, "mm.rtg_tok", FEAT, d, &mut rng);
+        let thr_proj = Projection::new(&mut store, "mm.thr_tok", FEAT, d, &mut rng);
+        let delay_proj = Projection::new(&mut store, "mm.delay_tok", FEAT, d, &mut rng);
+        let sizes_proj = Projection::new(&mut store, "mm.sizes_tok", FEAT, d, &mut rng);
+        let buf_proj = Projection::new(&mut store, "mm.buf_tok", FEAT, d, &mut rng);
+        let action_tokens = LearnedTokens::new(&mut store, "mm.abr_actions", 6, d, &mut rng);
+        let head = AbrHead::new(&mut store, d, 6, &mut rng);
+        mode.apply(&mut lm, &mut store, lora, &mut rng);
+        NetLlmAbr {
+            lm,
+            store,
+            rtg_enc,
+            thr_enc,
+            delay_enc,
+            sizes_enc,
+            buf_enc,
+            rtg_proj,
+            thr_proj,
+            delay_proj,
+            sizes_proj,
+            buf_proj,
+            action_tokens,
+            head,
+            window,
+            mode,
+            target_return: 0.0,
+            episode: AbrTrajectory::default(),
+            rtg_now: 0.0,
+            prev_bitrate: None,
+            prev_buffer: 0.0,
+            weights: QoeWeights::default(),
+        }
+    }
+
+    /// Tokenise window steps; the final step may omit its action token (at
+    /// inference the action is what we are about to predict). Returns
+    /// `(tokens [n, d], state-final token positions per step)`.
+    fn tokenize(
+        &self,
+        f: &mut Fwd,
+        steps: &[AbrStep],
+        rtgs: &[f32],
+        include_last_action: bool,
+    ) -> (NodeId, Vec<usize>) {
+        assert!(!steps.is_empty());
+        let mut groups: Vec<NodeId> = Vec::new();
+        let mut read_positions = Vec::with_capacity(steps.len());
+        let mut pos = 0usize;
+        for (i, s) in steps.iter().enumerate() {
+            let rtg_feat = self.rtg_enc.forward(f, &self.store, &Tensor::from_vec([1, 1], vec![rtgs[i]]));
+            groups.push(self.rtg_proj.forward(f, &self.store, rtg_feat));
+            let thr = padded_series(&s.thr_hist, 8, 0.1);
+            let thr_feat = self.thr_enc.forward_pooled(f, &self.store, &thr);
+            groups.push(self.thr_proj.forward(f, &self.store, thr_feat));
+            let dl = padded_series(&s.delay_hist, 8, 0.1);
+            let dl_feat = self.delay_enc.forward_pooled(f, &self.store, &dl);
+            groups.push(self.delay_proj.forward(f, &self.store, dl_feat));
+            let sizes = Tensor::from_vec(
+                [1, 6],
+                (0..6).map(|r| s.next_sizes.get(r).map(|&x| (x / 20.0) as f32).unwrap_or(0.0)).collect(),
+            );
+            let sz_feat = self.sizes_enc.forward(f, &self.store, &sizes);
+            groups.push(self.sizes_proj.forward(f, &self.store, sz_feat));
+            let buf_feat = self
+                .buf_enc
+                .forward(f, &self.store, &Tensor::from_vec([1, 1], vec![(s.buffer / 30.0) as f32]));
+            groups.push(self.buf_proj.forward(f, &self.store, buf_feat));
+            pos += 5;
+            read_positions.push(pos - 1); // the buffer token closes the state
+            if i + 1 < steps.len() || include_last_action {
+                groups.push(self.action_tokens.get(f, &self.store, &[s.action.min(5)]));
+                pos += 1;
+            }
+        }
+        (f.g.concat(&groups, 0), read_positions)
+    }
+
+    /// Action logits for every step in the window: `[w, 6]`.
+    fn window_logits(
+        &self,
+        f: &mut Fwd,
+        steps: &[AbrStep],
+        rtgs: &[f32],
+        include_last_action: bool,
+    ) -> NodeId {
+        let (tokens, reads) = self.tokenize(f, steps, rtgs, include_last_action);
+        let hidden = self.lm.forward_embeddings(f, &self.store, tokens);
+        let rows: Vec<NodeId> =
+            reads.iter().map(|&p| f.g.narrow(hidden, 0, p, 1)).collect();
+        let gathered = f.g.concat(&rows, 0); // [w, d]
+        self.head.forward(f, &self.store, gathered)
+    }
+
+    /// Data-driven adaptation over a fixed experience dataset (collected
+    /// once — the key cost saving of Fig 3). Returns the tail-mean loss.
+    pub fn adapt(&mut self, dataset: &[AbrTrajectory], iters: usize, lr: f32, seed: u64) -> f32 {
+        assert!(!dataset.is_empty());
+        let usable: Vec<&AbrTrajectory> =
+            dataset.iter().filter(|t| t.steps.len() >= 2).collect();
+        assert!(!usable.is_empty(), "trajectories too short");
+        // Target return for inference: best behaviour return, stretched 10%.
+        let best = usable.iter().map(|t| t.total_return()).fold(f64::MIN, f64::max);
+        self.target_return = (best * 1.1) as f32;
+
+        let mut rng = Rng::seeded(seed);
+        let mut opt = Adam::new(lr);
+        let tail_start = iters - (iters / 5).max(1);
+        let (mut tail, mut tail_n) = (0.0f64, 0usize);
+        for it in 0..iters {
+            let traj = usable[rng.below(usable.len())];
+            let rtgs = traj.returns_to_go();
+            let w = self.window.min(traj.steps.len());
+            let start = rng.below(traj.steps.len() - w + 1);
+            let steps = &traj.steps[start..start + w];
+            let rtg_slice = &rtgs[start..start + w];
+            let actions: Vec<usize> = steps.iter().map(|s| s.action).collect();
+            let mut f = Fwd::train(seed ^ it as u64);
+            let logits = self.window_logits(&mut f, steps, rtg_slice, true);
+            let loss = f.g.cross_entropy(logits, &actions);
+            let lv = f.g.value(loss).item();
+            if it >= tail_start {
+                tail += lv as f64;
+                tail_n += 1;
+            }
+            let mut grads = f.backward(loss);
+            clip_grad_norm(&mut grads, 1.0);
+            opt.step(&mut self.store, &grads);
+        }
+        (tail / tail_n.max(1) as f64) as f32
+    }
+}
+
+fn padded_series(xs: &[f64], len: usize, scale: f64) -> Tensor {
+    let mut v = vec![0.0f32; len];
+    for i in 0..len {
+        let idx = xs.len() as isize - len as isize + i as isize;
+        if idx >= 0 {
+            v[i] = (xs[idx as usize] * scale) as f32;
+        }
+    }
+    Tensor::from_vec([1, len], v)
+}
+
+impl AbrPolicy for NetLlmAbr {
+    fn name(&self) -> &str {
+        "NetLLM"
+    }
+
+    fn reset(&mut self) {
+        self.episode = AbrTrajectory::default();
+        self.rtg_now = self.target_return;
+        self.prev_bitrate = None;
+        self.prev_buffer = 0.0;
+    }
+
+    fn select(&mut self, obs: &AbrObservation) -> usize {
+        // Settle the previous chunk's realised QoE and decrement the
+        // return-to-go (the DT inference rule).
+        if let Some(prev) = self.episode.steps.last() {
+            let download = *obs.delay_hist.last().unwrap_or(&0.0);
+            let rebuf = if obs.chunk_index <= 1 {
+                0.0
+            } else {
+                (download - self.prev_buffer).max(0.0)
+            };
+            let br = obs.ladder_mbps[prev.action];
+            let r = chunk_qoe(&self.weights, br, rebuf, self.prev_bitrate);
+            self.rtg_now -= (r / R_SCALE) as f32;
+            self.prev_bitrate = Some(br);
+        }
+        self.prev_buffer = obs.buffer_secs;
+        self.episode.steps.push(AbrStep {
+            thr_hist: obs.throughput_hist.clone(),
+            delay_hist: obs.delay_hist.clone(),
+            next_sizes: obs.next_sizes.clone(),
+            buffer: obs.buffer_secs,
+            action: 0, // filled below
+            reward: 0.0,
+        });
+        let n = self.episode.steps.len();
+        let w = self.window.min(n);
+        let steps = self.episode.steps[n - w..].to_vec();
+        // Reconstruct the window's rtg sequence from the realised rewards.
+        let mut rtgs = vec![self.rtg_now; w];
+        for k in (0..w.saturating_sub(1)).rev() {
+            let future_reward = self.episode.steps[n - w + k].reward / R_SCALE;
+            rtgs[k] = rtgs[k + 1] + future_reward as f32;
+        }
+        let mut f = Fwd::eval();
+        let logits = self.window_logits(&mut f, &steps, &rtgs, false);
+        let lv = f.g.value(logits);
+        let last = lv.row(lv.shape()[0] - 1);
+        let mut best = 0usize;
+        for (i, &x) in last.iter().enumerate() {
+            if x > last[best] {
+                best = i;
+            }
+        }
+        self.episode.steps.last_mut().unwrap().action = best;
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_abr::{envivio_like, generate_set, run_session, Bba, SimConfig, TraceKind};
+    use nt_llm::{size_spec, Zoo};
+
+    fn backbone() -> LoadedLm {
+        Zoo::new(std::env::temp_dir().join("netllm-abr-test")).build_random(&size_spec("0.35b-sim"))
+    }
+
+    fn collect(n: usize) -> Vec<AbrTrajectory> {
+        let video = envivio_like(&mut Rng::seeded(1));
+        let traces = generate_set(TraceKind::FccLike, n, 250, &mut Rng::seeded(2));
+        let cfg = SimConfig::default();
+        let w = QoeWeights::default();
+        traces
+            .iter()
+            .map(|t| {
+                let mut bba = Bba::default();
+                let mut rec = AbrRecorder::new(&mut bba);
+                run_session(&mut rec, &video, t, &cfg, &w);
+                rec.traj
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recorder_captures_full_sessions_with_rewards() {
+        let trajs = collect(2);
+        for t in &trajs {
+            assert_eq!(t.steps.len(), 48);
+            // all but the final step have settled rewards
+            let settled = t.steps[..47].iter().filter(|s| s.reward != 0.0).count();
+            assert!(settled > 40, "rewards should settle, got {settled}");
+        }
+    }
+
+    #[test]
+    fn returns_to_go_are_decreasing_for_positive_rewards() {
+        let mut traj = AbrTrajectory::default();
+        for r in [1.0, 2.0, 3.0] {
+            traj.steps.push(AbrStep {
+                thr_hist: vec![],
+                delay_hist: vec![],
+                next_sizes: vec![1.0; 6],
+                buffer: 10.0,
+                action: 0,
+                reward: r,
+            });
+        }
+        let rtg = traj.returns_to_go();
+        assert!(rtg[0] > rtg[1] && rtg[1] > rtg[2]);
+        assert!((rtg[0] as f64 - 6.0 / R_SCALE).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adapted_model_streams_and_answers_are_valid() {
+        let trajs = collect(2);
+        let mut m = NetLlmAbr::new(backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 4, 3);
+        m.adapt(&trajs, 6, 1e-3, 4);
+        let video = envivio_like(&mut Rng::seeded(5));
+        let traces = generate_set(TraceKind::FccLike, 1, 250, &mut Rng::seeded(6));
+        let (stats, recs) =
+            run_session(&mut m, &video, &traces[0], &SimConfig::default(), &QoeWeights::default());
+        assert_eq!(recs.len(), 48);
+        assert!(recs.iter().all(|r| r.rung < 6), "every answer must be a valid rung");
+        assert!(stats.qoe_per_chunk.is_finite());
+    }
+
+    #[test]
+    fn adaptation_reduces_loss() {
+        let trajs = collect(3);
+        let mut m = NetLlmAbr::new(backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 4, 7);
+        let early = m.adapt(&trajs, 6, 1e-3, 8);
+        let late = m.adapt(&trajs, 30, 1e-3, 9);
+        assert!(late < early, "imitation loss should drop: {early} -> {late}");
+    }
+}

@@ -1,0 +1,329 @@
+//! NetLLM adapter for cluster job scheduling (data-driven RL, graph
+//! modality).
+//!
+//! Experiences are collected once with an existing scheduler (Decima, as in
+//! the paper). Each decision is return-conditioned; the state is the stage
+//! DAG encoded by the GNN feature encoder. Token layout:
+//!
+//! ```text
+//! history (w-1 steps):  [rtg_i, graph_i(pooled), action_i(cap)]
+//! current step:         [rtg_t, graph_t(pooled), cand_1 .. cand_C]
+//! ```
+//!
+//! The stage head scores the candidate token positions (guaranteeing the
+//! chosen stage exists), the cap head reads the current pooled-graph
+//! position. History actions are compressed to their cap embedding — the
+//! stage choice's effect is already visible in the next graph snapshot.
+//! This is the documented simplification of Eq. (2)'s full action
+//! factorisation (see DESIGN.md).
+
+use crate::adapt::{AdaptMode, LoraSpec};
+use crate::heads::CjsHeads;
+use crate::multimodal::{GraphEncoder, LearnedTokens, Projection, ScalarEncoder};
+use nt_cjs::{snapshot, Decision, GraphSnapshot, SchedView, Scheduler, CAP_FRACS, NODE_FEATS};
+use nt_llm::zoo::LoadedLm;
+use nt_llm::TinyLm;
+use nt_nn::{clip_grad_norm, Adam, Fwd, ParamStore};
+use nt_tensor::{NodeId, Rng, Tensor};
+
+const FEAT: usize = 24;
+/// Cap on candidate tokens per decision (token-budget guard; beyond this
+/// the earliest candidates are kept).
+pub const MAX_CANDS: usize = 24;
+/// Return scale.
+const R_SCALE: f64 = 200.0;
+
+/// One recorded scheduling decision.
+#[derive(Clone, Debug)]
+pub struct CjsStep {
+    pub snap: GraphSnapshot,
+    pub stage_choice: usize,
+    pub cap_choice: usize,
+    pub time: f64,
+    /// Return-to-go (scaled), filled post-episode.
+    pub rtg: f32,
+}
+
+/// One episode (workload run) of experience.
+#[derive(Clone, Debug, Default)]
+pub struct CjsTrajectory {
+    pub steps: Vec<CjsStep>,
+}
+
+/// Collect one episode of experience with an existing scheduler.
+pub fn collect_episode(
+    scheduler: &mut dyn Scheduler,
+    jobs: &[nt_cjs::Job],
+    executors: usize,
+) -> CjsTrajectory {
+    let mut steps: Vec<CjsStep> = Vec::new();
+    let stats = {
+        let mut hook = |view: &SchedView, d: &Decision| {
+            // Map the decision cap back onto the menu (closest fraction).
+            let frac = d.cap as f64 / view.total_executors.max(1) as f64;
+            let mut cap_choice = CAP_FRACS.len() - 1;
+            for (i, &cf) in CAP_FRACS.iter().enumerate() {
+                if frac <= cf {
+                    cap_choice = i;
+                    break;
+                }
+            }
+            steps.push(CjsStep {
+                snap: snapshot(view),
+                stage_choice: d.candidate,
+                cap_choice,
+                time: view.now,
+                rtg: 0.0,
+            });
+        };
+        nt_cjs::run_workload(scheduler, jobs, executors, Some(&mut hook))
+    };
+    // Exact return-to-go of the active-jobs integral from each decision time.
+    let finishes: Vec<f64> = jobs.iter().zip(&stats.jcts).map(|(j, &jct)| j.arrival + jct).collect();
+    for s in &mut steps {
+        let mut integral = 0.0f64;
+        for (j, &fin) in jobs.iter().zip(&finishes) {
+            integral += (fin - j.arrival.max(s.time)).max(0.0);
+        }
+        s.rtg = (-integral / R_SCALE) as f32;
+    }
+    CjsTrajectory { steps }
+}
+
+/// The adapted CJS model.
+pub struct NetLlmCjs {
+    pub lm: TinyLm,
+    pub store: ParamStore,
+    graph_enc: GraphEncoder,
+    graph_proj: Projection,
+    node_proj: Projection,
+    rtg_enc: ScalarEncoder,
+    rtg_proj: Projection,
+    action_tokens: LearnedTokens,
+    heads: CjsHeads,
+    pub window: usize,
+    pub mode: AdaptMode,
+    pub target_return: f32,
+    // ---- inference state ----
+    episode: Vec<(f32, GraphSnapshot, usize)>, // (rtg, snap, cap_choice)
+    rtg_now: f32,
+    last_decision_time: f64,
+}
+
+impl NetLlmCjs {
+    pub fn new(loaded: LoadedLm, mode: AdaptMode, lora: LoraSpec, window: usize, seed: u64) -> Self {
+        let LoadedLm { mut lm, mut store, .. } = loaded;
+        let mut rng = Rng::seeded(seed);
+        let d = lm.cfg.d_model;
+        assert!(
+            (window - 1) * 3 + 2 + MAX_CANDS <= lm.cfg.max_seq,
+            "window {window} + candidates exceed backbone max_seq"
+        );
+        let graph_enc = GraphEncoder::new(&mut store, "mm.dag", NODE_FEATS, FEAT, &mut rng);
+        let graph_proj = Projection::new(&mut store, "mm.dag_tok", FEAT, d, &mut rng);
+        let node_proj = Projection::new(&mut store, "mm.node_tok", FEAT, d, &mut rng);
+        let rtg_enc = ScalarEncoder::new(&mut store, "mm.cjs_rtg", 1, FEAT, &mut rng);
+        let rtg_proj = Projection::new(&mut store, "mm.cjs_rtg_tok", FEAT, d, &mut rng);
+        let action_tokens =
+            LearnedTokens::new(&mut store, "mm.cjs_actions", CAP_FRACS.len(), d, &mut rng);
+        let heads = CjsHeads::new(&mut store, d, CAP_FRACS.len(), &mut rng);
+        mode.apply(&mut lm, &mut store, lora, &mut rng);
+        NetLlmCjs {
+            lm,
+            store,
+            graph_enc,
+            graph_proj,
+            node_proj,
+            rtg_enc,
+            rtg_proj,
+            action_tokens,
+            heads,
+            window,
+            mode,
+            target_return: 0.0,
+            episode: Vec::new(),
+            rtg_now: 0.0,
+            last_decision_time: 0.0,
+        }
+    }
+
+    /// Build tokens for a window ending at the current decision. Returns
+    /// `(stage_logits [1, c], cap_logits [1, K])` where `c` is the
+    /// (possibly truncated) candidate count.
+    fn decision_logits(
+        &self,
+        f: &mut Fwd,
+        history: &[(f32, GraphSnapshot, usize)],
+        rtg_now: f32,
+        snap: &GraphSnapshot,
+    ) -> (NodeId, NodeId) {
+        let mut groups: Vec<NodeId> = Vec::new();
+        let mut pos = 0usize;
+        for (rtg, hsnap, cap) in history {
+            let rt = self.rtg_token(f, *rtg);
+            groups.push(rt);
+            let nodes = self.graph_enc.forward(f, &self.store, &hsnap.feats, &hsnap.adj);
+            let pooled = f.g.mean_axis(nodes, 0);
+            let pooled = f.g.reshape(pooled, [1, FEAT]);
+            groups.push(self.graph_proj.forward(f, &self.store, pooled));
+            groups.push(self.action_tokens.get(f, &self.store, &[*cap]));
+            pos += 3;
+        }
+        let rt = self.rtg_token(f, rtg_now);
+        groups.push(rt);
+        let nodes = self.graph_enc.forward(f, &self.store, &snap.feats, &snap.adj);
+        let pooled = f.g.mean_axis(nodes, 0);
+        let pooled = f.g.reshape(pooled, [1, FEAT]);
+        groups.push(self.graph_proj.forward(f, &self.store, pooled));
+        let pooled_pos = pos + 1;
+        let c = snap.candidates.len().min(MAX_CANDS);
+        let cand_feats = f.g.rows(nodes, &snap.candidates[..c]);
+        groups.push(self.node_proj.forward(f, &self.store, cand_feats));
+        let first_cand = pos + 2;
+
+        let tokens = f.g.concat(&groups, 0);
+        let hidden = self.lm.forward_embeddings(f, &self.store, tokens);
+        let cand_hidden = f.g.narrow(hidden, 0, first_cand, c);
+        let stage_logits = self.heads.stage_logits(f, &self.store, cand_hidden);
+        let pooled_hidden = f.g.narrow(hidden, 0, pooled_pos, 1);
+        let cap_logits = self.heads.cap_logits(f, &self.store, pooled_hidden);
+        (stage_logits, cap_logits)
+    }
+
+    fn rtg_token(&self, f: &mut Fwd, rtg: f32) -> NodeId {
+        let feat = self.rtg_enc.forward(f, &self.store, &Tensor::from_vec([1, 1], vec![rtg]));
+        self.rtg_proj.forward(f, &self.store, feat)
+    }
+
+    /// Data-driven adaptation on collected trajectories.
+    pub fn adapt(&mut self, dataset: &[CjsTrajectory], iters: usize, lr: f32, seed: u64) -> f32 {
+        let usable: Vec<&CjsTrajectory> = dataset.iter().filter(|t| !t.steps.is_empty()).collect();
+        assert!(!usable.is_empty(), "empty experience dataset");
+        let best = usable
+            .iter()
+            .map(|t| t.steps.first().map(|s| s.rtg).unwrap_or(f32::MIN))
+            .fold(f32::MIN, f32::max);
+        self.target_return = best * 0.95; // returns are negative; 0.95 stretches toward 0
+
+        let mut rng = Rng::seeded(seed);
+        let mut opt = Adam::new(lr);
+        let tail_start = iters - (iters / 5).max(1);
+        let (mut tail, mut tail_n) = (0.0f64, 0usize);
+        for it in 0..iters {
+            let traj = usable[rng.below(usable.len())];
+            let t = rng.below(traj.steps.len());
+            let h0 = t.saturating_sub(self.window - 1);
+            let history: Vec<(f32, GraphSnapshot, usize)> = traj.steps[h0..t]
+                .iter()
+                .map(|s| (s.rtg, s.snap.clone(), s.cap_choice))
+                .collect();
+            let step = &traj.steps[t];
+            if step.snap.candidates.is_empty() || step.stage_choice >= MAX_CANDS {
+                continue;
+            }
+            let mut f = Fwd::train(seed ^ it as u64);
+            let (sl, cl) = self.decision_logits(&mut f, &history, step.rtg, &step.snap);
+            let c = f.g.value(sl).shape()[1];
+            if step.stage_choice >= c {
+                continue;
+            }
+            let ls = f.g.cross_entropy(sl, &[step.stage_choice]);
+            let lc = f.g.cross_entropy(cl, &[step.cap_choice]);
+            let loss = f.g.add(ls, lc);
+            let lv = f.g.value(loss).item();
+            if it >= tail_start {
+                tail += lv as f64;
+                tail_n += 1;
+            }
+            let mut grads = f.backward(loss);
+            clip_grad_norm(&mut grads, 1.0);
+            opt.step(&mut self.store, &grads);
+        }
+        (tail / tail_n.max(1) as f64) as f32
+    }
+}
+
+impl Scheduler for NetLlmCjs {
+    fn name(&self) -> &str {
+        "NetLLM"
+    }
+
+    fn reset(&mut self) {
+        self.episode.clear();
+        self.rtg_now = self.target_return;
+        self.last_decision_time = 0.0;
+    }
+
+    fn decide(&mut self, view: &SchedView) -> Option<Decision> {
+        if view.candidates.is_empty() {
+            return None;
+        }
+        // Decrement return-to-go by the realised cost since the last
+        // decision: active jobs x elapsed time.
+        let active = view.jobs.iter().filter(|j| j.arrived && !j.completed).count();
+        let dt = (view.now - self.last_decision_time).max(0.0);
+        self.rtg_now += (dt * active as f64 / R_SCALE) as f32; // cost is negative return
+        self.last_decision_time = view.now;
+
+        let snap = snapshot(view);
+        let h0 = self.episode.len().saturating_sub(self.window - 1);
+        let history = self.episode[h0..].to_vec();
+        let mut f = Fwd::eval();
+        let (sl, cl) = self.decision_logits(&mut f, &history, self.rtg_now, &snap);
+        let stage = f.g.value(sl).argmax();
+        let cap_idx = f.g.value(cl).argmax();
+        let cap = (CAP_FRACS[cap_idx] * view.total_executors as f64).ceil() as usize;
+        self.episode.push((self.rtg_now, snap, cap_idx));
+        Some(Decision { candidate: stage, cap: cap.max(1) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_cjs::{generate_workload, run_workload, Srpt, WorkloadConfig};
+    use nt_llm::{size_spec, Zoo};
+
+    fn backbone() -> LoadedLm {
+        Zoo::new(std::env::temp_dir().join("netllm-cjs-test")).build_random(&size_spec("0.35b-sim"))
+    }
+
+    fn jobs(n: usize, seed: u64) -> Vec<nt_cjs::Job> {
+        generate_workload(&WorkloadConfig { num_jobs: n, mean_interarrival: 1.5, seed })
+    }
+
+    #[test]
+    fn collect_episode_fills_rtg_monotonically() {
+        let w = jobs(6, 1);
+        let traj = collect_episode(&mut Srpt, &w, 8);
+        assert!(!traj.steps.is_empty());
+        // Returns-to-go are negative and increase toward 0 over time.
+        for win in traj.steps.windows(2) {
+            assert!(win[0].rtg <= win[1].rtg + 1e-4);
+        }
+        assert!(traj.steps[0].rtg < 0.0);
+    }
+
+    #[test]
+    fn adapted_model_schedules_complete_workloads() {
+        let train = vec![
+            collect_episode(&mut Srpt, &jobs(5, 2), 8),
+            collect_episode(&mut Srpt, &jobs(5, 3), 8),
+        ];
+        let mut m = NetLlmCjs::new(backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 4, 4);
+        m.adapt(&train, 8, 1e-3, 5);
+        let test = jobs(6, 9);
+        let stats = run_workload(&mut m, &test, 8, None);
+        assert_eq!(stats.jcts.len(), 6);
+        assert!(stats.mean_jct() > 0.0);
+    }
+
+    #[test]
+    fn adaptation_reduces_imitation_loss() {
+        let train = vec![collect_episode(&mut Srpt, &jobs(6, 6), 8)];
+        let mut m = NetLlmCjs::new(backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 4, 7);
+        let early = m.adapt(&train, 6, 1e-3, 8);
+        let late = m.adapt(&train, 30, 1e-3, 9);
+        assert!(late < early, "loss should drop: {early} -> {late}");
+    }
+}

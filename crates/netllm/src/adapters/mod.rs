@@ -1,0 +1,6 @@
+//! Per-task adapters: the glue between the NetLLM framework modules
+//! (multimodal encoder, networking heads, DD-LRNA) and each use case.
+
+pub mod abr;
+pub mod cjs;
+pub mod vp;

@@ -1,0 +1,225 @@
+//! NetLLM adapter for viewport prediction (SL pipeline of DD-LRNA).
+//!
+//! Token layout per sample:
+//! `[saliency patches | history-delta tokens | pw query tokens]`.
+//! The multimodal encoder produces the first two groups (ViT-lite patches
+//! and 1-D CNN per-step features); the query tokens are learned
+//! placeholders, one per future step. The backbone runs once, the VP head
+//! maps the hidden states at the query positions to per-step viewport
+//! deltas — a complete, always-valid answer in a single inference.
+
+use crate::adapt::{AdaptMode, LoraSpec};
+use crate::heads::VpHead;
+use crate::multimodal::{ImageEncoder, LearnedTokens, Projection, SeriesEncoder};
+use nt_llm::zoo::LoadedLm;
+use nt_llm::TinyLm;
+use nt_nn::{clip_grad_norm, Adam, Fwd, ParamStore};
+use nt_tensor::{NodeId, Rng, Tensor};
+use nt_vp::{apply_deltas, to_deltas, Viewport, VpPredictor, VpSample, GRID};
+
+/// Degrees per network unit (same convention as TRACK).
+const DELTA_SCALE: f32 = 5.0;
+const FEAT: usize = 24;
+
+/// The adapted model.
+pub struct NetLlmVp {
+    pub lm: TinyLm,
+    pub store: ParamStore,
+    img_enc: ImageEncoder,
+    vp_enc: SeriesEncoder,
+    img_proj: Projection,
+    vp_proj: Projection,
+    queries: LearnedTokens,
+    head: VpHead,
+    pub max_pw: usize,
+    pub mode: AdaptMode,
+}
+
+impl NetLlmVp {
+    /// Build from a backbone. `mode` selects the Fig-13 knowledge ablation;
+    /// `lora` is ignored for [`AdaptMode::NoDomain`] (adapters disabled) and
+    /// [`AdaptMode::NoPretrain`] (full training, no adapters needed).
+    pub fn new(loaded: LoadedLm, mode: AdaptMode, lora: LoraSpec, max_pw: usize, seed: u64) -> Self {
+        let LoadedLm { mut lm, mut store, .. } = loaded;
+        let mut rng = Rng::seeded(seed);
+        let d = lm.cfg.d_model;
+        let img_enc = ImageEncoder::new(&mut store, "mm.img", GRID, 4, FEAT, &mut rng);
+        let vp_enc = SeriesEncoder::new(&mut store, "mm.vp", 3, FEAT, 3, &mut rng);
+        let img_proj = Projection::new(&mut store, "mm.img_to_tok", FEAT, d, &mut rng);
+        let vp_proj = Projection::new(&mut store, "mm.vp_to_tok", FEAT, d, &mut rng);
+        let queries = LearnedTokens::new(&mut store, "mm.vp_queries", max_pw, d, &mut rng);
+        let head = VpHead::new(&mut store, d, &mut rng);
+        mode.apply(&mut lm, &mut store, lora, &mut rng);
+        NetLlmVp { lm, store, img_enc, vp_enc, img_proj, vp_proj, queries, head, max_pw, mode }
+    }
+
+    /// Build the token sequence and return the delta-prediction node
+    /// `[pw, 3]` (network units).
+    fn forward(&self, f: &mut Fwd, sample: &VpSample, pw: usize) -> NodeId {
+        assert!(pw <= self.max_pw, "pw {pw} exceeds max_pw {}", self.max_pw);
+        let hist_deltas = to_deltas(&sample.history);
+        let t = hist_deltas.len();
+        let mut flat = Vec::with_capacity(3 * t);
+        for c in 0..3 {
+            for d in &hist_deltas {
+                flat.push(d[c] / DELTA_SCALE);
+            }
+        }
+        let series = Tensor::from_vec([3, t], flat);
+
+        let img_feats = self.img_enc.forward(f, &self.store, &sample.saliency);
+        let img_tokens = self.img_proj.forward(f, &self.store, img_feats);
+        let vp_feats = self.vp_enc.forward_steps(f, &self.store, &series);
+        let vp_tokens = self.vp_proj.forward(f, &self.store, vp_feats);
+        let q_idx: Vec<usize> = (0..pw).collect();
+        let q_tokens = self.queries.get(f, &self.store, &q_idx);
+        let tokens = f.g.concat(&[img_tokens, vp_tokens, q_tokens], 0);
+        let hidden = self.lm.forward_embeddings(f, &self.store, tokens);
+        let total = f.g.value(hidden).shape()[0];
+        let query_hidden = f.g.narrow(hidden, 0, total - pw, pw);
+        self.head.forward(f, &self.store, query_hidden)
+    }
+
+    /// Supervised adaptation over extracted samples. Returns the mean loss
+    /// of the final 20% of steps.
+    pub fn adapt(&mut self, samples: &[VpSample], iters: usize, lr: f32, seed: u64) -> f32 {
+        assert!(!samples.is_empty());
+        let mut rng = Rng::seeded(seed);
+        let mut opt = Adam::new(lr);
+        let tail_start = iters - (iters / 5).max(1);
+        let mut tail = 0.0f64;
+        let mut tail_n = 0usize;
+        for it in 0..iters {
+            let s = &samples[rng.below(samples.len())];
+            let mut full = vec![*s.history.last().unwrap()];
+            full.extend_from_slice(&s.future);
+            let targets = to_deltas(&full);
+            let pw = targets.len().min(self.max_pw);
+            let mut f = Fwd::train(seed ^ it as u64);
+            let pred = self.forward(&mut f, s, pw);
+            let mut tflat = Vec::with_capacity(pw * 3);
+            for d in &targets[..pw] {
+                tflat.extend(d.iter().map(|x| x / DELTA_SCALE));
+            }
+            let tgt = f.input(Tensor::from_vec([pw, 3], tflat));
+            let loss = f.g.mse(pred, tgt);
+            let lv = f.g.value(loss).item();
+            if it >= tail_start {
+                tail += lv as f64;
+                tail_n += 1;
+            }
+            let mut grads = f.backward(loss);
+            clip_grad_norm(&mut grads, 1.0);
+            opt.step(&mut self.store, &grads);
+        }
+        (tail / tail_n.max(1) as f64) as f32
+    }
+
+    /// Peak training-step memory in bytes (tape activations + gradients +
+    /// parameter training state) — the Fig 4 measurement.
+    pub fn training_step_bytes(&self, sample: &VpSample, pw: usize) -> usize {
+        let mut f = Fwd::train(0);
+        let pred = self.forward(&mut f, sample, pw);
+        let tgt = f.input(Tensor::zeros([pw, 3]));
+        let loss = f.g.mse(pred, tgt);
+        let _ = f.backward(loss);
+        f.peak_bytes() + self.store.bytes_params() + self.store.bytes_training_state()
+    }
+}
+
+impl VpPredictor for NetLlmVp {
+    fn name(&self) -> &str {
+        "NetLLM"
+    }
+
+    fn predict(&mut self, sample: &VpSample, pw: usize) -> Vec<Viewport> {
+        let pw_model = pw.min(self.max_pw);
+        let mut f = Fwd::eval();
+        let node = self.forward(&mut f, sample, pw_model);
+        let v = f.g.value(node);
+        let mut deltas: Vec<[f32; 3]> = (0..pw_model)
+            .map(|i| {
+                [
+                    v.at(&[i, 0]) * DELTA_SCALE,
+                    v.at(&[i, 1]) * DELTA_SCALE,
+                    v.at(&[i, 2]) * DELTA_SCALE,
+                ]
+            })
+            .collect();
+        // Horizons beyond max_pw: hold the final predicted velocity, decayed.
+        while deltas.len() < pw {
+            let mut last = *deltas.last().unwrap();
+            for x in &mut last {
+                *x *= 0.9;
+            }
+            deltas.push(last);
+        }
+        apply_deltas(sample.history.last().unwrap(), &deltas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_llm::{size_spec, Zoo};
+    use nt_vp::{extract_samples, generate, jin2022_like, DatasetSpec};
+
+    fn tiny_backbone() -> LoadedLm {
+        let zoo = Zoo::new(std::env::temp_dir().join("netllm-vp-test"));
+        zoo.build_random(&size_spec("0.35b-sim"))
+    }
+
+    fn samples() -> Vec<VpSample> {
+        let ds = generate(&DatasetSpec { videos: 1, viewers: 2, secs: 20, ..jin2022_like() });
+        extract_samples(&ds, &[0], &[0, 1], 10, 20, 5, 30)
+    }
+
+    #[test]
+    fn predicts_valid_horizons() {
+        let mut m = NetLlmVp::new(tiny_backbone(), AdaptMode::NoDomain, LoraSpec::default(), 30, 1);
+        let ss = samples();
+        let p = m.predict(&ss[0], 20);
+        assert_eq!(p.len(), 20);
+        for v in &p {
+            assert!((-180.0..180.0).contains(&v[2]));
+            assert!((-90.0..=90.0).contains(&v[1]));
+        }
+        // longer-than-max horizons extend gracefully
+        assert_eq!(m.predict(&ss[0], 40).len(), 40);
+    }
+
+    #[test]
+    fn adaptation_reduces_loss() {
+        let mut m =
+            NetLlmVp::new(tiny_backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 20, 2);
+        let ss = samples();
+        let early = m.adapt(&ss, 8, 1e-3, 7);
+        let late = m.adapt(&ss, 40, 1e-3, 8);
+        assert!(late < early * 1.2, "loss should not increase: {early} -> {late}");
+    }
+
+    #[test]
+    fn lora_mode_trains_only_adapters_in_backbone() {
+        let m = NetLlmVp::new(tiny_backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 20, 3);
+        for id in m.store.ids() {
+            let name = m.store.name(id);
+            if name.starts_with("llm.") && m.store.is_trainable(id) {
+                assert!(
+                    name.contains("lora"),
+                    "only LoRA params may train in the backbone, found {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_pretrain_mode_trains_backbone_fully() {
+        let m = NetLlmVp::new(tiny_backbone(), AdaptMode::NoPretrain, LoraSpec::default(), 20, 4);
+        let trainable_backbone = m
+            .store
+            .ids()
+            .filter(|&id| m.store.name(id).starts_with("llm.") && m.store.is_trainable(id))
+            .count();
+        assert!(trainable_backbone > 5, "NoPretrain must train the backbone");
+    }
+}

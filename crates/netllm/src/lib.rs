@@ -1,0 +1,50 @@
+//! # netllm
+//!
+//! Reproduction of **NetLLM: Adapting Large Language Models for Networking**
+//! (Wu et al., ACM SIGCOMM 2024) — the framework itself. The three design
+//! modules map to:
+//!
+//! - [`multimodal`] — the multimodal encoder (§4.1): modality-specific
+//!   feature encoders (ViT-lite / 1D-CNN / FC / GNN) + trainable
+//!   projections into token space + layer-norm;
+//! - [`heads`] — networking heads (§4.2): one linear head per task,
+//!   answers always valid, one backbone inference per answer;
+//! - [`adapt`] + the `adapt()` methods in [`adapters`] — DD-LRNA (§4.3):
+//!   data-driven SL/RL pipelines with all backbone change constrained to
+//!   LoRA matrices.
+//!
+//! [`prompt`] implements the *alternatives* the paper measures against
+//! (prompt learning + token decoding, Fig 2). [`api`] exposes the Fig 9
+//! `RL_Collect`/`Adapt`/`Test` integration surface. [`settings`] encodes
+//! Tables 2–4 and the fidelity ladder.
+//!
+//! The backbone is the in-repo pre-trained [`nt_llm::TinyLm`] — see
+//! `DESIGN.md` for the substitution argument (repro band: candle/burn are
+//! not viable for LoRA-style LLM adaptation pipelines, so the stack is
+//! built from scratch at simulator scale).
+
+#![forbid(unsafe_code)]
+
+pub mod adapt;
+pub mod adapters;
+pub mod api;
+pub mod heads;
+pub mod multimodal;
+pub mod prompt;
+pub mod settings;
+
+pub use adapt::{AdaptMode, LoraSpec};
+pub use adapters::abr::{AbrRecorder, AbrStep, AbrTrajectory, NetLlmAbr};
+pub use adapters::cjs::{collect_episode, CjsStep, CjsTrajectory, NetLlmCjs};
+pub use adapters::vp::NetLlmVp;
+pub use api::{
+    adapt_abr, adapt_cjs, adapt_vp, build_abr_env, build_cjs_workloads, build_vp_data,
+    default_lora, rl_collect_abr, rl_collect_cjs, test_abr, test_cjs, Task, VpData,
+};
+pub use heads::{AbrHead, CjsHeads, VpHead};
+pub use prompt::{evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats};
+pub use settings::{
+    AbrSetting, CjsSetting, Fidelity, VpSetting, ABR_DEFAULT, ABR_UNSEEN1, ABR_UNSEEN2,
+    ABR_UNSEEN3, CJS_DEFAULT, CJS_UNSEEN1, CJS_UNSEEN2, CJS_UNSEEN3, VP_DEFAULT, VP_UNSEEN1,
+    VP_UNSEEN2, VP_UNSEEN3,
+};

@@ -1,0 +1,233 @@
+//! The multimodal encoder (paper §4.1).
+//!
+//! Modality-specific feature encoders turn raw task inputs into features;
+//! trainable linear projections map each modality into the LLM token space;
+//! a shared layer-norm stabilises the projected embeddings. The feature
+//! encoders mirror the paper's choices: a ViT-style patch encoder for
+//! images, 1-D CNN for time-series/sequence data, a fully connected layer
+//! for scalars, and a GNN for DAGs.
+
+use nt_nn::{Conv1d, Fwd, Gnn, Init, LayerNorm, Linear, ParamStore};
+use nt_tensor::{NodeId, Rng, Tensor};
+
+/// ViT-lite image encoder: non-overlapping patch embedding over a square
+/// grid image, mean-pooled into one feature vector. The projection into
+/// token space is separate (and always trainable), matching the paper's
+/// "frozen pre-trained encoder + trainable projection" split.
+pub struct ImageEncoder {
+    patch: Linear,
+    pub grid: usize,
+    pub patch_size: usize,
+    pub feat_dim: usize,
+}
+
+impl ImageEncoder {
+    pub fn new(store: &mut ParamStore, name: &str, grid: usize, patch_size: usize, feat_dim: usize, rng: &mut Rng) -> Self {
+        assert_eq!(grid % patch_size, 0, "grid must divide into patches");
+        let in_dim = patch_size * patch_size;
+        let patch = Linear::new(store, &format!("{name}.patch"), in_dim, feat_dim, true, Init::Xavier, rng);
+        ImageEncoder { patch, grid, patch_size, feat_dim }
+    }
+
+    /// Encode `[grid, grid]` image -> `[num_patches, feat_dim]` features.
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, img: &Tensor) -> NodeId {
+        assert_eq!(img.shape(), &[self.grid, self.grid], "image shape");
+        let p = self.patch_size;
+        let per_side = self.grid / p;
+        let mut patches = Vec::with_capacity(per_side * per_side * p * p);
+        for pr in 0..per_side {
+            for pc in 0..per_side {
+                for r in 0..p {
+                    for c in 0..p {
+                        patches.push(img.at(&[pr * p + r, pc * p + c]));
+                    }
+                }
+            }
+        }
+        let x = f.input(Tensor::from_vec([per_side * per_side, p * p], patches));
+        let feats = self.patch.forward(f, store, x);
+        f.g.gelu(feats)
+    }
+}
+
+/// 1-D CNN encoder for time-series and sequence inputs: one token per
+/// output channel position, or pooled to a single feature row.
+pub struct SeriesEncoder {
+    conv: Conv1d,
+    pub channels_in: usize,
+    pub feat_dim: usize,
+}
+
+impl SeriesEncoder {
+    pub fn new(store: &mut ParamStore, name: &str, channels_in: usize, feat_dim: usize, kernel: usize, rng: &mut Rng) -> Self {
+        let conv = Conv1d::new(store, &format!("{name}.conv"), channels_in, feat_dim, kernel, 1, kernel / 2, rng);
+        SeriesEncoder { conv, channels_in, feat_dim }
+    }
+
+    /// Encode `[channels_in, t]` -> `[t, feat_dim]` per-step features.
+    pub fn forward_steps(&self, f: &mut Fwd, store: &ParamStore, series: &Tensor) -> NodeId {
+        assert_eq!(series.shape().len(), 2);
+        assert_eq!(series.shape()[0], self.channels_in);
+        let t = series.shape()[1];
+        let x = f.input(series.clone().reshape([1, self.channels_in, t]));
+        let y = self.conv.forward(f, store, x); // [1, feat, t]
+        let y = f.g.gelu(y);
+        let y = f.g.reshape(y, [self.feat_dim, t]);
+        f.g.transpose_last2(y) // [t, feat]
+    }
+
+    /// Encode to a single pooled feature row `[1, feat_dim]`.
+    pub fn forward_pooled(&self, f: &mut Fwd, store: &ParamStore, series: &Tensor) -> NodeId {
+        let steps = self.forward_steps(f, store, series);
+        let pooled = f.g.mean_axis(steps, 0); // [feat]
+        f.g.reshape(pooled, [1, self.feat_dim])
+    }
+}
+
+/// Fully connected encoder for scalar (or small fixed-vector) inputs.
+pub struct ScalarEncoder {
+    fc: Linear,
+    pub in_dim: usize,
+    pub feat_dim: usize,
+}
+
+impl ScalarEncoder {
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, feat_dim: usize, rng: &mut Rng) -> Self {
+        let fc = Linear::new(store, &format!("{name}.fc"), in_dim, feat_dim, true, Init::Xavier, rng);
+        ScalarEncoder { fc, in_dim, feat_dim }
+    }
+
+    /// Encode `[n, in_dim]` -> `[n, feat_dim]`.
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, x: &Tensor) -> NodeId {
+        let xi = f.input(x.clone());
+        let y = self.fc.forward(f, store, xi);
+        f.g.gelu(y)
+    }
+}
+
+/// GNN encoder for DAG inputs (stage graphs in CJS).
+pub struct GraphEncoder {
+    pub gnn: Gnn,
+    pub feat_dim: usize,
+}
+
+impl GraphEncoder {
+    pub fn new(store: &mut ParamStore, name: &str, node_feats: usize, feat_dim: usize, rng: &mut Rng) -> Self {
+        let gnn = Gnn::new(store, &format!("{name}.gnn"), node_feats, feat_dim, feat_dim, 2, rng);
+        GraphEncoder { gnn, feat_dim }
+    }
+
+    /// Per-node features `[n, feat_dim]` from `(feats, adj)`.
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, feats: &Tensor, adj: &Tensor) -> NodeId {
+        let x = f.input(feats.clone());
+        let a = f.input(adj.clone());
+        self.gnn.forward(f, store, x, a)
+    }
+}
+
+/// Trainable projection of one modality's features into the LLM token
+/// space, plus the shared output layer-norm (paper Fig 6).
+pub struct Projection {
+    proj: Linear,
+    norm: LayerNorm,
+}
+
+impl Projection {
+    pub fn new(store: &mut ParamStore, name: &str, feat_dim: usize, d_model: usize, rng: &mut Rng) -> Self {
+        Projection {
+            proj: Linear::new(store, &format!("{name}.proj"), feat_dim, d_model, true, Init::Xavier, rng),
+            norm: LayerNorm::new(store, &format!("{name}.norm"), d_model),
+        }
+    }
+
+    /// `[n, feat_dim]` features -> `[n, d_model]` token-like embeddings.
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, feats: NodeId) -> NodeId {
+        let y = self.proj.forward(f, store, feats);
+        self.norm.forward(f, store, y)
+    }
+}
+
+/// Learned query/placeholder tokens (e.g. the VP head's future-step slots
+/// and the DT-style return token embedding base).
+pub struct LearnedTokens {
+    table: nt_nn::Embedding,
+}
+
+impl LearnedTokens {
+    pub fn new(store: &mut ParamStore, name: &str, count: usize, d_model: usize, rng: &mut Rng) -> Self {
+        LearnedTokens { table: nt_nn::Embedding::new(store, name, count, d_model, rng) }
+    }
+
+    /// Fetch tokens `[k, d_model]` by index.
+    pub fn get(&self, f: &mut Fwd, store: &ParamStore, idx: &[usize]) -> NodeId {
+        self.table.forward(f, store, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_encoder_patch_count() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(1);
+        let enc = ImageEncoder::new(&mut s, "img", 8, 4, 16, &mut rng);
+        let mut f = Fwd::eval();
+        let img = Tensor::randn([8, 8], 1.0, &mut rng);
+        let y = enc.forward(&mut f, &s, &img);
+        assert_eq!(f.g.value(y).shape(), &[4, 16]);
+    }
+
+    #[test]
+    fn series_encoder_shapes() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(2);
+        let enc = SeriesEncoder::new(&mut s, "ts", 3, 12, 3, &mut rng);
+        let mut f = Fwd::eval();
+        let series = Tensor::randn([3, 10], 1.0, &mut rng);
+        let steps = enc.forward_steps(&mut f, &s, &series);
+        assert_eq!(f.g.value(steps).shape(), &[10, 12]);
+        let pooled = enc.forward_pooled(&mut f, &s, &series);
+        assert_eq!(f.g.value(pooled).shape(), &[1, 12]);
+    }
+
+    #[test]
+    fn projection_normalises_output() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(3);
+        let proj = Projection::new(&mut s, "p", 8, 16, &mut rng);
+        let mut f = Fwd::eval();
+        let feats = f.input(Tensor::randn([5, 8], 3.0, &mut rng));
+        let y = proj.forward(&mut f, &s, feats);
+        let v = f.g.value(y);
+        assert_eq!(v.shape(), &[5, 16]);
+        for r in 0..5 {
+            let row = v.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-3, "layer-norm should centre rows, got {mean}");
+        }
+    }
+
+    #[test]
+    fn scalar_encoder_shapes() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(4);
+        let enc = ScalarEncoder::new(&mut s, "sc", 1, 8, &mut rng);
+        let mut f = Fwd::eval();
+        let y = enc.forward(&mut f, &s, &Tensor::from_vec([2, 1], vec![0.5, -0.5]));
+        assert_eq!(f.g.value(y).shape(), &[2, 8]);
+    }
+
+    #[test]
+    fn graph_encoder_shapes() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(5);
+        let enc = GraphEncoder::new(&mut s, "g", 8, 16, &mut rng);
+        let mut f = Fwd::eval();
+        let feats = Tensor::randn([4, 8], 1.0, &mut rng);
+        let adj = nt_nn::normalized_adjacency(4, &[(0, 1), (1, 2), (2, 3)]);
+        let y = enc.forward(&mut f, &s, &feats, &adj);
+        assert_eq!(f.g.value(y).shape(), &[4, 16]);
+    }
+}

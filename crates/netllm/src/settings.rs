@@ -1,0 +1,170 @@
+//! Experiment settings: Tables 2–4 presets and the fidelity ladder.
+//!
+//! `Fidelity` scales the *budgets* (dataset sizes, training iterations,
+//! numbers of evaluation traces), never the mechanics: `Smoke` keeps unit
+//! and integration tests fast, `Default` is what the figures binary uses,
+//! `Paper` is the highest-budget setting for final runs.
+
+use nt_abr::TraceKind;
+use nt_vp::{jin2022_like, wu2017_like, DatasetSpec};
+use serde::{Deserialize, Serialize};
+
+/// Budget scaling for experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Tiny budgets for tests (seconds).
+    Smoke,
+    /// Figure-regeneration budgets (minutes).
+    Default,
+    /// Largest budgets (tens of minutes).
+    Paper,
+}
+
+impl Fidelity {
+    /// Generic iteration scaler: `base` at Default.
+    pub fn iters(self, base: usize) -> usize {
+        match self {
+            Fidelity::Smoke => (base / 20).max(2),
+            Fidelity::Default => base,
+            Fidelity::Paper => base * 3,
+        }
+    }
+
+    /// Generic count scaler for datasets/traces.
+    pub fn count(self, base: usize) -> usize {
+        match self {
+            Fidelity::Smoke => (base / 10).max(2),
+            Fidelity::Default => base,
+            Fidelity::Paper => base * 2,
+        }
+    }
+}
+
+/// VP prediction setup (Table 2): windows in seconds at 5 Hz.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct VpSetting {
+    pub name: &'static str,
+    /// Which dataset profile ("jin2022-like" or "wu2017-like").
+    pub dataset: &'static str,
+    pub hw_secs: usize,
+    pub pw_secs: usize,
+}
+
+/// Table 2 rows.
+pub const VP_DEFAULT: VpSetting =
+    VpSetting { name: "default", dataset: "jin2022-like", hw_secs: 2, pw_secs: 4 };
+pub const VP_UNSEEN1: VpSetting =
+    VpSetting { name: "unseen1", dataset: "jin2022-like", hw_secs: 4, pw_secs: 6 };
+pub const VP_UNSEEN2: VpSetting =
+    VpSetting { name: "unseen2", dataset: "wu2017-like", hw_secs: 2, pw_secs: 4 };
+pub const VP_UNSEEN3: VpSetting =
+    VpSetting { name: "unseen3", dataset: "wu2017-like", hw_secs: 4, pw_secs: 6 };
+
+impl VpSetting {
+    pub fn dataset_spec(&self) -> DatasetSpec {
+        match self.dataset {
+            "jin2022-like" => jin2022_like(),
+            "wu2017-like" => wu2017_like(),
+            other => panic!("unknown VP dataset {other}"),
+        }
+    }
+
+    pub fn hw(&self) -> usize {
+        self.hw_secs * nt_vp::HZ
+    }
+
+    pub fn pw(&self) -> usize {
+        self.pw_secs * nt_vp::HZ
+    }
+}
+
+/// ABR setup (Table 3).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AbrSetting {
+    pub name: &'static str,
+    /// `false` = EnvivioDash3-like, `true` = SynthVideo.
+    pub synth_video: bool,
+    pub traces: TraceKind,
+}
+
+/// Table 3 rows.
+pub const ABR_DEFAULT: AbrSetting =
+    AbrSetting { name: "default", synth_video: false, traces: TraceKind::FccLike };
+pub const ABR_UNSEEN1: AbrSetting =
+    AbrSetting { name: "unseen1", synth_video: false, traces: TraceKind::SynthWide };
+pub const ABR_UNSEEN2: AbrSetting =
+    AbrSetting { name: "unseen2", synth_video: true, traces: TraceKind::FccLike };
+pub const ABR_UNSEEN3: AbrSetting =
+    AbrSetting { name: "unseen3", synth_video: true, traces: TraceKind::SynthWide };
+
+/// CJS setup (Table 4). The paper's 200 jobs / 50k executor units scale to
+/// 200 jobs / 50 executors here (executor units are fungible slots).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CjsSetting {
+    pub name: &'static str,
+    pub num_jobs: usize,
+    pub executors: usize,
+    pub mean_interarrival: f64,
+}
+
+/// Table 4 rows.
+pub const CJS_DEFAULT: CjsSetting =
+    CjsSetting { name: "default", num_jobs: 200, executors: 50, mean_interarrival: 1.5 };
+pub const CJS_UNSEEN1: CjsSetting =
+    CjsSetting { name: "unseen1", num_jobs: 200, executors: 30, mean_interarrival: 1.5 };
+pub const CJS_UNSEEN2: CjsSetting =
+    CjsSetting { name: "unseen2", num_jobs: 450, executors: 50, mean_interarrival: 1.5 };
+pub const CJS_UNSEEN3: CjsSetting =
+    CjsSetting { name: "unseen3", num_jobs: 450, executors: 30, mean_interarrival: 1.5 };
+
+impl CjsSetting {
+    /// Scale the job count by fidelity (evaluating 450-job workloads through
+    /// an LLM per decision is a Paper-budget affair).
+    pub fn scaled_jobs(&self, fidelity: Fidelity) -> usize {
+        match fidelity {
+            Fidelity::Smoke => (self.num_jobs / 20).max(5),
+            Fidelity::Default => (self.num_jobs / 5).max(10),
+            Fidelity::Paper => self.num_jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        assert_eq!(VP_DEFAULT.hw(), 10);
+        assert_eq!(VP_DEFAULT.pw(), 20);
+        assert_eq!(VP_UNSEEN1.hw(), 20);
+        assert_eq!(VP_UNSEEN1.pw(), 30);
+        assert_eq!(VP_UNSEEN2.dataset, "wu2017-like");
+        assert_eq!(VP_UNSEEN3.dataset, "wu2017-like");
+    }
+
+    #[test]
+    fn table3_matches_paper() {
+        assert!(matches!(ABR_UNSEEN1.traces, TraceKind::SynthWide));
+        assert!(!ABR_UNSEEN1.synth_video);
+        assert!(ABR_UNSEEN2.synth_video);
+        assert!(matches!(ABR_UNSEEN2.traces, TraceKind::FccLike));
+    }
+
+    #[test]
+    fn table4_matches_paper_ratios() {
+        assert_eq!(CJS_DEFAULT.num_jobs, 200);
+        assert_eq!(CJS_DEFAULT.executors, 50);
+        assert_eq!(CJS_UNSEEN1.executors, 30);
+        assert_eq!(CJS_UNSEEN2.num_jobs, 450);
+        assert_eq!(CJS_UNSEEN3.num_jobs, 450);
+        assert_eq!(CJS_UNSEEN3.executors, 30);
+    }
+
+    #[test]
+    fn fidelity_scales_monotonically() {
+        assert!(Fidelity::Smoke.iters(100) < Fidelity::Default.iters(100));
+        assert!(Fidelity::Default.iters(100) < Fidelity::Paper.iters(100));
+        assert!(Fidelity::Smoke.count(100) < Fidelity::Paper.count(100));
+    }
+}

@@ -1,0 +1,212 @@
+//! Multi-head self-attention and the pre-norm Transformer block.
+//!
+//! Heads are computed with per-head 2-D matmuls (simple, and fast enough at
+//! the model scales this workspace uses). Causal masking adds `-1e9` above
+//! the diagonal before the softmax.
+
+use crate::layers::{Init, LayerNorm, Linear, Mlp};
+use crate::store::{Fwd, ParamStore};
+use nt_tensor::{NodeId, Rng, Tensor};
+
+/// Multi-head self-attention over `[t, d]` sequences.
+#[derive(Clone, Debug)]
+pub struct MultiHeadAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    pub heads: usize,
+    pub dim: usize,
+}
+
+impl MultiHeadAttention {
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut Rng) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
+        let mk = |store: &mut ParamStore, n: &str, rng: &mut Rng| {
+            Linear::new(store, &format!("{name}.{n}"), dim, dim, false, Init::Xavier, rng)
+        };
+        MultiHeadAttention {
+            wq: mk(store, "wq", rng),
+            wk: mk(store, "wk", rng),
+            wv: mk(store, "wv", rng),
+            wo: mk(store, "wo", rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// All four projection layers (for LoRA attachment).
+    pub fn projections_mut(&mut self) -> [&mut Linear; 4] {
+        [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+
+    /// Self-attention over `x: [t, d]`; `causal` masks future positions.
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, x: NodeId, causal: bool) -> NodeId {
+        let t = f.g.value(x).shape()[0];
+        let dh = self.dim / self.heads;
+        let q = self.wq.forward(f, store, x);
+        let k = self.wk.forward(f, store, x);
+        let v = self.wv.forward(f, store, x);
+        let mask = causal.then(|| f.input(causal_mask(t)));
+
+        let mut head_outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = f.g.narrow(q, 1, h * dh, dh); // [t, dh]
+            let kh = f.g.narrow(k, 1, h * dh, dh);
+            let vh = f.g.narrow(v, 1, h * dh, dh);
+            let kt = f.g.transpose_last2(kh); // [dh, t]
+            let scores = f.g.matmul(qh, kt); // [t, t]
+            let scaled = f.g.scale(scores, 1.0 / (dh as f32).sqrt());
+            let masked = match mask {
+                Some(m) => f.g.add(scaled, m),
+                None => scaled,
+            };
+            let attn = f.g.softmax_last(masked);
+            head_outs.push(f.g.matmul(attn, vh)); // [t, dh]
+        }
+        let cat = f.g.concat(&head_outs, 1); // [t, d]
+        self.wo.forward(f, store, cat)
+    }
+}
+
+/// Upper-triangular `-1e9` mask (0 on and below the diagonal).
+pub fn causal_mask(t: usize) -> Tensor {
+    let mut m = Tensor::zeros([t, t]);
+    for i in 0..t {
+        for j in (i + 1)..t {
+            *m.at_mut(&[i, j]) = -1e9;
+        }
+    }
+    m
+}
+
+/// Pre-norm Transformer block: `x + attn(ln1(x))`, then `x + mlp(ln2(x))`.
+#[derive(Clone, Debug)]
+pub struct TransformerBlock {
+    pub ln1: LayerNorm,
+    pub attn: MultiHeadAttention,
+    pub ln2: LayerNorm,
+    pub mlp: Mlp,
+    pub dropout: f32,
+}
+
+impl TransformerBlock {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        mlp_mult: usize,
+        dropout: f32,
+        rng: &mut Rng,
+    ) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+            mlp: Mlp::new(store, &format!("{name}.mlp"), dim, dim * mlp_mult, rng),
+            dropout,
+        }
+    }
+
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, x: NodeId, causal: bool) -> NodeId {
+        let n1 = self.ln1.forward(f, store, x);
+        let a = self.attn.forward(f, store, n1, causal);
+        let a = f.g.dropout(a, self.dropout);
+        let x = f.g.add(x, a);
+        let n2 = self.ln2.forward(f, store, x);
+        let m = self.mlp.forward(f, store, n2);
+        let m = f.g.dropout(m, self.dropout);
+        f.g.add(x, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_output_shape() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(1);
+        let mha = MultiHeadAttention::new(&mut s, "a", 16, 4, &mut rng);
+        let mut f = Fwd::eval();
+        let x = f.input(Tensor::randn([6, 16], 1.0, &mut rng));
+        let y = mha.forward(&mut f, &s, x, true);
+        assert_eq!(f.g.value(y).shape(), &[6, 16]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let m = causal_mask(3);
+        assert_eq!(m.at(&[0, 0]), 0.0);
+        assert_eq!(m.at(&[2, 0]), 0.0);
+        assert!(m.at(&[0, 2]) < -1e8);
+    }
+
+    #[test]
+    fn causal_attention_ignores_future_tokens() {
+        // Changing a later token must not change an earlier position's output.
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(2);
+        let mha = MultiHeadAttention::new(&mut s, "a", 8, 2, &mut rng);
+        let base = Tensor::randn([4, 8], 1.0, &mut rng);
+        let mut modified = base.clone();
+        for j in 0..8 {
+            *modified.at_mut(&[3, j]) += 5.0;
+        }
+        let run = |x: Tensor| {
+            let mut f = Fwd::eval();
+            let xi = f.input(x);
+            let y = mha.forward(&mut f, &s, xi, true);
+            f.g.value(y).clone()
+        };
+        let y1 = run(base);
+        let y2 = run(modified);
+        for pos in 0..3 {
+            for j in 0..8 {
+                assert!(
+                    (y1.at(&[pos, j]) - y2.at(&[pos, j])).abs() < 1e-5,
+                    "position {pos} leaked future information"
+                );
+            }
+        }
+        // And the last position SHOULD change.
+        assert!((y1.at(&[3, 0]) - y2.at(&[3, 0])).abs() > 1e-6);
+    }
+
+    #[test]
+    fn non_causal_attention_sees_everything() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(3);
+        let mha = MultiHeadAttention::new(&mut s, "a", 8, 2, &mut rng);
+        let base = Tensor::randn([4, 8], 1.0, &mut rng);
+        let mut modified = base.clone();
+        *modified.at_mut(&[3, 0]) += 5.0;
+        let run = |x: Tensor| {
+            let mut f = Fwd::eval();
+            let xi = f.input(x);
+            let y = mha.forward(&mut f, &s, xi, false);
+            f.g.value(y).clone()
+        };
+        let y1 = run(base);
+        let y2 = run(modified);
+        assert!((y1.at(&[0, 0]) - y2.at(&[0, 0])).abs() > 1e-7);
+    }
+
+    #[test]
+    fn transformer_block_is_differentiable() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(4);
+        let blk = TransformerBlock::new(&mut s, "b0", 16, 2, 2, 0.0, &mut rng);
+        let mut f = Fwd::eval();
+        let x = f.input(Tensor::randn([5, 16], 1.0, &mut rng));
+        let y = blk.forward(&mut f, &s, x, true);
+        let l = f.g.mean_all(y);
+        let grads = f.backward(l);
+        assert!(grads.len() >= 10, "all block params should get grads, got {}", grads.len());
+        for (_, g) in &grads {
+            assert!(!g.has_non_finite(), "non-finite gradient");
+        }
+    }
+}

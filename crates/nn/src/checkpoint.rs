@@ -1,0 +1,235 @@
+//! Compact binary checkpoints for [`ParamStore`].
+//!
+//! Format (little-endian):
+//! ```text
+//! magic  "NTCK"            4 bytes
+//! version u32              4 bytes
+//! count   u32              number of parameters
+//! entry*  count times:
+//!   name_len u32, name bytes (utf-8)
+//!   trainable u8
+//!   rank u32, dims u32 * rank
+//!   f32 * numel data
+//! ```
+//!
+//! JSON would balloon a million-parameter model to tens of megabytes; the
+//! binary format keeps checkpoints at 4 bytes/param (+tiny header), which is
+//! what lets the model zoo cache pre-trained backbones between runs.
+
+use crate::store::ParamStore;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nt_tensor::Tensor;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NTCK";
+const VERSION: u32 = 1;
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(io::Error),
+    BadMagic,
+    BadVersion(u32),
+    Truncated,
+    /// Checkpoint parameter set does not match the store being restored.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a NTCK checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialise every parameter (data + trainable flag) to bytes.
+pub fn to_bytes(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(store.len() as u32);
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name);
+        buf.put_u8(store.is_trainable(id) as u8);
+        let t = store.data(id);
+        buf.put_u32_le(t.shape().len() as u32);
+        for &d in t.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        for &x in t.data() {
+            buf.put_f32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restore parameter values into an existing store whose layout (names,
+/// shapes, order) matches the checkpoint.
+pub fn restore(store: &mut ParamStore, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let mut buf = bytes;
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count != store.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {count} params, store has {}",
+            store.len()
+        )));
+    }
+    for id in 0..count {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len + 1 + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut name = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name);
+        let name = String::from_utf8_lossy(&name).into_owned();
+        if name != store.name(id) {
+            return Err(CheckpointError::Mismatch(format!(
+                "param {id}: checkpoint '{name}' vs store '{}'",
+                store.name(id)
+            )));
+        }
+        let trainable = buf.get_u8() != 0;
+        let rank = buf.get_u32_le() as usize;
+        if buf.remaining() < rank * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(buf.get_u32_le() as usize);
+        }
+        if shape != store.data(id).shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "param '{name}': shape {:?} vs store {:?}",
+                shape,
+                store.data(id).shape()
+            )));
+        }
+        let numel: usize = shape.iter().product();
+        if buf.remaining() < numel * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        *store.data_mut(id) = Tensor::from_vec(shape, data);
+        store.set_trainable(id, trainable);
+    }
+    Ok(())
+}
+
+/// Save a checkpoint to disk.
+pub fn save(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_bytes(store))?;
+    Ok(())
+}
+
+/// Load a checkpoint from disk into a matching store.
+pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let bytes = fs::read(path)?;
+    restore(store, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_tensor::Rng;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(9);
+        s.add("a.w", Tensor::randn([3, 4], 1.0, &mut rng), true);
+        s.add("a.b", Tensor::randn([4], 1.0, &mut rng), false);
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let src = sample_store();
+        let bytes = to_bytes(&src);
+        let mut dst = ParamStore::new();
+        dst.add("a.w", Tensor::zeros([3, 4]), true);
+        dst.add("a.b", Tensor::zeros([4]), true);
+        restore(&mut dst, &bytes).unwrap();
+        assert_eq!(dst.data(0), src.data(0));
+        assert_eq!(dst.data(1), src.data(1));
+        assert!(!dst.is_trainable(1), "trainable flag must roundtrip");
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let src = sample_store();
+        let bytes = to_bytes(&src);
+        let mut dst = sample_store();
+        assert!(matches!(restore(&mut dst, b"XXXX"), Err(CheckpointError::Truncated)));
+        let mut bad = bytes.to_vec();
+        bad[0] = b'Z';
+        assert!(matches!(restore(&mut dst, &bad), Err(CheckpointError::BadMagic)));
+        assert!(matches!(
+            restore(&mut dst, &bytes[..bytes.len() - 5]),
+            Err(CheckpointError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn rejects_layout_mismatch() {
+        let src = sample_store();
+        let bytes = to_bytes(&src);
+        let mut other = ParamStore::new();
+        other.add("different", Tensor::zeros([3, 4]), true);
+        other.add("a.b", Tensor::zeros([4]), true);
+        assert!(matches!(restore(&mut other, &bytes), Err(CheckpointError::Mismatch(_))));
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.add("a.w", Tensor::zeros([4, 3]), true);
+        wrong_shape.add("a.b", Tensor::zeros([4]), true);
+        assert!(matches!(restore(&mut wrong_shape, &bytes), Err(CheckpointError::Mismatch(_))));
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let dir = std::env::temp_dir().join("ntck_test");
+        let path = dir.join("ck.bin");
+        let src = sample_store();
+        save(&src, &path).unwrap();
+        let mut dst = sample_store();
+        *dst.data_mut(0) = Tensor::zeros([3, 4]);
+        load(&mut dst, &path).unwrap();
+        assert_eq!(dst.data(0), src.data(0));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

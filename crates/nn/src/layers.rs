@@ -1,0 +1,352 @@
+//! Core layers: Linear (with optional LoRA adapter), Embedding, LayerNorm,
+//! Conv1d and a two-layer MLP.
+
+use crate::store::{Fwd, ParamId, ParamStore};
+use nt_tensor::{NodeId, Rng, Tensor};
+
+/// Weight initialisation schemes.
+#[derive(Clone, Copy, Debug)]
+pub enum Init {
+    /// N(0, std).
+    Normal(f32),
+    /// Xavier/Glorot uniform for a `[fan_in, fan_out]` matrix.
+    Xavier,
+    /// Kaiming/He normal (fan-in) — use before ReLU-family activations.
+    Kaiming,
+    Zeros,
+}
+
+impl Init {
+    pub fn sample(self, shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+        match self {
+            Init::Normal(std) => Tensor::randn(shape.to_vec(), std, rng),
+            Init::Xavier => {
+                let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::rand_uniform(shape.to_vec(), -a, a, rng)
+            }
+            Init::Kaiming => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                Tensor::randn(shape.to_vec(), std, rng)
+            }
+            Init::Zeros => Tensor::zeros(shape.to_vec()),
+        }
+    }
+}
+
+/// Low-rank adapter attached to a [`Linear`]: `y += x·A·B * (alpha/r)`.
+///
+/// This is the paper's DD-LRNA low-rank matrices (§4.3): the base weight is
+/// frozen and all task-specific parameter change is constrained to `A`/`B`.
+#[derive(Clone, Debug)]
+pub struct Lora {
+    pub a: ParamId,
+    pub b: ParamId,
+    pub rank: usize,
+    pub scale: f32,
+}
+
+/// Fully connected layer `y = x·W + b` over the last dimension.
+/// Accepts rank-2 `[n, in]` or rank-3 `[b, t, in]` inputs.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: Option<ParamId>,
+    pub in_dim: usize,
+    pub out_dim: usize,
+    pub lora: Option<Lora>,
+}
+
+impl Linear {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        init: Init,
+        rng: &mut Rng,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.w"),
+            init.sample(&[in_dim, out_dim], in_dim, out_dim, rng),
+            true,
+        );
+        let b = bias.then(|| store.add(format!("{name}.b"), Tensor::zeros([out_dim]), true));
+        Linear { w, b, in_dim, out_dim, lora: None }
+    }
+
+    /// Attach a LoRA adapter of rank `r`; freezes the base weight (and bias).
+    /// `A` is initialised randomly, `B` to zero, so the adapted layer starts
+    /// exactly equal to the frozen layer (standard LoRA initialisation).
+    pub fn attach_lora(
+        &mut self,
+        store: &mut ParamStore,
+        r: usize,
+        alpha: f32,
+        rng: &mut Rng,
+    ) {
+        assert!(r > 0, "LoRA rank must be positive");
+        let name = store.name(self.w).trim_end_matches(".w").to_string();
+        store.set_trainable(self.w, false);
+        if let Some(b) = self.b {
+            store.set_trainable(b, false);
+        }
+        let a = store.add(
+            format!("{name}.lora_a"),
+            Tensor::randn([self.in_dim, r], (1.0 / self.in_dim as f32).sqrt(), rng),
+            true,
+        );
+        let b = store.add(format!("{name}.lora_b"), Tensor::zeros([r, self.out_dim]), true);
+        self.lora = Some(Lora { a, b, rank: r, scale: alpha / r as f32 });
+    }
+
+    /// Remove the adapter (used by the "no domain knowledge" ablation).
+    pub fn detach_lora(&mut self) {
+        self.lora = None;
+    }
+
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, x: NodeId) -> NodeId {
+        let shape = f.g.value(x).shape().to_vec();
+        let rank = shape.len();
+        assert!(rank == 2 || rank == 3, "Linear input must be rank 2 or 3, got {shape:?}");
+        assert_eq!(*shape.last().unwrap(), self.in_dim, "Linear in_dim mismatch");
+        let flat = if rank == 3 { f.g.reshape(x, [shape[0] * shape[1], self.in_dim]) } else { x };
+        let w = f.p(store, self.w);
+        let mut y = f.g.matmul(flat, w);
+        if let Some(l) = &self.lora {
+            let a = f.p(store, l.a);
+            let b = f.p(store, l.b);
+            let xa = f.g.matmul(flat, a);
+            let xab = f.g.matmul(xa, b);
+            let scaled = f.g.scale(xab, l.scale);
+            y = f.g.add(y, scaled);
+        }
+        if let Some(bid) = self.b {
+            let b = f.p(store, bid);
+            y = f.g.add(y, b);
+        }
+        if rank == 3 {
+            f.g.reshape(y, [shape[0], shape[1], self.out_dim])
+        } else {
+            y
+        }
+    }
+}
+
+/// Token/row embedding table.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    pub table: ParamId,
+    pub vocab: usize,
+    pub dim: usize,
+}
+
+impl Embedding {
+    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut Rng) -> Self {
+        let table = store.add(
+            format!("{name}.table"),
+            Tensor::randn([vocab, dim], 0.02, rng),
+            true,
+        );
+        Embedding { table, vocab, dim }
+    }
+
+    /// Look up `ids`, producing `[len, dim]`.
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, ids: &[usize]) -> NodeId {
+        let t = f.p(store, self.table);
+        f.g.rows(t, ids)
+    }
+}
+
+/// Layer normalisation with affine parameters over the last dimension.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    pub gamma: ParamId,
+    pub beta: ParamId,
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.add(format!("{name}.gamma"), Tensor::ones([dim]), true);
+        let beta = store.add(format!("{name}.beta"), Tensor::zeros([dim]), true);
+        LayerNorm { gamma, beta, eps: 1e-5 }
+    }
+
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, x: NodeId) -> NodeId {
+        let g = f.p(store, self.gamma);
+        let b = f.p(store, self.beta);
+        f.g.layer_norm(x, g, b, self.eps)
+    }
+}
+
+/// 1-D convolution layer (`same` or `valid` padding).
+#[derive(Clone, Debug)]
+pub struct Conv1d {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl Conv1d {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let fan_in = c_in * kernel;
+        let std = (2.0 / fan_in as f32).sqrt();
+        let w = store.add(format!("{name}.w"), Tensor::randn([c_out, c_in, kernel], std, rng), true);
+        let b = store.add(format!("{name}.b"), Tensor::zeros([c_out]), true);
+        Conv1d { w, b, stride, pad }
+    }
+
+    /// `x` is `[batch, c_in, t]`.
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, x: NodeId) -> NodeId {
+        let w = f.p(store, self.w);
+        let b = f.p(store, self.b);
+        f.g.conv1d(x, w, b, self.stride, self.pad)
+    }
+}
+
+/// Two-layer MLP with GELU, the Transformer feed-forward shape.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    pub up: Linear,
+    pub down: Linear,
+}
+
+impl Mlp {
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+        let up = Linear::new(store, &format!("{name}.up"), dim, hidden, true, Init::Kaiming, rng);
+        let down = Linear::new(store, &format!("{name}.down"), hidden, dim, true, Init::Xavier, rng);
+        Mlp { up, down }
+    }
+
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, x: NodeId) -> NodeId {
+        let h = self.up.forward(f, store, x);
+        let h = f.g.gelu(h);
+        self.down.forward(f, store, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes_rank2_and_rank3() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(1);
+        let lin = Linear::new(&mut s, "l", 4, 3, true, Init::Xavier, &mut rng);
+        let mut f = Fwd::eval();
+        let x2 = f.input(Tensor::ones([5, 4]));
+        let y2 = lin.forward(&mut f, &s, x2);
+        assert_eq!(f.g.value(y2).shape(), &[5, 3]);
+        let x3 = f.input(Tensor::ones([2, 5, 4]));
+        let y3 = lin.forward(&mut f, &s, x3);
+        assert_eq!(f.g.value(y3).shape(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn lora_starts_as_identity_and_freezes_base() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(2);
+        let mut lin = Linear::new(&mut s, "l", 4, 4, true, Init::Xavier, &mut rng);
+        let x = Tensor::randn([3, 4], 1.0, &mut rng);
+
+        let mut f = Fwd::eval();
+        let xin = f.input(x.clone());
+        let base_node = lin.forward(&mut f, &s, xin);
+        let base = f.g.value(base_node).clone();
+
+        lin.attach_lora(&mut s, 2, 2.0, &mut rng);
+        assert!(!s.is_trainable(lin.w), "base weight must freeze");
+        let mut f2 = Fwd::eval();
+        let xin2 = f2.input(x);
+        let adapted_node = lin.forward(&mut f2, &s, xin2);
+        let adapted = f2.g.value(adapted_node).clone();
+        for (a, b) in base.data().iter().zip(adapted.data()) {
+            assert!((a - b).abs() < 1e-6, "LoRA with zero B must be identity");
+        }
+        // Only the adapter params are trainable now.
+        assert_eq!(s.num_trainable(), 4 * 2 + 2 * 4);
+    }
+
+    #[test]
+    fn lora_gradients_flow_to_adapter_only() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(3);
+        let mut lin = Linear::new(&mut s, "l", 4, 2, false, Init::Xavier, &mut rng);
+        lin.attach_lora(&mut s, 2, 2.0, &mut rng);
+        let mut f = Fwd::eval();
+        let x = f.input(Tensor::ones([1, 4]));
+        let y = lin.forward(&mut f, &s, x);
+        let l = f.g.sum_all(y);
+        let grads = f.backward(l);
+        let names: Vec<&str> = grads.iter().map(|(id, _)| s.name(*id)).collect();
+        assert!(names.contains(&"l.lora_a"));
+        assert!(names.contains(&"l.lora_b"));
+        assert!(!names.contains(&"l.w"));
+    }
+
+    #[test]
+    fn embedding_lookup_shape() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(4);
+        let emb = Embedding::new(&mut s, "e", 10, 6, &mut rng);
+        let mut f = Fwd::eval();
+        let y = emb.forward(&mut f, &s, &[1, 2, 2, 9]);
+        assert_eq!(f.g.value(y).shape(), &[4, 6]);
+    }
+
+    #[test]
+    fn layer_norm_normalises_rows() {
+        let mut s = ParamStore::new();
+        let ln = LayerNorm::new(&mut s, "ln", 8);
+        let mut f = Fwd::eval();
+        let mut rng = Rng::seeded(5);
+        let x = f.input(Tensor::randn([3, 8], 5.0, &mut rng));
+        let y = ln.forward(&mut f, &s, x);
+        let v = f.g.value(y);
+        for r in 0..3 {
+            let row = v.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn mlp_trains_xor() {
+        // End-to-end sanity: a small MLP fits XOR with Adam.
+        use crate::optim::Adam;
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(6);
+        let l1 = Linear::new(&mut s, "l1", 2, 16, true, Init::Kaiming, &mut rng);
+        let l2 = Linear::new(&mut s, "l2", 16, 2, true, Init::Xavier, &mut rng);
+        let xs = Tensor::from_vec([4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let ys = [0usize, 1, 1, 0];
+        let mut opt = Adam::new(0.01);
+        let mut last = f32::MAX;
+        for step in 0..400 {
+            let mut f = Fwd::train(step);
+            let x = f.input(xs.clone());
+            let h = l1.forward(&mut f, &s, x);
+            let h = f.g.relu(h);
+            let logits = l2.forward(&mut f, &s, h);
+            let loss = f.g.cross_entropy(logits, &ys);
+            last = f.g.value(loss).item();
+            let grads = f.backward(loss);
+            opt.step(&mut s, &grads);
+        }
+        assert!(last < 0.05, "XOR loss should converge, got {last}");
+    }
+}

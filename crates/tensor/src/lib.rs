@@ -1,0 +1,36 @@
+//! # nt-tensor
+//!
+//! Dense `f32` tensors with reverse-mode automatic differentiation, built
+//! from scratch for the NetLLM reproduction (no BLAS, no `unsafe`).
+//!
+//! Design goals follow the smoltcp ethos: simplicity and robustness over
+//! cleverness. Everything is deterministic under an explicit seed
+//! ([`rng::Rng`]), and the autodiff tape tracks its own memory footprint
+//! ([`graph::Graph::peak_bytes`]) so training-state cost comparisons
+//! (paper Figure 4) are measured, not estimated.
+//!
+//! ## Feature inventory
+//!
+//! Implemented:
+//! - row-major dense tensors, NumPy-style broadcasting for binary ops
+//! - matmul / batched matmul, transpose, reshape, concat, narrow, row gather
+//! - activations (relu/gelu/tanh/sigmoid/exp/ln), softmax & log-softmax
+//! - fused layer-norm, 1-D convolution, inverted dropout
+//! - losses: MSE, (weighted) cross-entropy — the weighted form doubles as a
+//!   policy-gradient objective
+//! - reverse-mode autodiff over all of the above, with finite-difference
+//!   gradient tests
+//!
+//! Not implemented (by design): GPU backends, f16/bf16, views/in-place ops,
+//! higher-order derivatives.
+
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use graph::{Graph, NodeId};
+pub use rng::Rng;
+pub use tensor::Tensor;

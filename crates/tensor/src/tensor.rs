@@ -1,0 +1,355 @@
+//! The dense `f32` tensor value type.
+//!
+//! `Tensor` is a plain value: a shape plus a row-major `Vec<f32>`. All
+//! differentiable computation happens in [`crate::graph::Graph`]; the methods
+//! here are construction helpers and graph-free math used on inference-only
+//! paths (policy sampling, metrics, simulators).
+
+use crate::rng::Rng;
+use crate::shape::{broadcast_shapes, for_each_broadcast2, numel, strides};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` tensor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Build a tensor from raw parts. Panics when `data.len()` does not match
+    /// the shape.
+    pub fn from_vec(shape: impl Into<Vec<usize>>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            numel(&shape),
+            data.len(),
+            "shape {:?} wants {} elements, got {}",
+            shape,
+            numel(&shape),
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A scalar tensor (empty shape).
+    pub fn scalar(v: f32) -> Self {
+        Tensor { shape: vec![], data: vec![v] }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: impl Into<Vec<usize>>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: impl Into<Vec<usize>>, v: f32) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        Tensor { shape, data: vec![v; n] }
+    }
+
+    /// I.i.d. standard-normal entries scaled by `std`, drawn from `rng`.
+    pub fn randn(shape: impl Into<Vec<usize>>, std: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        let data = (0..n).map(|_| rng.normal() * std).collect();
+        Tensor { shape, data }
+    }
+
+    /// I.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Vec<usize>>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// 1-D tensor holding `v`.
+    pub fn from_slice(v: &[f32]) -> Self {
+        Tensor { shape: vec![v.len()], data: v.to_vec() }
+    }
+
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Scalar value of a single-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(mut self, shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        assert_eq!(numel(&shape), self.data.len(), "reshape to incompatible shape {shape:?}");
+        self.shape = shape;
+        self
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        let st = strides(&self.shape);
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let off: usize = idx.iter().zip(&st).map(|(i, s)| i * s).sum();
+        self.data[off]
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let st = strides(&self.shape);
+        let off: usize = idx.iter().zip(&st).map(|(i, s)| i * s).sum();
+        &mut self.data[off]
+    }
+
+    /// Row `i` of a 2-D tensor.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2, "row() needs a 2-D tensor");
+        let cols = self.shape[1];
+        &self.data[i * cols..(i + 1) * cols]
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Broadcasting elementwise combine; panics on incompatible shapes.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let out_shape = broadcast_shapes(&self.shape, &other.shape)
+            .unwrap_or_else(|| panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape));
+        let mut out = Tensor::zeros(out_shape.clone());
+        for_each_broadcast2(&out_shape, &self.shape, &other.shape, |o, a, b| {
+            out.data[o] = f(self.data[a], other.data[b]);
+        });
+        out
+    }
+
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element (first on ties).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// 2-D matrix multiply: `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Softmax over the last dimension (numerically stable).
+    pub fn softmax_last(&self) -> Tensor {
+        assert!(!self.shape.is_empty(), "softmax needs rank >= 1");
+        let cols = *self.shape.last().unwrap();
+        let rows = self.data.len() / cols.max(1);
+        let mut out = self.clone();
+        for r in 0..rows {
+            let s = &mut out.data[r * cols..(r + 1) * cols];
+            softmax_in_place(s);
+        }
+        out
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn t(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "t() needs a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+/// `out += a x b` for row-major matrices, ikj loop order for cache locality.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// Numerically stable in-place softmax of a slice.
+pub fn softmax_in_place(s: &mut [f32]) {
+    if s.is_empty() {
+        return;
+    }
+    let mx = s.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0f32;
+    for v in s.iter_mut() {
+        *v = (*v - mx).exp();
+        z += *v;
+    }
+    if z > 0.0 {
+        for v in s.iter_mut() {
+            *v /= z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.row(0), &[1., 2., 3.]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(Tensor::scalar(4.0).item(), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_shape_panics() {
+        Tensor::from_vec([2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn broadcast_add_bias() {
+        let x = Tensor::from_vec([2, 3], vec![0., 0., 0., 1., 1., 1.]);
+        let b = Tensor::from_slice(&[10., 20., 30.]);
+        let y = x.add(&b);
+        assert_eq!(y.data(), &[10., 20., 30., 11., 21., 31.]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_result() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.t().t(), a);
+        assert_eq!(a.t().at(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec([2, 4], vec![1., 2., 3., 4., -1., 0., 1., 2.]);
+        let s = t.softmax_last();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let t = Tensor::from_slice(&[1000.0, 0.0, -1000.0]);
+        let s = t.softmax_last();
+        assert!((s.data()[0] - 1.0).abs() < 1e-5);
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let t = Tensor::from_slice(&[1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn randn_is_deterministic_under_seed() {
+        let mut r1 = Rng::seeded(7);
+        let mut r2 = Rng::seeded(7);
+        let a = Tensor::randn([4, 4], 1.0, &mut r1);
+        let b = Tensor::randn([4, 4], 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+}

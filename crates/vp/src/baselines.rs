@@ -1,0 +1,206 @@
+//! Rule-based VP baselines: linear regression and velocity extrapolation
+//! (paper §A.3).
+
+use crate::metrics::{ang_diff, apply_deltas, Viewport};
+use crate::motion::VpSample;
+
+/// A viewport predictor: history (+optional saliency) -> future horizon.
+pub trait VpPredictor {
+    fn name(&self) -> &str;
+    fn predict(&mut self, sample: &VpSample, pw: usize) -> Vec<Viewport>;
+}
+
+/// Linear regression per coordinate over the history window (Flare-style),
+/// extrapolated over the horizon. Yaw is unwrapped before fitting.
+pub struct LinearRegression;
+
+impl VpPredictor for LinearRegression {
+    fn name(&self) -> &str {
+        "LR"
+    }
+
+    fn predict(&mut self, sample: &VpSample, pw: usize) -> Vec<Viewport> {
+        let h = &sample.history;
+        let n = h.len();
+        assert!(n >= 2);
+        // Unwrap yaw into a continuous series.
+        let mut series = vec![[0.0f32; 3]; n];
+        series[0] = h[0];
+        for i in 1..n {
+            series[i][0] = h[i][0];
+            series[i][1] = h[i][1];
+            series[i][2] = series[i - 1][2] + ang_diff(h[i][2], h[i - 1][2]);
+        }
+        // Least squares slope/intercept per coordinate (x = 0..n-1).
+        let xbar = (n as f32 - 1.0) / 2.0;
+        let denom: f32 = (0..n).map(|i| (i as f32 - xbar) * (i as f32 - xbar)).sum();
+        let mut out = Vec::with_capacity(pw);
+        let mut coeffs = [[0.0f32; 2]; 3];
+        for c in 0..3 {
+            let ybar: f32 = series.iter().map(|s| s[c]).sum::<f32>() / n as f32;
+            let num: f32 =
+                (0..n).map(|i| (i as f32 - xbar) * (series[i][c] - ybar)).sum();
+            let slope = if denom > 0.0 { num / denom } else { 0.0 };
+            coeffs[c] = [slope, ybar - slope * xbar];
+        }
+        let mut deltas = Vec::with_capacity(pw);
+        let last_fit: Vec<f32> =
+            (0..3).map(|c| coeffs[c][0] * (n as f32 - 1.0) + coeffs[c][1]).collect();
+        let mut prev = [last_fit[0], last_fit[1], last_fit[2]];
+        for k in 0..pw {
+            let x = (n + k) as f32;
+            let cur = [
+                coeffs[0][0] * x + coeffs[0][1],
+                coeffs[1][0] * x + coeffs[1][1],
+                coeffs[2][0] * x + coeffs[2][1],
+            ];
+            deltas.push([cur[0] - prev[0], cur[1] - prev[1], cur[2] - prev[2]]);
+            prev = cur;
+        }
+        out.extend(apply_deltas(h.last().unwrap(), &deltas));
+        out
+    }
+}
+
+/// Velocity-based prediction (LiveObj-style): the mean velocity of the last
+/// few samples, decayed over the horizon (raw constant-velocity diverges on
+/// long horizons; a mild decay is the standard practical variant).
+pub struct Velocity {
+    pub window: usize,
+    pub decay: f32,
+}
+
+impl Default for Velocity {
+    fn default() -> Self {
+        Velocity { window: 4, decay: 0.88 }
+    }
+}
+
+impl VpPredictor for Velocity {
+    fn name(&self) -> &str {
+        "Velocity"
+    }
+
+    fn predict(&mut self, sample: &VpSample, pw: usize) -> Vec<Viewport> {
+        let h = &sample.history;
+        let n = h.len();
+        let w = self.window.min(n - 1).max(1);
+        let mut vel = [0.0f32; 3];
+        for i in n - w..n {
+            vel[0] += h[i][0] - h[i - 1][0];
+            vel[1] += h[i][1] - h[i - 1][1];
+            vel[2] += ang_diff(h[i][2], h[i - 1][2]);
+        }
+        for v in &mut vel {
+            *v /= w as f32;
+        }
+        let mut deltas = Vec::with_capacity(pw);
+        let mut cur = vel;
+        for _ in 0..pw {
+            deltas.push(cur);
+            for v in &mut cur {
+                *v *= self.decay;
+            }
+        }
+        apply_deltas(h.last().unwrap(), &deltas)
+    }
+}
+
+/// Static baseline: repeat the last viewport (occasionally used as a floor).
+pub struct Static;
+
+impl VpPredictor for Static {
+    fn name(&self) -> &str {
+        "Static"
+    }
+
+    fn predict(&mut self, sample: &VpSample, pw: usize) -> Vec<Viewport> {
+        vec![*sample.history.last().unwrap(); pw]
+    }
+}
+
+/// Evaluate a predictor's MAE over a sample set at horizon `pw`.
+pub fn evaluate(pred: &mut dyn VpPredictor, samples: &[VpSample], pw: usize) -> f32 {
+    assert!(!samples.is_empty());
+    let mut total = 0.0f64;
+    for s in samples {
+        let p = pred.predict(s, pw);
+        let actual = &s.future[..pw.min(s.future.len())];
+        total += crate::metrics::mae(&p[..actual.len()], actual) as f64;
+    }
+    (total / samples.len() as f64) as f32
+}
+
+/// Per-sample MAEs (for CDF plots).
+pub fn evaluate_each(pred: &mut dyn VpPredictor, samples: &[VpSample], pw: usize) -> Vec<f32> {
+    samples
+        .iter()
+        .map(|s| {
+            let p = pred.predict(s, pw);
+            let actual = &s.future[..pw.min(s.future.len())];
+            crate::metrics::mae(&p[..actual.len()], actual)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motion::{extract_samples, generate, jin2022_like, DatasetSpec};
+
+    fn samples() -> Vec<crate::motion::VpSample> {
+        let ds = generate(&DatasetSpec { videos: 2, viewers: 4, secs: 30, ..jin2022_like() });
+        extract_samples(&ds, &[0, 1], &[0, 1, 2, 3], 10, 20, 7, 120)
+    }
+
+    #[test]
+    fn lr_fits_a_perfect_line() {
+        let history: Vec<Viewport> = (0..10).map(|i| [0.0, i as f32, 2.0 * i as f32]).collect();
+        let future: Vec<Viewport> =
+            (10..15).map(|i| [0.0, i as f32, 2.0 * i as f32]).collect();
+        let s = VpSample {
+            history,
+            future: future.clone(),
+            saliency: nt_tensor::Tensor::zeros([8, 8]),
+        };
+        let p = LinearRegression.predict(&s, 5);
+        assert!(crate::metrics::mae(&p, &future) < 0.1);
+    }
+
+    #[test]
+    fn velocity_tracks_constant_motion_initially() {
+        let history: Vec<Viewport> = (0..10).map(|i| [0.0, 0.0, 3.0 * i as f32]).collect();
+        let s = VpSample {
+            history,
+            future: vec![],
+            saliency: nt_tensor::Tensor::zeros([8, 8]),
+        };
+        let p = Velocity::default().predict(&s, 3);
+        assert!((ang_diff(p[0][2], 30.0)).abs() < 1.0, "first step ~30deg, got {}", p[0][2]);
+    }
+
+    #[test]
+    fn predictors_beat_static_at_short_horizon() {
+        // Extrapolation helps where momentum dominates (1 s); at long
+        // horizons saccades make naive extrapolation risky, so we only
+        // require it not to blow up there.
+        let ss = samples();
+        let stat_short = evaluate(&mut Static, &ss, 5);
+        let lr_short = evaluate(&mut LinearRegression, &ss, 5);
+        let vel_short = evaluate(&mut Velocity::default(), &ss, 5);
+        assert!(lr_short < stat_short, "LR {lr_short} vs static {stat_short}");
+        assert!(vel_short < stat_short, "Velocity {vel_short} vs static {stat_short}");
+        let stat_long = evaluate(&mut Static, &ss, 20);
+        let lr_long = evaluate(&mut LinearRegression, &ss, 20);
+        assert!(lr_long < 2.5 * stat_long, "LR must not diverge: {lr_long} vs {stat_long}");
+    }
+
+    #[test]
+    fn evaluate_each_matches_mean() {
+        let ss = samples();
+        let per = evaluate_each(&mut Velocity::default(), &ss, 10);
+        let mean = per.iter().sum::<f32>() / per.len() as f32;
+        let agg = evaluate(&mut Velocity::default(), &ss, 10);
+        assert!((mean - agg).abs() < 1e-3);
+    }
+}

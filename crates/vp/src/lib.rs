@@ -1,0 +1,34 @@
+//! # nt-vp
+//!
+//! Viewport-prediction substrate: synthetic head-motion datasets with
+//! saliency frames, wrap-aware angular metrics, and the paper's baselines
+//! (LR, Velocity, TRACK).
+//!
+//! ## Feature inventory
+//!
+//! - [`metrics`] — yaw-wrapping angle math, the paper's MAE, delta
+//!   encode/decode helpers
+//! - [`motion`] — POI-driven head-motion generator, Jin2022-like and
+//!   Wu2017-like dataset profiles (Table 2), 8x8 saliency frames rendered
+//!   from the same POIs (so the image modality is informative)
+//! - [`baselines`] — LR (Flare-style), Velocity (LiveObj-style), Static
+//! - [`track`] — LSTM encoder-decoder with saliency fusion, variable
+//!   prediction horizon (needed by the unseen settings)
+//!
+//! Not implemented (by design): real video decoding; saliency is generated,
+//! not extracted from pixels.
+
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod metrics;
+pub mod motion;
+pub mod track;
+
+pub use baselines::{evaluate, evaluate_each, LinearRegression, Static, Velocity, VpPredictor};
+pub use metrics::{ang_diff, apply_deltas, mae, to_deltas, viewport_error, wrap_deg, Viewport};
+pub use motion::{
+    cell_center, extract_samples, generate, jin2022_like, render_saliency, wu2017_like,
+    DatasetSpec, MotionProfile, VideoMotion, ViewportTrace, VpDataset, VpSample, GRID, HZ,
+};
+pub use track::Track;

@@ -1,0 +1,110 @@
+//! Angular utilities and the VP error metric (paper §A.6).
+//!
+//! Viewports are `(roll, pitch, yaw)` in degrees. Yaw lives on the circle
+//! `[-180, 180)` and all differences are computed wrap-aware; pitch and roll
+//! are bounded and treated linearly. The paper's MAE averages the three
+//! coordinates' absolute errors over the prediction horizon.
+
+/// A viewport orientation in degrees.
+pub type Viewport = [f32; 3];
+
+/// Wrap an angle to `[-180, 180)`.
+pub fn wrap_deg(mut d: f32) -> f32 {
+    while d >= 180.0 {
+        d -= 360.0;
+    }
+    while d < -180.0 {
+        d += 360.0;
+    }
+    d
+}
+
+/// Smallest signed angular difference `a - b`, in `[-180, 180)`.
+pub fn ang_diff(a: f32, b: f32) -> f32 {
+    wrap_deg(a - b)
+}
+
+/// Per-sample error: mean of the three coordinates' absolute (wrap-aware for
+/// yaw) differences.
+pub fn viewport_error(pred: &Viewport, actual: &Viewport) -> f32 {
+    let roll = (pred[0] - actual[0]).abs();
+    let pitch = (pred[1] - actual[1]).abs();
+    let yaw = ang_diff(pred[2], actual[2]).abs();
+    (roll + pitch + yaw) / 3.0
+}
+
+/// MAE over a predicted horizon.
+pub fn mae(pred: &[Viewport], actual: &[Viewport]) -> f32 {
+    assert_eq!(pred.len(), actual.len(), "horizon mismatch");
+    assert!(!pred.is_empty());
+    pred.iter().zip(actual).map(|(p, a)| viewport_error(p, a)).sum::<f32>() / pred.len() as f32
+}
+
+/// Apply a sequence of per-step deltas to a starting viewport, wrapping yaw
+/// and clamping pitch/roll to their physical ranges.
+pub fn apply_deltas(start: &Viewport, deltas: &[[f32; 3]]) -> Vec<Viewport> {
+    let mut cur = *start;
+    deltas
+        .iter()
+        .map(|d| {
+            cur[0] = (cur[0] + d[0]).clamp(-45.0, 45.0);
+            cur[1] = (cur[1] + d[1]).clamp(-90.0, 90.0);
+            cur[2] = wrap_deg(cur[2] + d[2]);
+            cur
+        })
+        .collect()
+}
+
+/// Per-step deltas between consecutive viewports (wrap-aware yaw).
+pub fn to_deltas(vps: &[Viewport]) -> Vec<[f32; 3]> {
+    vps.windows(2)
+        .map(|w| [w[1][0] - w[0][0], w[1][1] - w[0][1], ang_diff(w[1][2], w[0][2])])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_is_idempotent_and_in_range() {
+        for d in [-720.0, -180.0, -179.9, 0.0, 179.9, 180.0, 540.0] {
+            let w = wrap_deg(d);
+            assert!((-180.0..180.0).contains(&w), "{d} -> {w}");
+            assert_eq!(wrap_deg(w), w);
+        }
+    }
+
+    #[test]
+    fn yaw_error_takes_short_way_around() {
+        let p: Viewport = [0.0, 0.0, 179.0];
+        let a: Viewport = [0.0, 0.0, -179.0];
+        assert!((viewport_error(&p, &a) - 2.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mae_of_identical_sequences_is_zero() {
+        let seq = vec![[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]];
+        assert_eq!(mae(&seq, &seq), 0.0);
+    }
+
+    #[test]
+    fn deltas_roundtrip_through_apply() {
+        let vps = vec![
+            [0.0, 0.0, 170.0],
+            [1.0, -2.0, 178.0],
+            [2.0, -4.0, -174.0], // wrapped past 180
+        ];
+        let deltas = to_deltas(&vps);
+        let rebuilt = apply_deltas(&vps[0], &deltas);
+        for (r, v) in rebuilt.iter().zip(&vps[1..]) {
+            assert!(viewport_error(r, v) < 1e-4, "{r:?} vs {v:?}");
+        }
+    }
+
+    #[test]
+    fn apply_deltas_clamps_pitch() {
+        let out = apply_deltas(&[0.0, 85.0, 0.0], &[[0.0, 20.0, 0.0]]);
+        assert_eq!(out[0][1], 90.0);
+    }
+}

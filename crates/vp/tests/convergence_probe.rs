@@ -1,0 +1,66 @@
+//! Long-budget convergence probe (run explicitly with --ignored).
+use nt_vp::*;
+
+/// Oracle: noise-free mean dynamics toward the POI best aligned with the
+/// current velocity (proxy upper bound for saliency-aware prediction).
+struct Oracle<'a> { ds: &'a VpDataset }
+impl VpPredictor for Oracle<'_> {
+    fn name(&self) -> &str { "oracle" }
+    fn predict(&mut self, s: &VpSample, pw: usize) -> Vec<Viewport> {
+        let p = &self.ds.spec.profile;
+        let last = *s.history.last().unwrap();
+        let d = to_deltas(&s.history);
+        let (vp0, vy0) = d.last().map(|d| (d[1], d[2])).unwrap_or((0.0, 0.0));
+        // candidate POIs = bright cells; pick the one most aligned with velocity,
+        // tie-broken by distance
+        let mut cands: Vec<(f32, f32, f32)> = vec![]; // (pitch, yaw, weight)
+        for r in 0..GRID { for c in 0..GRID {
+            let v = s.saliency.at(&[r, c]);
+            if v > 0.5 { let (pp, yy) = cell_center(r, c); cands.push((pp, yy, v)); }
+        }}
+        if cands.is_empty() { cands.push((0.0, 0.0, 1.0)); }
+        let mut best = cands[0]; let mut bs = f32::MIN;
+        for &(pp, yy, w) in &cands {
+            let ep = pp - last[1];
+            let ey = ang_diff(yy, last[2]);
+            let align = (ep * vp0 + ey * vy0) / ((ep*ep+ey*ey).sqrt().max(1.0));
+            let dist = (ep*ep+ey*ey).sqrt();
+            let score = w + 0.5*align - 0.005*dist;
+            if score > bs { bs = score; best = (pp, yy, w); }
+        }
+        let (tp, ty) = (best.0, best.1);
+        let (mut vp, mut vy) = (vp0, vy0);
+        let (mut pitch, mut yaw) = (last[1], last[2]);
+        let dt = 0.2f32;
+        let mut out = Vec::new();
+        for _ in 0..pw {
+            let ep = (tp - pitch).clamp(-60.0, 60.0);
+            let ey = ang_diff(ty, yaw).clamp(-90.0, 90.0);
+            vp = (p.damping * vp + p.attract * ep * dt * dt * 5.0).clamp(-p.vel_cap, p.vel_cap);
+            vy = (p.damping * vy + p.attract * ey * dt * dt * 5.0).clamp(-p.vel_cap, p.vel_cap);
+            pitch = (pitch + vp).clamp(-90.0, 90.0);
+            yaw = wrap_deg(yaw + vy);
+            out.push([last[0], pitch, yaw]);
+        }
+        out
+    }
+}
+
+#[test]
+#[ignore]
+fn track_long_budget() {
+    let ds = generate(&DatasetSpec { videos: 4, viewers: 6, secs: 40, ..jin2022_like() });
+    let train = extract_samples(&ds, &[0, 1, 2], &[0, 1, 2, 3], 10, 20, 3, 400);
+    let test = extract_samples(&ds, &[3], &[4, 5], 10, 20, 7, 80);
+    let stat = evaluate(&mut Static, &test, 20);
+    let lr = evaluate(&mut LinearRegression, &test, 20);
+    let vel = evaluate(&mut Velocity::default(), &test, 20);
+    let orc = evaluate(&mut Oracle { ds: &ds }, &test, 20);
+    println!("static {stat:.2} lr {lr:.2} vel {vel:.2} oracle {orc:.2}");
+    let mut track = Track::new(3);
+    for round in 0..6 {
+        let loss = track.train(&train, 1, 2e-3, 42 + round);
+        let mae = evaluate(&mut track, &test, 20);
+        println!("round {round}: loss {loss:.4} track {mae:.2}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Cluster job scheduling walkthrough: TPC-H-like DAG workloads through the
+//! event-driven cluster simulator under FIFO / Fair / SRPT / Decima /
+//! NetLLM.
+//!
+//! ```text
+//! cargo run -p netllm --release --example job_scheduler
+//! ```
+
+use netllm::{adapt_cjs, build_cjs_workloads, rl_collect_cjs, AdaptMode, Fidelity, CJS_DEFAULT};
+use nt_cjs::{
+    generate_workload, run_workload, train_decima, DecimaTrainConfig, Fair, Fifo, Scheduler, Srpt,
+    WorkloadConfig,
+};
+use nt_llm::{profile_spec, Profile, Zoo};
+
+fn main() {
+    println!("== NetLLM cluster job scheduling ==");
+
+    // Inspect one workload.
+    let preview = generate_workload(&WorkloadConfig { num_jobs: 5, mean_interarrival: 1.5, seed: 1 });
+    for j in &preview {
+        println!(
+            "  job {} (template {:2}): {} stages, {} edges, {:.0}s total work, arrives t={:.1}s",
+            j.id,
+            j.template,
+            j.num_stages(),
+            j.edges.len(),
+            j.total_work(),
+            j.arrival
+        );
+    }
+
+    // Train Decima briefly (BC warm start from SRPT + REINFORCE).
+    println!("\ntraining Decima (demo budget)...");
+    let mut decima = train_decima(
+        CJS_DEFAULT.mean_interarrival,
+        &DecimaTrainConfig { bc_iters: 10, rl_iters: 6, episode_jobs: 6, executors: 10, ..Default::default() },
+    );
+
+    // Adapt NetLLM from Decima experience (Fig 9 pipeline).
+    let zoo = Zoo::new(std::env::temp_dir().join("netllm-cjs-example-zoo"));
+    let backbone = zoo.load_or_pretrain(&profile_spec(Profile::LlamaSim), 60);
+    let collect_workloads = build_cjs_workloads(&CJS_DEFAULT, Fidelity::Smoke, &[21, 22]);
+    let dataset = rl_collect_cjs(&mut decima, &collect_workloads, CJS_DEFAULT.executors);
+    println!("collected {} episodes, {} decisions total", dataset.len(),
+        dataset.iter().map(|t| t.steps.len()).sum::<usize>());
+    let mut netllm_sched = adapt_cjs(backbone, AdaptMode::FullKnowledge, &dataset, 40, 5);
+
+    // Evaluate everyone on a held-out workload.
+    let jobs = generate_workload(&WorkloadConfig {
+        num_jobs: 12,
+        mean_interarrival: CJS_DEFAULT.mean_interarrival,
+        seed: 99,
+    });
+    println!("\nscheduler   mean JCT    p90 JCT   makespan   (12 jobs, {} executors)", 20);
+    let mut fifo = Fifo;
+    let mut fair = Fair;
+    let mut srpt = Srpt;
+    let mut rows: Vec<(&str, &mut dyn Scheduler)> = vec![
+        ("FIFO", &mut fifo),
+        ("Fair", &mut fair),
+        ("SRPT", &mut srpt),
+        ("Decima", &mut decima),
+        ("NetLLM", &mut netllm_sched),
+    ];
+    for (name, sched) in rows.iter_mut() {
+        let stats = run_workload(*sched, &jobs, 20, None);
+        println!(
+            "{name:10} {:8.1}s {:9.1}s {:9.1}s",
+            stats.mean_jct(),
+            stats.percentile_jct(0.9),
+            stats.makespan
+        );
+    }
+    println!("\n(demo budgets — the figures binary trains these properly)");
+}

@@ -1,0 +1,206 @@
+//! Property-based tests (proptest) on cross-crate invariants: simulator
+//! conservation laws, metric identities and head validity under arbitrary
+//! inputs.
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// ABR simulator invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever bandwidth trace and rung sequence, the session accounts for
+    /// every chunk exactly once and buffers never exceed the cap.
+    #[test]
+    fn abr_session_conservation(
+        seed in 0u64..1000,
+        rung in 0usize..6,
+        mbps in proptest::collection::vec(0.1f64..8.0, 30..120),
+    ) {
+        let video = nt_abr::envivio_like(&mut nt_tensor::Rng::seeded(seed));
+        let trace = nt_abr::BandwidthTrace::new("p", mbps);
+        let cfg = nt_abr::SimConfig::default();
+        let (stats, recs) = nt_abr::run_session(
+            &mut nt_abr::FixedRung(rung), &video, &trace, &cfg, &nt_abr::QoeWeights::default());
+        prop_assert_eq!(recs.len(), video.num_chunks());
+        prop_assert_eq!(stats.chunks, video.num_chunks());
+        for r in &recs {
+            prop_assert!(r.buffer_after <= cfg.buffer_cap_secs + 1e-9);
+            prop_assert!(r.download_secs > 0.0);
+            prop_assert!(r.rebuffer_secs >= 0.0);
+            prop_assert!(r.rung < video.num_rungs());
+        }
+    }
+
+    /// Transfer time over a step-function trace equals megabits/bandwidth
+    /// within the trace's min/max bounds.
+    #[test]
+    fn transfer_time_bounded_by_min_max_bandwidth(
+        megabits in 0.1f64..50.0,
+        mbps in proptest::collection::vec(0.2f64..10.0, 5..60),
+        start in 0.0f64..30.0,
+    ) {
+        let lo = mbps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = mbps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let trace = nt_abr::BandwidthTrace::new("p", mbps);
+        let t = trace.transfer_time(start, megabits);
+        prop_assert!(t >= megabits / hi - 1e-9, "faster than max bandwidth");
+        prop_assert!(t <= megabits / lo + 1e-9, "slower than min bandwidth");
+    }
+
+    /// The emulated (transport-aware) transfer is never faster than the
+    /// ideal fluid transfer.
+    #[test]
+    fn emulated_transfer_slower_than_ideal(
+        megabits in 0.5f64..30.0,
+        mbps in proptest::collection::vec(0.5f64..8.0, 10..40),
+    ) {
+        let trace = nt_abr::BandwidthTrace::new("p", mbps);
+        let link = nt_abr::LinkConfig::default();
+        let ideal = trace.transfer_time(0.0, megabits);
+        let emulated = nt_abr::transfer_time(&link, &trace, 0.0, megabits);
+        prop_assert!(emulated >= ideal - 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CJS simulator invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any workload completes under any built-in scheduler; JCT >= the
+    /// job's critical-path lower bound can't be checked cheaply, but JCT
+    /// must be at least the longest single task of the job.
+    #[test]
+    fn cjs_jct_lower_bound(seed in 0u64..500, executors in 2usize..30) {
+        let jobs = nt_cjs::generate_workload(&nt_cjs::WorkloadConfig {
+            num_jobs: 8, mean_interarrival: 1.0, seed,
+        });
+        let stats = nt_cjs::run_workload(&mut nt_cjs::Fifo, &jobs, executors, None);
+        prop_assert_eq!(stats.jcts.len(), jobs.len());
+        for (job, &jct) in jobs.iter().zip(&stats.jcts) {
+            let longest_task = job
+                .stages
+                .iter()
+                .flat_map(|s| s.durations.iter())
+                .cloned()
+                .fold(0.0f64, f64::max);
+            prop_assert!(jct + 1e-9 >= longest_task, "JCT {} < longest task {}", jct, longest_task);
+            // And at least the critical path through stage-level serial work:
+            let serial: f64 = 0.0;
+            prop_assert!(jct >= serial);
+        }
+    }
+
+    /// The active-jobs integral equals the sum of JCTs when all jobs arrive
+    /// at time zero (conservation of "work in system").
+    #[test]
+    fn cjs_active_integral_identity(seed in 0u64..200) {
+        let mut jobs = nt_cjs::generate_workload(&nt_cjs::WorkloadConfig {
+            num_jobs: 6, mean_interarrival: 1.0, seed,
+        });
+        for j in &mut jobs { j.arrival = 0.0; }
+        let stats = nt_cjs::run_workload(&mut nt_cjs::Srpt, &jobs, 8, None);
+        let sum: f64 = stats.jcts.iter().sum();
+        prop_assert!((stats.active_job_seconds - sum).abs() < 1e-6 * sum.max(1.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VP metric identities
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wrapping is idempotent and stays in range.
+    #[test]
+    fn wrap_deg_idempotent(d in -1000.0f32..1000.0) {
+        let w = nt_vp::wrap_deg(d);
+        prop_assert!((-180.0..180.0).contains(&w));
+        prop_assert_eq!(nt_vp::wrap_deg(w), w);
+    }
+
+    /// delta-encode then apply reconstructs the trace (modulo clamping).
+    #[test]
+    fn deltas_roundtrip(
+        start_pitch in -60.0f32..60.0,
+        start_yaw in -179.0f32..179.0,
+        moves in proptest::collection::vec((-3.0f32..3.0, -5.0f32..5.0), 1..30),
+    ) {
+        let mut vps = vec![[0.0, start_pitch, start_yaw]];
+        for (dp, dy) in &moves {
+            let last = *vps.last().unwrap();
+            vps.push([0.0, (last[1] + dp).clamp(-80.0, 80.0), nt_vp::wrap_deg(last[2] + dy)]);
+        }
+        let deltas = nt_vp::to_deltas(&vps);
+        let rebuilt = nt_vp::apply_deltas(&vps[0], &deltas);
+        for (r, v) in rebuilt.iter().zip(&vps[1..]) {
+            prop_assert!(nt_vp::viewport_error(r, v) < 1e-3);
+        }
+    }
+
+    /// MAE is symmetric and zero iff sequences coincide.
+    #[test]
+    fn mae_symmetry(
+        a in proptest::collection::vec((-40.0f32..40.0, -80.0f32..80.0, -179.0f32..179.0), 1..10),
+    ) {
+        let seq: Vec<[f32; 3]> = a.iter().map(|&(r, p, y)| [r, p, y]).collect();
+        prop_assert_eq!(nt_vp::mae(&seq, &seq), 0.0);
+        let shifted: Vec<[f32; 3]> = seq.iter().map(|v| [v[0] + 1.0, v[1], v[2]]).collect();
+        let d1 = nt_vp::mae(&seq, &shifted);
+        let d2 = nt_vp::mae(&shifted, &seq);
+        prop_assert!((d1 - d2).abs() < 1e-5);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framework invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The ABR networking head's answer is a valid rung for ANY hidden
+    /// state (the reliability guarantee of §4.2).
+    #[test]
+    fn abr_head_validity(seed in 0u64..10_000, scale in 0.1f32..100.0) {
+        let mut store = nt_nn::ParamStore::new();
+        let mut rng = nt_tensor::Rng::seeded(seed);
+        let head = netllm::AbrHead::new(&mut store, 16, 6, &mut rng);
+        let mut f = nt_nn::Fwd::eval();
+        let h = f.input(nt_tensor::Tensor::randn([1, 16], scale, &mut rng));
+        let logits = head.forward(&mut f, &store, h);
+        let answer = f.g.value(logits).argmax();
+        prop_assert!(answer < 6);
+    }
+
+    /// Prompt answers that render from real viewports always parse back
+    /// (the inverse direction — arbitrary text — is allowed to fail).
+    #[test]
+    fn prompt_render_parse_roundtrip(
+        vps in proptest::collection::vec((-40.0f32..40.0, -80.0f32..80.0, -170.0f32..170.0), 5..8),
+    ) {
+        let future: Vec<[f32; 3]> = vps.iter().map(|&(r, p, y)| [r, p, y]).collect();
+        let text = netllm::render_answer(&future);
+        let parsed = netllm::parse_answer(&text);
+        prop_assert!(parsed.is_some(), "rendered answer failed to parse: {}", text);
+        let parsed = parsed.unwrap();
+        for (a, b) in parsed.iter().zip(&future) {
+            // integer rounding in the template
+            prop_assert!((a[0] - b[0]).abs() <= 0.5 + 1e-3);
+            prop_assert!((a[1] - b[1]).abs() <= 0.5 + 1e-3);
+        }
+    }
+
+    /// Tokenizer roundtrip over its printable charset.
+    #[test]
+    fn tokenizer_roundtrip(s in "[a-z0-9 .,:;()\\[\\]{}+*/=_#!?%-]{0,40}") {
+        let tok = nt_llm::Tokenizer::new();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+}
