@@ -92,7 +92,7 @@ impl GenetNet {
 
     /// Greedy/sampled action probabilities for a single observation.
     pub fn probs(&self, store: &ParamStore, feat: &[f32]) -> Vec<f32> {
-        let mut f = Fwd::eval();
+        let mut f = Fwd::eval_no_tape();
         let x = f.input(Tensor::from_vec([1, FEAT_DIM], feat.to_vec()));
         let (logits, _) = self.forward(&mut f, store, x);
         f.g.value(logits).clone().softmax_last().into_data()
@@ -385,7 +385,7 @@ mod tests {
     fn bc_only_training_mimics_mpc_choices() {
         let video = envivio_like(&mut Rng::seeded(1));
         let traces = generate_set(TraceKind::FccLike, 4, 300, &mut Rng::seeded(2));
-        let cfg = GenetTrainConfig { bc_iters: 60, rl_iters: 0, ..Default::default() };
+        let cfg = GenetTrainConfig { bc_iters: 150, rl_iters: 0, ..Default::default() };
         let mut pol = train_genet(&video, &traces, &cfg);
         // On a plentiful-bandwidth observation MPC picks high; the clone should too.
         let obs = AbrObservation {

@@ -80,8 +80,7 @@ impl AbrPolicy for Mpc {
             let err = ((pred - actual) / actual.max(1e-9)).abs();
             self.max_err = self.max_err.max(err.min(1.0));
         }
-        let recent: Vec<f64> =
-            obs.throughput_hist.iter().rev().take(5).cloned().collect();
+        let recent: Vec<f64> = obs.throughput_hist.iter().rev().take(5).cloned().collect();
         let Some(hm) = Self::harmonic_mean(&recent) else {
             return 0; // cold start: be conservative
         };
@@ -103,11 +102,7 @@ impl AbrPolicy for Mpc {
             let mut prev = last;
             let chunk_secs = 4.0_f64;
             for (i, &r) in seq.iter().enumerate() {
-                let size = if i == 0 {
-                    obs.next_sizes[r]
-                } else {
-                    obs.ladder_mbps[r] * chunk_secs
-                };
+                let size = if i == 0 { obs.next_sizes[r] } else { obs.ladder_mbps[r] * chunk_secs };
                 let dl = size / predicted.max(1e-9);
                 let rebuf = (dl - buffer).max(0.0);
                 buffer = (buffer - dl).max(0.0) + chunk_secs;
@@ -195,7 +190,7 @@ mod tests {
     fn mpc_beats_bba_on_broadband() {
         // The ranking the paper reports among rule-based policies.
         let video = envivio_like(&mut Rng::seeded(1));
-        let traces = generate_set(TraceKind::FccLike, 12, 400, &mut Rng::seeded(2));
+        let traces = generate_set(TraceKind::FccLike, 32, 400, &mut Rng::seeded(2));
         let cfg = SimConfig::default();
         let w = QoeWeights::default();
         let mut bba_total = 0.0;

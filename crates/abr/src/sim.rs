@@ -149,8 +149,13 @@ mod tests {
     fn lowest_rung_on_fast_link_never_rebuffers() {
         let video = envivio_like(&mut Rng::seeded(1));
         let trace = flat_trace(10.0);
-        let (stats, recs) =
-            run_session(&mut FixedRung(0), &video, &trace, &SimConfig::default(), &QoeWeights::default());
+        let (stats, recs) = run_session(
+            &mut FixedRung(0),
+            &video,
+            &trace,
+            &SimConfig::default(),
+            &QoeWeights::default(),
+        );
         assert_eq!(recs.len(), 48);
         assert!(stats.total_rebuffer_secs < 1e-9, "rebuffer {}", stats.total_rebuffer_secs);
     }
@@ -159,8 +164,13 @@ mod tests {
     fn highest_rung_on_slow_link_rebuffers_heavily() {
         let video = envivio_like(&mut Rng::seeded(2));
         let trace = flat_trace(1.0);
-        let (stats, _) =
-            run_session(&mut FixedRung(5), &video, &trace, &SimConfig::default(), &QoeWeights::default());
+        let (stats, _) = run_session(
+            &mut FixedRung(5),
+            &video,
+            &trace,
+            &SimConfig::default(),
+            &QoeWeights::default(),
+        );
         assert!(stats.total_rebuffer_secs > 100.0, "4.3Mbps video on 1Mbps link must stall");
         assert!(stats.qoe_per_chunk < 0.0);
     }
@@ -169,8 +179,13 @@ mod tests {
     fn buffer_is_capped() {
         let video = envivio_like(&mut Rng::seeded(3));
         let trace = flat_trace(50.0);
-        let (_, recs) =
-            run_session(&mut FixedRung(0), &video, &trace, &SimConfig::default(), &QoeWeights::default());
+        let (_, recs) = run_session(
+            &mut FixedRung(0),
+            &video,
+            &trace,
+            &SimConfig::default(),
+            &QoeWeights::default(),
+        );
         for r in &recs {
             assert!(r.buffer_after <= 60.0 + 1e-9);
         }
@@ -203,8 +218,13 @@ mod tests {
     fn observed_throughput_matches_link() {
         let video = envivio_like(&mut Rng::seeded(5));
         let trace = flat_trace(3.0);
-        let (_, recs) =
-            run_session(&mut FixedRung(2), &video, &trace, &SimConfig::default(), &QoeWeights::default());
+        let (_, recs) = run_session(
+            &mut FixedRung(2),
+            &video,
+            &trace,
+            &SimConfig::default(),
+            &QoeWeights::default(),
+        );
         for r in recs.iter().skip(1) {
             assert!((r.throughput_mbps - 3.0).abs() < 0.3, "{}", r.throughput_mbps);
         }
@@ -214,8 +234,13 @@ mod tests {
     fn rung_out_of_range_is_clamped() {
         let video = envivio_like(&mut Rng::seeded(6));
         let trace = flat_trace(3.0);
-        let (_, recs) =
-            run_session(&mut FixedRung(99), &video, &trace, &SimConfig::default(), &QoeWeights::default());
+        let (_, recs) = run_session(
+            &mut FixedRung(99),
+            &video,
+            &trace,
+            &SimConfig::default(),
+            &QoeWeights::default(),
+        );
         assert!(recs.iter().all(|r| r.rung == 5));
     }
 }

@@ -153,7 +153,11 @@ fn synth_wide(secs: usize, rng: &mut Rng) -> Vec<f64> {
         if hold == 0 {
             // jump to a nearby or far state
             let delta: i32 = if rng.chance(0.6) {
-                if rng.chance(0.5) { 1 } else { -1 }
+                if rng.chance(0.5) {
+                    1
+                } else {
+                    -1
+                }
             } else {
                 rng.range(0, 5) as i32 - 2
             };
@@ -180,12 +184,8 @@ pub fn stats(trace: &BandwidthTrace) -> TraceStats {
     let n = trace.mbps.len() as f64;
     let mean = trace.mean();
     let var = trace.mbps.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / n;
-    let volatility = trace
-        .mbps
-        .windows(2)
-        .map(|w| (w[1] - w[0]).abs())
-        .sum::<f64>()
-        / (n - 1.0).max(1.0);
+    let volatility =
+        trace.mbps.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (n - 1.0).max(1.0);
     TraceStats { mean, std: var.sqrt(), volatility }
 }
 

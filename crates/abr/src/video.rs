@@ -70,12 +70,7 @@ fn build(name: &str, ladder: &[u32], chunks: usize, chunk_secs: f64, rng: &mut R
             .collect();
         sizes.push(row);
     }
-    Video {
-        name: name.into(),
-        bitrates_kbps: ladder.to_vec(),
-        sizes_megabits: sizes,
-        chunk_secs,
-    }
+    Video { name: name.into(), bitrates_kbps: ladder.to_vec(), sizes_megabits: sizes, chunk_secs }
 }
 
 #[cfg(test)]
@@ -96,10 +91,7 @@ mod tests {
         let v = envivio_like(&mut Rng::seeded(2));
         for c in 0..v.num_chunks() {
             for r in 1..v.num_rungs() {
-                assert!(
-                    v.size(c, r) > v.size(c, r - 1),
-                    "chunk {c}: rung {r} not larger"
-                );
+                assert!(v.size(c, r) > v.size(c, r - 1), "chunk {c}: rung {r} not larger");
             }
         }
     }

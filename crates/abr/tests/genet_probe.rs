@@ -13,15 +13,27 @@ fn genet_default_budget() {
     let sc = SimConfig::default();
     let w = QoeWeights::default();
     let avg = |p: &mut dyn AbrPolicy| -> f64 {
-        test.iter().map(|t| run_session(p, &video, t, &sc, &w).0.qoe_per_chunk).sum::<f64>() / test.len() as f64
+        test.iter().map(|t| run_session(p, &video, t, &sc, &w).0.qoe_per_chunk).sum::<f64>()
+            / test.len() as f64
     };
-    println!("default: BBA {:.3} MPC {:.3} GENET {:.3}", avg(&mut Bba::default()), avg(&mut Mpc::default()), avg(&mut genet));
+    println!(
+        "default: BBA {:.3} MPC {:.3} GENET {:.3}",
+        avg(&mut Bba::default()),
+        avg(&mut Mpc::default()),
+        avg(&mut genet)
+    );
     // unseen settings
     let synth = generate_set(TraceKind::SynthWide, 30, 350, &mut Rng::seeded(0xE7 ^ 0xBBBB));
     let avg_s = |p: &mut dyn AbrPolicy| -> f64 {
-        synth.iter().map(|t| run_session(p, &video, t, &sc, &w).0.qoe_per_chunk).sum::<f64>() / synth.len() as f64
+        synth.iter().map(|t| run_session(p, &video, t, &sc, &w).0.qoe_per_chunk).sum::<f64>()
+            / synth.len() as f64
     };
-    println!("unseen1(synth traces): BBA {:.3} MPC {:.3} GENET {:.3}", avg_s(&mut Bba::default()), avg_s(&mut Mpc::default()), avg_s(&mut genet));
+    println!(
+        "unseen1(synth traces): BBA {:.3} MPC {:.3} GENET {:.3}",
+        avg_s(&mut Bba::default()),
+        avg_s(&mut Mpc::default()),
+        avg_s(&mut genet)
+    );
 }
 
 #[test]
@@ -35,7 +47,11 @@ fn genet_bc_only() {
         let test = generate_set(TraceKind::FccLike, 20, 350, &mut Rng::seeded(0xE7 ^ 0xBBBB));
         let sc = SimConfig::default();
         let w = QoeWeights::default();
-        let avg = test.iter().map(|t| run_session(&mut genet, &video, t, &sc, &w).0.qoe_per_chunk).sum::<f64>() / test.len() as f64;
+        let avg = test
+            .iter()
+            .map(|t| run_session(&mut genet, &video, t, &sc, &w).0.qoe_per_chunk)
+            .sum::<f64>()
+            / test.len() as f64;
         println!("bc {bc} rl {rl}: GENET {avg:.3}");
     }
 }
@@ -53,13 +69,23 @@ fn bc_accuracy_probe() {
     let w = QoeWeights::default();
     let mut all_feats: Vec<Vec<f32>> = vec![];
     let mut all_actions: Vec<usize> = vec![];
-    struct Rec<'a> { inner: Mpc, feats: &'a mut Vec<Vec<f32>>, acts: &'a mut Vec<usize> }
+    struct Rec<'a> {
+        inner: Mpc,
+        feats: &'a mut Vec<Vec<f32>>,
+        acts: &'a mut Vec<usize>,
+    }
     impl AbrPolicy for Rec<'_> {
-        fn name(&self) -> &str { "r" }
-        fn reset(&mut self) { self.inner.reset() }
+        fn name(&self) -> &str {
+            "r"
+        }
+        fn reset(&mut self) {
+            self.inner.reset()
+        }
         fn select(&mut self, o: &AbrObservation) -> usize {
             let a = self.inner.select(o);
-            self.feats.push(featurize(o)); self.acts.push(a); a
+            self.feats.push(featurize(o));
+            self.acts.push(a);
+            a
         }
     }
     for t in &traces {
@@ -69,7 +95,9 @@ fn bc_accuracy_probe() {
     let n = all_actions.len();
     println!("dataset {} samples; action histogram:", n);
     let mut hist = [0; 6];
-    for &a in &all_actions { hist[a] += 1; }
+    for &a in &all_actions {
+        hist[a] += 1;
+    }
     println!("{hist:?}");
     let split = n * 4 / 5;
     for lr in [2e-4f32, 1e-3] {
@@ -79,10 +107,12 @@ fn bc_accuracy_probe() {
         let mut rng = Rng::seeded(5);
         for it in 0..2000 {
             // minibatch 48
-            let mut bf = vec![]; let mut ba = vec![];
+            let mut bf = vec![];
+            let mut ba = vec![];
             for _ in 0..48 {
                 let i = rng.below(split);
-                bf.extend(&all_feats[i]); ba.push(all_actions[i]);
+                bf.extend(&all_feats[i]);
+                ba.push(all_actions[i]);
             }
             let mut f = Fwd::train(it as u64);
             let x = f.input(Tensor::from_vec([48, nt_abr::FEAT_DIM], bf));
@@ -96,8 +126,15 @@ fn bc_accuracy_probe() {
         let mut correct = 0;
         for i in split..n {
             let p = net.probs(&store, &all_feats[i]);
-            let mut b = 0; for (j, &x) in p.iter().enumerate() { if x > p[b] { b = j; } }
-            if b == all_actions[i] { correct += 1; }
+            let mut b = 0;
+            for (j, &x) in p.iter().enumerate() {
+                if x > p[b] {
+                    b = j;
+                }
+            }
+            if b == all_actions[i] {
+                correct += 1;
+            }
         }
         println!("lr {lr}: held-out accuracy {:.1}%", 100.0 * correct as f64 / (n - split) as f64);
     }

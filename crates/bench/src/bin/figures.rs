@@ -125,7 +125,12 @@ fn fig2(e: &Engine) {
                 format!("{token_lat:.4}"),
                 format!("{:.1}", token_stats.mean_inferences),
             ],
-            vec!["networking head".into(), "100.0".into(), format!("{netllm_lat:.4}"), "1.0".into()],
+            vec![
+                "networking head".into(),
+                "100.0".into(),
+                format!("{netllm_lat:.4}"),
+                "1.0".into(),
+            ],
         ],
     );
     let path = write_report(
@@ -210,7 +215,8 @@ fn fig3(e: &Engine) {
         let dd_update = update * iters;
         (std_collect, std_update, dd_once, dd_update)
     };
-    let (a_sc, a_su, a_dc, a_du) = compose(rollout_unit, update_unit, dd_collect_once, paper_abr_iters);
+    let (a_sc, a_su, a_dc, a_du) =
+        compose(rollout_unit, update_unit, dd_collect_once, paper_abr_iters);
     let (c_sc, c_su, c_dc, c_du) =
         compose(cjs_rollout_unit, cjs_update_unit, cjs_dd_collect_once, paper_cjs_iters);
 
@@ -219,10 +225,34 @@ fn fig3(e: &Engine) {
         "fig3: training-time split at paper iteration counts",
         &["task", "pipeline", "collect s", "update s", "collect %"],
         &[
-            vec!["ABR".into(), "standard RL".into(), format!("{a_sc:.1}"), format!("{a_su:.1}"), format!("{:.2}", pct(a_sc, a_su))],
-            vec!["ABR".into(), "DD-LRNA".into(), format!("{a_dc:.1}"), format!("{a_du:.1}"), format!("{:.2}", pct(a_dc, a_du))],
-            vec!["CJS".into(), "standard RL".into(), format!("{c_sc:.1}"), format!("{c_su:.1}"), format!("{:.2}", pct(c_sc, c_su))],
-            vec!["CJS".into(), "DD-LRNA".into(), format!("{c_dc:.1}"), format!("{c_du:.1}"), format!("{:.2}", pct(c_dc, c_du))],
+            vec![
+                "ABR".into(),
+                "standard RL".into(),
+                format!("{a_sc:.1}"),
+                format!("{a_su:.1}"),
+                format!("{:.2}", pct(a_sc, a_su)),
+            ],
+            vec![
+                "ABR".into(),
+                "DD-LRNA".into(),
+                format!("{a_dc:.1}"),
+                format!("{a_du:.1}"),
+                format!("{:.2}", pct(a_dc, a_du)),
+            ],
+            vec![
+                "CJS".into(),
+                "standard RL".into(),
+                format!("{c_sc:.1}"),
+                format!("{c_su:.1}"),
+                format!("{:.2}", pct(c_sc, c_su)),
+            ],
+            vec![
+                "CJS".into(),
+                "DD-LRNA".into(),
+                format!("{c_dc:.1}"),
+                format!("{c_du:.1}"),
+                format!("{:.2}", pct(c_dc, c_du)),
+            ],
         ],
     );
     let reduction = |std_total: f64, dd_total: f64| 100.0 * (1.0 - dd_total / std_total);
@@ -382,19 +412,31 @@ fn abr_eval(e: &Engine, setting: &netllm::AbrSetting) -> Vec<(String, Vec<Sessio
     let mut out: Vec<(String, Vec<SessionStats>)> = Vec::new();
     {
         let mut bba = Bba::default();
-        out.push(("BBA".into(), traces.iter().map(|t| run_session(&mut bba, &video, t, &cfg, &w).0).collect()));
+        out.push((
+            "BBA".into(),
+            traces.iter().map(|t| run_session(&mut bba, &video, t, &cfg, &w).0).collect(),
+        ));
     }
     {
         let mut mpc = Mpc::default();
-        out.push(("MPC".into(), traces.iter().map(|t| run_session(&mut mpc, &video, t, &cfg, &w).0).collect()));
+        out.push((
+            "MPC".into(),
+            traces.iter().map(|t| run_session(&mut mpc, &video, t, &cfg, &w).0).collect(),
+        ));
     }
     {
         let mut genet = e.genet();
-        out.push(("GENET".into(), traces.iter().map(|t| run_session(&mut genet, &video, t, &cfg, &w).0).collect()));
+        out.push((
+            "GENET".into(),
+            traces.iter().map(|t| run_session(&mut genet, &video, t, &cfg, &w).0).collect(),
+        ));
     }
     {
         let mut nl = e.netllm_abr(AdaptMode::FullKnowledge);
-        out.push(("NetLLM".into(), traces.iter().map(|t| run_session(&mut nl, &video, t, &cfg, &w).0).collect()));
+        out.push((
+            "NetLLM".into(),
+            traces.iter().map(|t| run_session(&mut nl, &video, t, &cfg, &w).0).collect(),
+        ));
     }
     out
 }
@@ -498,7 +540,7 @@ fn fig12(e: &Engine) {
         let series = abr_eval(e, &setting);
         let methods: Vec<String> = series.iter().map(|(n, _)| n.clone()).collect();
         let agg = |f: &dyn Fn(&SessionStats) -> f64| -> Vec<f64> {
-            series.iter().map(|(_, s)| mean(&s.iter().map(|x| f(x)).collect::<Vec<_>>())).collect()
+            series.iter().map(|(_, s)| mean(&s.iter().map(f).collect::<Vec<_>>())).collect()
         };
         let qoe = agg(&|x| x.qoe_per_chunk);
         let bitrate = agg(&|x| x.mean_bitrate_mbps);
@@ -574,7 +616,9 @@ fn fig13(e: &Engine) {
         let mut cjs_m = e.netllm_cjs(mode);
         let jcts: Vec<f64> = workloads
             .iter()
-            .flat_map(|jobs| nt_cjs::run_workload(&mut cjs_m, jobs, CJS_DEFAULT.executors, None).jcts)
+            .flat_map(|jobs| {
+                nt_cjs::run_workload(&mut cjs_m, jobs, CJS_DEFAULT.executors, None).jcts
+            })
             .collect();
         cjs_rows.push(vec![mode.name().into(), format!("{:.1}", mean(&jcts))]);
 

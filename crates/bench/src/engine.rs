@@ -3,9 +3,9 @@
 //! fidelity, and provides the shared evaluation environments.
 
 use netllm::{
-    build_abr_env, build_cjs_workloads, build_vp_data,
-    rl_collect_abr, rl_collect_cjs, AbrTrajectory, AdaptMode, CjsTrajectory, Fidelity, NetLlmAbr,
-    NetLlmCjs, NetLlmVp, VpData, ABR_DEFAULT, CJS_DEFAULT, VP_DEFAULT,
+    build_abr_env, build_cjs_workloads, build_vp_data, rl_collect_abr, rl_collect_cjs,
+    AbrTrajectory, AdaptMode, CjsTrajectory, Fidelity, NetLlmAbr, NetLlmCjs, NetLlmVp, VpData,
+    ABR_DEFAULT, CJS_DEFAULT, VP_DEFAULT,
 };
 use nt_abr::{train_genet, GenetPolicy, GenetTrainConfig};
 use nt_cjs::{train_decima, DecimaPolicy, DecimaTrainConfig};
@@ -98,7 +98,8 @@ impl Engine {
         let mut policy = {
             // Build untrained net for potential checkpoint restore.
             let mut store = nt_nn::ParamStore::new();
-            let net = nt_abr::genet::GenetNet::new(&mut store, &mut nt_tensor::Rng::seeded(cfg.seed));
+            let net =
+                nt_abr::genet::GenetNet::new(&mut store, &mut nt_tensor::Rng::seeded(cfg.seed));
             GenetPolicy { net, store }
         };
         let path = self.ckpt("genet");
@@ -236,15 +237,14 @@ impl Engine {
             AdaptMode::NoPretrain => self.zoo.build_random(&profile_spec(Profile::LlamaSim)),
             _ => self.backbone(),
         };
-        let probe = NetLlmCjs::new(backbone, mode, netllm::default_lora(netllm::Task::Cjs), 8, 0xF3);
+        let probe =
+            NetLlmCjs::new(backbone, mode, netllm::default_lora(netllm::Task::Cjs), 8, 0xF3);
         let path = self.ckpt(&format!("netllm-cjs-{}", mode.name()));
         let mut model = probe;
         if checkpoint::load(&mut model.store, &path).is_ok() {
             let data = self.cjs_experience();
-            let best = data
-                .iter()
-                .filter_map(|t| t.steps.first().map(|s| s.rtg))
-                .fold(f32::MIN, f32::max);
+            let best =
+                data.iter().filter_map(|t| t.steps.first().map(|s| s.rtg)).fold(f32::MIN, f32::max);
             model.target_return = best * 0.95;
             return model;
         }

@@ -1,0 +1,65 @@
+//! Acceptance gate for the shared KV-cache engine: incremental decode must
+//! be >= 5x faster than full re-forward decode at sequence length >= 128,
+//! while producing the same logits.
+
+use nt_llm::{size_spec, Zoo};
+use nt_tensor::Rng;
+use std::time::Instant;
+
+#[test]
+fn kv_cached_decode_is_at_least_5x_faster_at_len_128() {
+    let loaded =
+        Zoo::new(std::env::temp_dir().join("kv-speedup-test")).build_random(&size_spec("7b-sim"));
+    let mut rng = Rng::seeded(1);
+    let len = 136; // >= 128, within the backbone's max_seq of 160
+    let prompt = 8;
+    let ids: Vec<usize> = (0..len).map(|_| rng.below(loaded.tok.vocab_size())).collect();
+
+    // Warm up both paths (allocator, caches).
+    let mut warm = loaded.lm.start_session();
+    let _ = loaded.lm.next_token_logits_cached(&loaded.store, &ids[..prompt], &mut warm);
+    let _ = loaded.lm.next_token_logits(&loaded.store, &ids[..prompt]);
+
+    // Time each path twice and keep the minimum: the ratio assertion below
+    // runs in CI, and the min filters scheduler noise on shared runners.
+    let mut cached = std::time::Duration::MAX;
+    let mut cached_logits = Vec::new();
+    for _ in 0..2 {
+        let start = Instant::now();
+        let mut session = loaded.lm.start_session();
+        cached_logits.clear();
+        for t in prompt..=len {
+            cached_logits.push(loaded.lm.next_token_logits_cached(
+                &loaded.store,
+                &ids[..t],
+                &mut session,
+            ));
+        }
+        cached = cached.min(start.elapsed());
+    }
+
+    let mut full = std::time::Duration::MAX;
+    let mut full_logits = Vec::new();
+    for _ in 0..2 {
+        let start = Instant::now();
+        full_logits.clear();
+        for t in prompt..=len {
+            full_logits.push(loaded.lm.next_token_logits(&loaded.store, &ids[..t]));
+        }
+        full = full.min(start.elapsed());
+    }
+
+    // Identical answers...
+    for (c, f) in cached_logits.iter().zip(&full_logits) {
+        for (a, b) in c.data().iter().zip(f.data()) {
+            assert!((a - b).abs() < 1e-5, "cached decode changed the logits: {a} vs {b}");
+        }
+    }
+    // ...much faster.
+    let speedup = full.as_secs_f64() / cached.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 5.0,
+        "KV-cached decode must be >= 5x faster at len {len}: cached {cached:?}, full {full:?} ({speedup:.1}x)"
+    );
+    println!("kv decode speedup at len {len}: {speedup:.1}x (cached {cached:?}, full {full:?})");
+}

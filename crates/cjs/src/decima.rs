@@ -35,7 +35,15 @@ impl DecimaNet {
         DecimaNet {
             gnn: Gnn::new(store, "decima.gnn", NODE_FEATS, EMB, EMB, 2, rng),
             score: Linear::new(store, "decima.score", 2 * EMB, 1, true, Init::Xavier, rng),
-            cap: Linear::new(store, "decima.cap", 2 * EMB, CAP_FRACS.len(), true, Init::Xavier, rng),
+            cap: Linear::new(
+                store,
+                "decima.cap",
+                2 * EMB,
+                CAP_FRACS.len(),
+                true,
+                Init::Xavier,
+                rng,
+            ),
         }
     }
 
@@ -72,7 +80,7 @@ impl DecimaNet {
         snap: &GraphSnapshot,
         chosen: Option<usize>,
     ) -> (Vec<f32>, Vec<f32>) {
-        let mut f = Fwd::eval();
+        let mut f = Fwd::eval_no_tape();
         let (sl, cl) = self.decision_logits(&mut f, store, snap, chosen.unwrap_or(0));
         let sp = f.g.value(sl).clone().softmax_last().into_data();
         let cp = f.g.value(cl).clone().softmax_last().into_data();
@@ -99,11 +107,7 @@ impl Scheduler for DecimaPolicy {
         }
         let snap = snapshot(view);
         let (sp, _) = self.net.probs(&self.store, &snap, None);
-        let stage = if self.sample {
-            self.rng.categorical(&sp)
-        } else {
-            argmax(&sp)
-        };
+        let stage = if self.sample { self.rng.categorical(&sp) } else { argmax(&sp) };
         let (_, cp) = self.net.probs(&self.store, &snap, Some(stage));
         let cap_idx = if self.sample { self.rng.categorical(&cp) } else { argmax(&cp) };
         let cap = (CAP_FRACS[cap_idx] * view.total_executors as f64).ceil() as usize;
@@ -235,7 +239,8 @@ pub fn train_decima(mean_interarrival: f64, cfg: &DecimaTrainConfig) -> DecimaPo
             / returns.len() as f32)
             .sqrt()
             .max(1e-6);
-        let adv: Vec<f32> = returns.iter().map(|r| ((r - mean_r) / std_r).clamp(-3.0, 3.0)).collect();
+        let adv: Vec<f32> =
+            returns.iter().map(|r| ((r - mean_r) / std_r).clamp(-3.0, 3.0)).collect();
 
         let mut keep: Vec<usize> = (0..recs.len()).collect();
         policy.rng.shuffle(&mut keep);
@@ -246,7 +251,8 @@ pub fn train_decima(mean_interarrival: f64, cfg: &DecimaTrainConfig) -> DecimaPo
         for &k in &keep {
             let r = &recs[k];
             let w = vec![adv[k]];
-            let (sl, cl) = policy.net.decision_logits(&mut f, &policy.store, &r.snap, r.stage_choice);
+            let (sl, cl) =
+                policy.net.decision_logits(&mut f, &policy.store, &r.snap, r.stage_choice);
             let ls = f.g.weighted_cross_entropy(sl, &[r.stage_choice], &w);
             let lc = f.g.weighted_cross_entropy(cl, &[r.cap_choice], &w);
             let sum = f.g.add(ls, lc);
@@ -335,7 +341,8 @@ mod tests {
         let mut store = ParamStore::new();
         let net = DecimaNet::new(&mut store, &mut rng);
         let mut pol = DecimaPolicy { net, store, sample: false, rng: Rng::seeded(2) };
-        let jobs = generate_workload(&WorkloadConfig { num_jobs: 6, mean_interarrival: 1.0, seed: 3 });
+        let jobs =
+            generate_workload(&WorkloadConfig { num_jobs: 6, mean_interarrival: 1.0, seed: 3 });
         let stats = run_workload(&mut pol, &jobs, 8, None);
         assert_eq!(stats.jcts.len(), 6);
     }
@@ -344,9 +351,16 @@ mod tests {
     fn bc_training_moves_toward_srpt_behaviour() {
         // Trained briefly with BC only, Decima should track SRPT more than
         // FIFO does on held-out workloads.
-        let cfg = DecimaTrainConfig { bc_iters: 12, rl_iters: 0, episode_jobs: 6, executors: 8, ..Default::default() };
+        let cfg = DecimaTrainConfig {
+            bc_iters: 12,
+            rl_iters: 0,
+            episode_jobs: 6,
+            executors: 8,
+            ..Default::default()
+        };
         let mut pol = train_decima(1.0, &cfg);
-        let jobs = generate_workload(&WorkloadConfig { num_jobs: 10, mean_interarrival: 1.0, seed: 77 });
+        let jobs =
+            generate_workload(&WorkloadConfig { num_jobs: 10, mean_interarrival: 1.0, seed: 77 });
         let d = run_workload(&mut pol, &jobs, 8, None).mean_jct();
         let f = run_workload(&mut Fifo, &jobs, 8, None).mean_jct();
         // The cloned policy should already be in FIFO's ballpark or better.
@@ -354,6 +368,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn cap_menu_is_ascending_and_positive() {
         for w in CAP_FRACS.windows(2) {
             assert!(w[1] > w[0]);

@@ -205,7 +205,8 @@ mod tests {
 
     #[test]
     fn workload_arrivals_are_monotone() {
-        let jobs = generate_workload(&WorkloadConfig { num_jobs: 50, mean_interarrival: 2.0, seed: 3 });
+        let jobs =
+            generate_workload(&WorkloadConfig { num_jobs: 50, mean_interarrival: 2.0, seed: 3 });
         assert_eq!(jobs.len(), 50);
         for w in jobs.windows(2) {
             assert!(w[1].arrival >= w[0].arrival);
@@ -218,10 +219,7 @@ mod tests {
         let a = instantiate(7, 0, 0.0, &mut rng);
         let b = instantiate(7, 1, 0.0, &mut rng);
         assert_eq!(a.edges, b.edges, "same template => same DAG shape");
-        assert_ne!(
-            a.stages[0].durations, b.stages[0].durations,
-            "instances must jitter durations"
-        );
+        assert_ne!(a.stages[0].durations, b.stages[0].durations, "instances must jitter durations");
     }
 
     #[test]

@@ -40,13 +40,8 @@ impl Scheduler for Fair {
     }
 
     fn decide(&mut self, view: &SchedView) -> Option<Decision> {
-        let active = view
-            .jobs
-            .iter()
-            .filter(|j| j.arrived && !j.completed)
-            .count()
-            .max(1);
-        let share = (view.total_executors + active - 1) / active;
+        let active = view.jobs.iter().filter(|j| j.arrived && !j.completed).count().max(1);
+        let share = view.total_executors.div_ceil(active);
         // Pick the candidate whose job is furthest below its share.
         let mut best: Option<(usize, i64)> = None;
         for (i, c) in view.candidates.iter().enumerate() {
@@ -63,7 +58,10 @@ impl Scheduler for Fair {
         if deficit <= 0 {
             // Every job is at/over its share; still make progress by giving
             // the least-served job one more slot (work conservation).
-            return Some(Decision { candidate: idx, cap: view.jobs[view.candidates[idx].job].running_executors + 1 });
+            return Some(Decision {
+                candidate: idx,
+                cap: view.jobs[view.candidates[idx].job].running_executors + 1,
+            });
         }
         let job = view.candidates[idx].job;
         Some(Decision {
@@ -144,14 +142,14 @@ mod tests {
     #[test]
     fn fair_beats_fifo_on_mean_jct_under_contention() {
         let mut fair_wins = 0;
-        for seed in 0..6 {
-            let jobs = workload(25, 200 + seed);
+        for seed in 0..12 {
+            let jobs = workload(50, 200 + seed);
             let fifo = run_workload(&mut Fifo, &jobs, 8, None).mean_jct();
             let fair = run_workload(&mut Fair, &jobs, 8, None).mean_jct();
             if fair < fifo {
                 fair_wins += 1;
             }
         }
-        assert!(fair_wins >= 4, "Fair should usually beat FIFO ({fair_wins}/6)");
+        assert!(fair_wins >= 8, "Fair should usually beat FIFO ({fair_wins}/12)");
     }
 }

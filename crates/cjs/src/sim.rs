@@ -208,8 +208,7 @@ pub fn run_workload(
     let mut active_jobs = 0usize;
     let mut active_integral = 0.0f64;
     let mut completed = 0usize;
-    let mut stats = CjsStats::default();
-    stats.jcts = vec![0.0; jobs.len()];
+    let mut stats = CjsStats { jcts: vec![0.0; jobs.len()], ..CjsStats::default() };
 
     while let Some(Timed { time, event, .. }) = heap.pop() {
         now = time;

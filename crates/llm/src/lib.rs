@@ -18,9 +18,11 @@
 //! - [`zoo`] — named profiles (llama/opt/mistral/llava-sim, Fig 15), the
 //!   size ladder (0.35b–13b-sim, Fig 16), disk-cached checkpoints
 //!
-//! Not implemented (by design): KV-cache generation (full re-forward per
-//! token keeps the Fig 2 latency account honest and is cheap at this scale),
-//! beam search, BPE.
+//! Generation runs through [`model::KvCache`] incremental decoding (one
+//! appended position per emitted token, with cross-call prefix reuse via
+//! [`model::DecodeSession`]); the uncached full re-forward is kept as the
+//! reference path for the equivalence tests and the latency benches. Still
+//! not implemented (by design): beam search, BPE.
 
 #![forbid(unsafe_code)]
 
@@ -29,7 +31,7 @@ pub mod pretrain;
 pub mod tokenizer;
 pub mod zoo;
 
-pub use model::{sample_logits, LmConfig, TinyLm};
+pub use model::{sample_logits, DecodeSession, KvCache, LmConfig, TinyLm};
 pub use pretrain::{eval_loss, pretrain, Corpus, CorpusMix, PretrainReport};
 pub use tokenizer::{Tokenizer, BOS, EOS, PAD, UNK};
 pub use zoo::{profile_spec, size_spec, LoadedLm, ModelSpec, Profile, Zoo, SIZE_LADDER};

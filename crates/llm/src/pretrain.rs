@@ -39,7 +39,14 @@ pub struct CorpusMix {
 impl CorpusMix {
     /// Text-only mixture (Llama2/OPT/Mistral-style profiles).
     pub fn text() -> Self {
-        CorpusMix { copy: 1.0, progression: 1.0, markov: 1.0, brackets: 0.5, sensor: 1.5, caption: 0.0 }
+        CorpusMix {
+            copy: 1.0,
+            progression: 1.0,
+            markov: 1.0,
+            brackets: 0.5,
+            sensor: 1.5,
+            caption: 0.0,
+        }
     }
 
     /// Multimodal mixture (LLaVa-style profile): adds grid-caption pairs.
@@ -104,16 +111,14 @@ impl Corpus {
 
     fn copy_task(&self, rng: &mut Rng) -> String {
         let n = rng.range(3, 9);
-        let letters: String =
-            (0..n).map(|_| (b'a' + rng.below(12) as u8) as char).collect();
+        let letters: String = (0..n).map(|_| (b'a' + rng.below(12) as u8) as char).collect();
         format!("{letters}#{letters}")
     }
 
     fn progression_task(&self, rng: &mut Rng) -> String {
         let start = rng.below(6);
         let step = rng.range(1, 4);
-        let terms: Vec<String> =
-            (0..8).map(|i| ((start + i * step) % 10).to_string()).collect();
+        let terms: Vec<String> = (0..8).map(|i| ((start + i * step) % 10).to_string()).collect();
         terms.join(" ")
     }
 
@@ -242,7 +247,7 @@ pub fn eval_loss(lm: &TinyLm, store: &ParamStore, corpus: &Corpus, n: usize, see
         if ids.len() < 2 {
             continue;
         }
-        let mut f = Fwd::eval();
+        let mut f = Fwd::eval_no_tape();
         let loss = lm.sequence_loss(&mut f, store, &ids);
         total += f.g.value(loss).item() as f64;
         count += 1;
@@ -344,11 +349,7 @@ mod tests {
         let lm = TinyLm::new(&mut store, cfg, &mut rng);
         pretrain(&lm, &mut store, &c, 30, 1e-2, 8);
         for id in store.ids() {
-            assert!(
-                !store.data(id).has_non_finite(),
-                "param {} went non-finite",
-                store.name(id)
-            );
+            assert!(!store.data(id).has_non_finite(), "param {} went non-finite", store.name(id));
         }
         let _ = Tensor::zeros([1]);
     }

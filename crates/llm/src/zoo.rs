@@ -56,16 +56,12 @@ pub fn profile_spec(p: Profile) -> ModelSpec {
     let vocab = tok.vocab_size();
     let (cfg, mix, seed) = match p {
         Profile::LlamaSim => (LmConfig::base(vocab), CorpusMix::text(), 101),
-        Profile::OptSim => (
-            LmConfig { n_heads: 2, ..LmConfig::base(vocab) },
-            CorpusMix::text(),
-            202,
-        ),
-        Profile::MistralSim => (
-            LmConfig { n_heads: 8, mlp_mult: 3, ..LmConfig::base(vocab) },
-            CorpusMix::text(),
-            303,
-        ),
+        Profile::OptSim => {
+            (LmConfig { n_heads: 2, ..LmConfig::base(vocab) }, CorpusMix::text(), 202)
+        }
+        Profile::MistralSim => {
+            (LmConfig { n_heads: 8, mlp_mult: 3, ..LmConfig::base(vocab) }, CorpusMix::text(), 303)
+        }
         Profile::LlavaSim => (LmConfig::base(vocab), CorpusMix::multimodal(), 404),
     };
     ModelSpec { name: p.name().to_string(), cfg, mix, seed }
@@ -149,12 +145,10 @@ impl Zoo {
     pub fn load_or_pretrain(&self, spec: &ModelSpec, steps: usize) -> LoadedLm {
         let mut loaded = self.build_random(spec);
         let path = self.path_for(spec, steps);
-        if path.exists() {
-            if checkpoint::load(&mut loaded.store, &path).is_ok() {
-                return loaded;
-            }
-            // Corrupt/stale cache: fall through and re-train.
+        if path.exists() && checkpoint::load(&mut loaded.store, &path).is_ok() {
+            return loaded;
         }
+        // Corrupt/stale cache: fall through and re-train.
         let mut rng = Rng::seeded(spec.seed ^ 0xC0FFEE);
         let corpus = Corpus::new(spec.mix.clone(), 32, &mut rng);
         let report = pretrain(&loaded.lm, &mut loaded.store, &corpus, steps, 3e-3, spec.seed);

@@ -83,7 +83,10 @@ mod tests {
             match mode {
                 AdaptMode::FullKnowledge => {
                     assert!(!backbone_trainable.is_empty());
-                    assert!(backbone_trainable.iter().all(|n| n.contains("lora")), "{backbone_trainable:?}");
+                    assert!(
+                        backbone_trainable.iter().all(|n| n.contains("lora")),
+                        "{backbone_trainable:?}"
+                    );
                 }
                 AdaptMode::NoPretrain => {
                     assert!(backbone_trainable.iter().any(|n| !n.contains("lora")));

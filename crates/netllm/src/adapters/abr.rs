@@ -15,6 +15,7 @@
 //! realised per-chunk QoE.
 
 use crate::adapt::{AdaptMode, LoraSpec};
+use crate::backbone::InferenceSession;
 use crate::heads::AbrHead;
 use crate::multimodal::{LearnedTokens, Projection, ScalarEncoder, SeriesEncoder};
 use nt_abr::{chunk_qoe, AbrObservation, AbrPolicy, QoeWeights};
@@ -100,11 +101,8 @@ impl AbrPolicy for AbrRecorder<'_> {
         // Settle the previous step's reward now that its outcome is visible.
         if let Some(prev) = self.traj.steps.last_mut() {
             let download = *obs.delay_hist.last().unwrap_or(&0.0);
-            let rebuf = if obs.chunk_index <= 1 {
-                0.0
-            } else {
-                (download - self.prev_buffer).max(0.0)
-            };
+            let rebuf =
+                if obs.chunk_index <= 1 { 0.0 } else { (download - self.prev_buffer).max(0.0) };
             let br = obs.ladder_mbps[prev.action];
             prev.reward = chunk_qoe(&self.weights, br, rebuf, self.prev_bitrate);
             self.prev_bitrate = Some(br);
@@ -149,10 +147,24 @@ pub struct NetLlmAbr {
     prev_bitrate: Option<f64>,
     prev_buffer: f64,
     weights: QoeWeights,
+    /// KV-cached inference session over the backbone; rollout steps append
+    /// ~[`TOK_PER_STEP`] new tokens instead of re-encoding the window.
+    session: InferenceSession,
+    /// First episode step currently encoded in the session.
+    anchor: usize,
+    /// Action logits of the most recent [`AbrPolicy::select`] call (the
+    /// equivalence tests compare these against the taped reference).
+    last_logits: Vec<f32>,
 }
 
 impl NetLlmAbr {
-    pub fn new(loaded: LoadedLm, mode: AdaptMode, lora: LoraSpec, window: usize, seed: u64) -> Self {
+    pub fn new(
+        loaded: LoadedLm,
+        mode: AdaptMode,
+        lora: LoraSpec,
+        window: usize,
+        seed: u64,
+    ) -> Self {
         let LoadedLm { mut lm, mut store, .. } = loaded;
         let mut rng = Rng::seeded(seed);
         let d = lm.cfg.d_model;
@@ -170,6 +182,7 @@ impl NetLlmAbr {
         let action_tokens = LearnedTokens::new(&mut store, "mm.abr_actions", 6, d, &mut rng);
         let head = AbrHead::new(&mut store, d, 6, &mut rng);
         mode.apply(&mut lm, &mut store, lora, &mut rng);
+        let session = InferenceSession::new(&lm);
         NetLlmAbr {
             lm,
             store,
@@ -193,6 +206,9 @@ impl NetLlmAbr {
             prev_bitrate: None,
             prev_buffer: 0.0,
             weights: QoeWeights::default(),
+            session,
+            anchor: 0,
+            last_logits: Vec::new(),
         }
     }
 
@@ -211,7 +227,8 @@ impl NetLlmAbr {
         let mut read_positions = Vec::with_capacity(steps.len());
         let mut pos = 0usize;
         for (i, s) in steps.iter().enumerate() {
-            let rtg_feat = self.rtg_enc.forward(f, &self.store, &Tensor::from_vec([1, 1], vec![rtgs[i]]));
+            let rtg_feat =
+                self.rtg_enc.forward(f, &self.store, &Tensor::from_vec([1, 1], vec![rtgs[i]]));
             groups.push(self.rtg_proj.forward(f, &self.store, rtg_feat));
             let thr = padded_series(&s.thr_hist, 8, 0.1);
             let thr_feat = self.thr_enc.forward_pooled(f, &self.store, &thr);
@@ -221,13 +238,17 @@ impl NetLlmAbr {
             groups.push(self.delay_proj.forward(f, &self.store, dl_feat));
             let sizes = Tensor::from_vec(
                 [1, 6],
-                (0..6).map(|r| s.next_sizes.get(r).map(|&x| (x / 20.0) as f32).unwrap_or(0.0)).collect(),
+                (0..6)
+                    .map(|r| s.next_sizes.get(r).map(|&x| (x / 20.0) as f32).unwrap_or(0.0))
+                    .collect(),
             );
             let sz_feat = self.sizes_enc.forward(f, &self.store, &sizes);
             groups.push(self.sizes_proj.forward(f, &self.store, sz_feat));
-            let buf_feat = self
-                .buf_enc
-                .forward(f, &self.store, &Tensor::from_vec([1, 1], vec![(s.buffer / 30.0) as f32]));
+            let buf_feat = self.buf_enc.forward(
+                f,
+                &self.store,
+                &Tensor::from_vec([1, 1], vec![(s.buffer / 30.0) as f32]),
+            );
             groups.push(self.buf_proj.forward(f, &self.store, buf_feat));
             pos += 5;
             read_positions.push(pos - 1); // the buffer token closes the state
@@ -249,18 +270,42 @@ impl NetLlmAbr {
     ) -> NodeId {
         let (tokens, reads) = self.tokenize(f, steps, rtgs, include_last_action);
         let hidden = self.lm.forward_embeddings(f, &self.store, tokens);
-        let rows: Vec<NodeId> =
-            reads.iter().map(|&p| f.g.narrow(hidden, 0, p, 1)).collect();
+        let rows: Vec<NodeId> = reads.iter().map(|&p| f.g.narrow(hidden, 0, p, 1)).collect();
         let gathered = f.g.concat(&rows, 0); // [w, d]
         self.head.forward(f, &self.store, gathered)
+    }
+
+    /// Graph-free state tokens `[5, d]` for one step (same encoder math as
+    /// [`NetLlmAbr::tokenize`], without the tape).
+    fn state_tokens_eval(&self, s: &AbrStep, rtg: f32) -> Tensor {
+        let st = &self.store;
+        let rtg_feat = self.rtg_enc.eval(st, &Tensor::from_vec([1, 1], vec![rtg]));
+        let rtg_tok = self.rtg_proj.eval(st, &rtg_feat);
+        let thr_feat = self.thr_enc.eval_pooled(st, &padded_series(&s.thr_hist, 8, 0.1));
+        let thr_tok = self.thr_proj.eval(st, &thr_feat);
+        let dl_feat = self.delay_enc.eval_pooled(st, &padded_series(&s.delay_hist, 8, 0.1));
+        let dl_tok = self.delay_proj.eval(st, &dl_feat);
+        let sizes = Tensor::from_vec(
+            [1, 6],
+            (0..6)
+                .map(|r| s.next_sizes.get(r).map(|&x| (x / 20.0) as f32).unwrap_or(0.0))
+                .collect(),
+        );
+        let sz_tok = self.sizes_proj.eval(st, &self.sizes_enc.eval(st, &sizes));
+        let buf = Tensor::from_vec([1, 1], vec![(s.buffer / 30.0) as f32]);
+        let buf_tok = self.buf_proj.eval(st, &self.buf_enc.eval(st, &buf));
+        nt_tensor::concat(&[&rtg_tok, &thr_tok, &dl_tok, &sz_tok, &buf_tok], 0)
+    }
+
+    fn action_token_eval(&self, action: usize) -> Tensor {
+        self.action_tokens.eval(&self.store, &[action.min(5)])
     }
 
     /// Data-driven adaptation over a fixed experience dataset (collected
     /// once — the key cost saving of Fig 3). Returns the tail-mean loss.
     pub fn adapt(&mut self, dataset: &[AbrTrajectory], iters: usize, lr: f32, seed: u64) -> f32 {
         assert!(!dataset.is_empty());
-        let usable: Vec<&AbrTrajectory> =
-            dataset.iter().filter(|t| t.steps.len() >= 2).collect();
+        let usable: Vec<&AbrTrajectory> = dataset.iter().filter(|t| t.steps.len() >= 2).collect();
         assert!(!usable.is_empty(), "trajectories too short");
         // Target return for inference: best behaviour return, stretched 10%.
         let best = usable.iter().map(|t| t.total_return()).fold(f64::MIN, f64::max);
@@ -296,10 +341,10 @@ impl NetLlmAbr {
 
 fn padded_series(xs: &[f64], len: usize, scale: f64) -> Tensor {
     let mut v = vec![0.0f32; len];
-    for i in 0..len {
+    for (i, slot) in v.iter_mut().enumerate() {
         let idx = xs.len() as isize - len as isize + i as isize;
         if idx >= 0 {
-            v[i] = (xs[idx as usize] * scale) as f32;
+            *slot = (xs[idx as usize] * scale) as f32;
         }
     }
     Tensor::from_vec([1, len], v)
@@ -315,20 +360,21 @@ impl AbrPolicy for NetLlmAbr {
         self.rtg_now = self.target_return;
         self.prev_bitrate = None;
         self.prev_buffer = 0.0;
+        self.session.clear();
+        self.anchor = 0;
     }
 
     fn select(&mut self, obs: &AbrObservation) -> usize {
-        // Settle the previous chunk's realised QoE and decrement the
-        // return-to-go (the DT inference rule).
-        if let Some(prev) = self.episode.steps.last() {
+        // Settle the previous chunk's realised QoE into the episode (the
+        // re-anchor rebuild reconstructs historical rtg prompts from these
+        // rewards) and decrement the return-to-go (the DT inference rule).
+        if let Some(prev) = self.episode.steps.last_mut() {
             let download = *obs.delay_hist.last().unwrap_or(&0.0);
-            let rebuf = if obs.chunk_index <= 1 {
-                0.0
-            } else {
-                (download - self.prev_buffer).max(0.0)
-            };
+            let rebuf =
+                if obs.chunk_index <= 1 { 0.0 } else { (download - self.prev_buffer).max(0.0) };
             let br = obs.ladder_mbps[prev.action];
             let r = chunk_qoe(&self.weights, br, rebuf, self.prev_bitrate);
+            prev.reward = r;
             self.rtg_now -= (r / R_SCALE) as f32;
             self.prev_bitrate = Some(br);
         }
@@ -341,25 +387,49 @@ impl AbrPolicy for NetLlmAbr {
             action: 0, // filled below
             reward: 0.0,
         });
-        let n = self.episode.steps.len();
-        let w = self.window.min(n);
-        let steps = self.episode.steps[n - w..].to_vec();
-        // Reconstruct the window's rtg sequence from the realised rewards.
-        let mut rtgs = vec![self.rtg_now; w];
-        for k in (0..w.saturating_sub(1)).rev() {
-            let future_reward = self.episode.steps[n - w + k].reward / R_SCALE;
-            rtgs[k] = rtgs[k + 1] + future_reward as f32;
-        }
-        let mut f = Fwd::eval();
-        let logits = self.window_logits(&mut f, &steps, &rtgs, false);
-        let lv = f.g.value(logits);
-        let last = lv.row(lv.shape()[0] - 1);
-        let mut best = 0usize;
-        for (i, &x) in last.iter().enumerate() {
-            if x > last[best] {
-                best = i;
+        let n = self.episode.steps.len() - 1; // index of the current step
+
+        // KV-cached inference: the session holds tokens for steps
+        // `anchor..=n-1` (the last one missing its action token, chosen
+        // after the fact). Append the settled action plus the new step's
+        // state; re-anchor to the training window when the context fills
+        // or the visible history reaches twice the training window, so the
+        // train/inference prompt-length mismatch stays bounded (see
+        // `backbone` module docs).
+        let grown = n - self.anchor >= 2 * self.window;
+        let new_tokens = if !self.session.is_empty() && self.session.fits(TOK_PER_STEP) && !grown {
+            let prev_action = self.episode.steps[n - 1].action;
+            let state = self.state_tokens_eval(&self.episode.steps[n], self.rtg_now);
+            nt_tensor::concat(&[&self.action_token_eval(prev_action), &state], 0)
+        } else {
+            // Fresh episode or full context: rebuild from the last
+            // `window` steps, reconstructing their rtg prompts from the
+            // realised rewards (identical values to when they were current).
+            let w = self.window.min(n + 1);
+            self.anchor = n + 1 - w;
+            self.session.clear();
+            let mut rtgs = vec![self.rtg_now; w];
+            for k in (0..w - 1).rev() {
+                let future_reward = self.episode.steps[self.anchor + k].reward / R_SCALE;
+                rtgs[k] = rtgs[k + 1] + future_reward as f32;
             }
-        }
+            let mut groups: Vec<Tensor> = Vec::with_capacity(2 * w);
+            for (k, &rtg) in rtgs.iter().enumerate() {
+                let step = &self.episode.steps[self.anchor + k];
+                groups.push(self.state_tokens_eval(step, rtg));
+                if k + 1 < w {
+                    groups.push(self.action_token_eval(step.action));
+                }
+            }
+            let refs: Vec<&Tensor> = groups.iter().collect();
+            nt_tensor::concat(&refs, 0)
+        };
+        let hidden = self.session.append(&self.lm, &self.store, &new_tokens);
+        // The final appended row is the current step's state-closing token.
+        let t_new = hidden.shape()[0];
+        let logits = self.head.eval(&self.store, &hidden.narrow(0, t_new - 1, 1));
+        let best = logits.argmax();
+        self.last_logits = logits.into_data();
         self.episode.steps.last_mut().unwrap().action = best;
         best
     }
@@ -435,11 +505,87 @@ mod tests {
     }
 
     #[test]
+    fn cached_rollout_matches_taped_window_forward() {
+        // The session-based select() must match the taped reference forward
+        // over the same token sequence at every step — including across the
+        // 2x-window re-anchors (the replay mirrors select()'s anchor
+        // bookkeeping).
+        let window = 3;
+        let mut m =
+            NetLlmAbr::new(backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), window, 11);
+        m.target_return = 2.0;
+        m.reset();
+        let mut rng = Rng::seeded(12);
+        let mut anchor = 0usize;
+        for chunk in 0..10 {
+            let obs = AbrObservation {
+                throughput_hist: (0..8).map(|_| rng.uniform(0.5, 6.0) as f64).collect(),
+                delay_hist: (0..8).map(|_| rng.uniform(0.5, 3.0) as f64).collect(),
+                next_sizes: (0..6).map(|r| 0.5 + r as f64).collect(),
+                buffer_secs: rng.uniform(2.0, 25.0) as f64,
+                last_rung: (chunk > 0).then_some(0),
+                remain_frac: 0.5,
+                ladder_mbps: vec![0.3, 0.75, 1.2, 1.85, 2.85, 4.3],
+                chunk_index: chunk,
+            };
+            let picked = m.select(&obs);
+            // Mirror select()'s re-anchor rule to know the visible steps.
+            let n = m.episode.steps.len() - 1;
+            if chunk == 0 || n - anchor >= 2 * window {
+                anchor = n + 1 - window.min(n + 1);
+            }
+            let steps = &m.episode.steps[anchor..];
+            let w = steps.len();
+            let mut rtgs = vec![m.rtg_now; w];
+            for k in (0..w - 1).rev() {
+                rtgs[k] = rtgs[k + 1] + (steps[k].reward / R_SCALE) as f32;
+            }
+            let mut f = Fwd::eval();
+            let logits = m.window_logits(&mut f, steps, &rtgs, false);
+            let lv = f.g.value(logits);
+            let reference = lv.row(lv.shape()[0] - 1);
+            // Full logits equivalence, not just the argmax: the cached
+            // session must encode the same rtg prompts as the reference.
+            assert_eq!(m.last_logits.len(), reference.len());
+            for (a, b) in m.last_logits.iter().zip(reference) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "chunk {chunk}: cached logits diverged from taped path: {a} vs {b}"
+                );
+            }
+            let ref_argmax = reference
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(picked, ref_argmax, "chunk {chunk}: action diverged from taped path");
+        }
+        assert!(m.anchor > 0, "probe should have re-anchored at least once");
+    }
+
+    #[test]
+    fn long_episode_reanchors_within_context() {
+        // 48-chunk sessions exceed the backbone context; the session must
+        // re-anchor instead of overflowing, and answers stay valid rungs.
+        let trajs = collect(1);
+        let mut m = NetLlmAbr::new(backbone(), AdaptMode::NoDomain, LoraSpec::default(), 6, 13);
+        m.adapt(&trajs, 4, 1e-3, 14);
+        let video = envivio_like(&mut Rng::seeded(15));
+        let traces = generate_set(TraceKind::FccLike, 1, 250, &mut Rng::seeded(16));
+        let (_, recs) =
+            run_session(&mut m, &video, &traces[0], &SimConfig::default(), &QoeWeights::default());
+        assert_eq!(recs.len(), 48);
+        assert!(recs.iter().all(|r| r.rung < 6));
+        assert!(m.session.len() <= m.lm.cfg.max_seq);
+    }
+
+    #[test]
     fn adaptation_reduces_loss() {
         let trajs = collect(3);
         let mut m = NetLlmAbr::new(backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 4, 7);
         let early = m.adapt(&trajs, 6, 1e-3, 8);
-        let late = m.adapt(&trajs, 30, 1e-3, 9);
+        let late = m.adapt(&trajs, 80, 1e-3, 9);
         assert!(late < early, "imitation loss should drop: {early} -> {late}");
     }
 }

@@ -18,8 +18,9 @@
 //! factorisation (see DESIGN.md).
 
 use crate::adapt::{AdaptMode, LoraSpec};
+use crate::backbone::InferenceSession;
 use crate::heads::CjsHeads;
-use crate::multimodal::{GraphEncoder, LearnedTokens, Projection, ScalarEncoder};
+use crate::multimodal::{mean_rows, GraphEncoder, LearnedTokens, Projection, ScalarEncoder};
 use nt_cjs::{snapshot, Decision, GraphSnapshot, SchedView, Scheduler, CAP_FRACS, NODE_FEATS};
 use nt_llm::zoo::LoadedLm;
 use nt_llm::TinyLm;
@@ -79,7 +80,8 @@ pub fn collect_episode(
         nt_cjs::run_workload(scheduler, jobs, executors, Some(&mut hook))
     };
     // Exact return-to-go of the active-jobs integral from each decision time.
-    let finishes: Vec<f64> = jobs.iter().zip(&stats.jcts).map(|(j, &jct)| j.arrival + jct).collect();
+    let finishes: Vec<f64> =
+        jobs.iter().zip(&stats.jcts).map(|(j, &jct)| j.arrival + jct).collect();
     for s in &mut steps {
         let mut integral = 0.0f64;
         for (j, &fin) in jobs.iter().zip(&finishes) {
@@ -108,10 +110,22 @@ pub struct NetLlmCjs {
     episode: Vec<(f32, GraphSnapshot, usize)>, // (rtg, snap, cap_choice)
     rtg_now: f32,
     last_decision_time: f64,
+    /// KV-cached inference session; holds `[rtg, graph, action]` triples for
+    /// the encoded history. Candidate tokens are appended per decision and
+    /// rolled back once the stage is chosen.
+    session: InferenceSession,
+    /// First episode entry currently encoded in the session.
+    anchor: usize,
 }
 
 impl NetLlmCjs {
-    pub fn new(loaded: LoadedLm, mode: AdaptMode, lora: LoraSpec, window: usize, seed: u64) -> Self {
+    pub fn new(
+        loaded: LoadedLm,
+        mode: AdaptMode,
+        lora: LoraSpec,
+        window: usize,
+        seed: u64,
+    ) -> Self {
         let LoadedLm { mut lm, mut store, .. } = loaded;
         let mut rng = Rng::seeded(seed);
         let d = lm.cfg.d_model;
@@ -128,6 +142,7 @@ impl NetLlmCjs {
             LearnedTokens::new(&mut store, "mm.cjs_actions", CAP_FRACS.len(), d, &mut rng);
         let heads = CjsHeads::new(&mut store, d, CAP_FRACS.len(), &mut rng);
         mode.apply(&mut lm, &mut store, lora, &mut rng);
+        let session = InferenceSession::new(&lm);
         NetLlmCjs {
             lm,
             store,
@@ -144,6 +159,8 @@ impl NetLlmCjs {
             episode: Vec::new(),
             rtg_now: 0.0,
             last_decision_time: 0.0,
+            session,
+            anchor: 0,
         }
     }
 
@@ -195,6 +212,20 @@ impl NetLlmCjs {
         self.rtg_proj.forward(f, &self.store, feat)
     }
 
+    /// Graph-free `[1, d]` return-to-go token.
+    fn rtg_token_eval(&self, rtg: f32) -> Tensor {
+        let feat = self.rtg_enc.eval(&self.store, &Tensor::from_vec([1, 1], vec![rtg]));
+        self.rtg_proj.eval(&self.store, &feat)
+    }
+
+    /// Graph-free per-node GNN features and the pooled graph token.
+    /// Returns `(node_feats [n, FEAT], graph_token [1, d])`.
+    fn graph_tokens_eval(&self, snap: &GraphSnapshot) -> (Tensor, Tensor) {
+        let nodes = self.graph_enc.eval(&self.store, &snap.feats, &snap.adj);
+        let pooled = mean_rows(&nodes);
+        (nodes, self.graph_proj.eval(&self.store, &pooled))
+    }
+
     /// Data-driven adaptation on collected trajectories.
     pub fn adapt(&mut self, dataset: &[CjsTrajectory], iters: usize, lr: f32, seed: u64) -> f32 {
         let usable: Vec<&CjsTrajectory> = dataset.iter().filter(|t| !t.steps.is_empty()).collect();
@@ -213,10 +244,8 @@ impl NetLlmCjs {
             let traj = usable[rng.below(usable.len())];
             let t = rng.below(traj.steps.len());
             let h0 = t.saturating_sub(self.window - 1);
-            let history: Vec<(f32, GraphSnapshot, usize)> = traj.steps[h0..t]
-                .iter()
-                .map(|s| (s.rtg, s.snap.clone(), s.cap_choice))
-                .collect();
+            let history: Vec<(f32, GraphSnapshot, usize)> =
+                traj.steps[h0..t].iter().map(|s| (s.rtg, s.snap.clone(), s.cap_choice)).collect();
             let step = &traj.steps[t];
             if step.snap.candidates.is_empty() || step.stage_choice >= MAX_CANDS {
                 continue;
@@ -252,6 +281,8 @@ impl Scheduler for NetLlmCjs {
         self.episode.clear();
         self.rtg_now = self.target_return;
         self.last_decision_time = 0.0;
+        self.session.clear();
+        self.anchor = 0;
     }
 
     fn decide(&mut self, view: &SchedView) -> Option<Decision> {
@@ -266,13 +297,49 @@ impl Scheduler for NetLlmCjs {
         self.last_decision_time = view.now;
 
         let snap = snapshot(view);
-        let h0 = self.episode.len().saturating_sub(self.window - 1);
-        let history = self.episode[h0..].to_vec();
-        let mut f = Fwd::eval();
-        let (sl, cl) = self.decision_logits(&mut f, &history, self.rtg_now, &snap);
-        let stage = f.g.value(sl).argmax();
-        let cap_idx = f.g.value(cl).argmax();
+        let c = snap.candidates.len().min(MAX_CANDS);
+
+        // KV-cached inference: the session holds `[rtg, graph, action]`
+        // triples for steps `anchor..`. Re-anchor to the training window
+        // when the context cannot take this decision's tokens (2 prompt
+        // rows + `c` candidates + the action token appended afterwards) or
+        // the visible history reaches twice the training window, bounding
+        // the train/inference prompt-length mismatch (see `backbone` docs).
+        let grown = self.episode.len() - self.anchor >= 2 * self.window;
+        if self.session.is_empty() || !self.session.fits(2 + c + 1) || grown {
+            self.anchor = self.episode.len().saturating_sub(self.window - 1);
+            self.session.clear();
+            let mut triples: Vec<Tensor> = Vec::new();
+            for (rtg, hsnap, cap) in &self.episode[self.anchor..] {
+                triples.push(self.rtg_token_eval(*rtg));
+                triples.push(self.graph_tokens_eval(hsnap).1);
+                triples.push(self.action_tokens.eval(&self.store, &[*cap]));
+            }
+            if !triples.is_empty() {
+                let refs: Vec<&Tensor> = triples.iter().collect();
+                let history = nt_tensor::concat(&refs, 0);
+                self.session.append(&self.lm, &self.store, &history);
+            }
+        }
+
+        // Current decision: [rtg_t, graph_t, cand_1..c] appended in one go.
+        let rtg_tok = self.rtg_token_eval(self.rtg_now);
+        let (nodes, graph_tok) = self.graph_tokens_eval(&snap);
+        let cand_toks = self.node_proj.eval(&self.store, &nodes.gather_rows(&snap.candidates[..c]));
+        let new = nt_tensor::concat(&[&rtg_tok, &graph_tok, &cand_toks], 0);
+        let base = self.session.len();
+        let hidden = self.session.append(&self.lm, &self.store, &new);
+
+        let stage = self.heads.stage_logits_eval(&self.store, &hidden.narrow(0, 2, c)).argmax();
+        let cap_idx = self.heads.cap_logits_eval(&self.store, &hidden.narrow(0, 1, 1)).argmax();
         let cap = (CAP_FRACS[cap_idx] * view.total_executors as f64).ceil() as usize;
+
+        // The candidates are not part of the persistent history: roll them
+        // back and complete the step's triple with its action token.
+        self.session.truncate(base + 2);
+        let action_tok = self.action_tokens.eval(&self.store, &[cap_idx]);
+        self.session.append(&self.lm, &self.store, &action_tok);
+
         self.episode.push((self.rtg_now, snap, cap_idx));
         Some(Decision { candidate: stage, cap: cap.max(1) })
     }
@@ -316,6 +383,58 @@ mod tests {
         let stats = run_workload(&mut m, &test, 8, None);
         assert_eq!(stats.jcts.len(), 6);
         assert!(stats.mean_jct() > 0.0);
+    }
+
+    #[test]
+    fn cached_decisions_match_taped_reference() {
+        // Replay every recorded decision through the taped `decision_logits`
+        // reference. The replay mirrors the session's re-anchor bookkeeping
+        // (anchor index + token count), so the taped path sees the exact
+        // token sequence the cached path saw — across re-anchors too.
+        let mut m = NetLlmCjs::new(backbone(), AdaptMode::NoDomain, LoraSpec::default(), 8, 21);
+        m.target_return = -1.0;
+        let w = jobs(2, 22);
+        // Record the stage choice of every decision as it is made (the
+        // episode log only keeps the cap choice).
+        let mut stages: Vec<usize> = Vec::new();
+        let stats = {
+            let mut hook = |_: &SchedView, d: &Decision| stages.push(d.candidate);
+            run_workload(&mut m, &w, 6, Some(&mut hook))
+        };
+        assert_eq!(stats.jcts.len(), 2);
+        let episode = m.episode.clone();
+        assert_eq!(stages.len(), episode.len());
+        assert!(episode.len() > 2 * m.window, "probe should span at least one re-anchor");
+        let max_tokens = m.lm.cfg.max_seq;
+        let (mut anchor, mut len) = (0usize, 0usize);
+        let mut checked = 0;
+        for t in 0..episode.len() {
+            let (rtg, snap, recorded_cap) = &episode[t];
+            let c = snap.candidates.len().min(MAX_CANDS);
+            if len == 0 || len + 2 + c + 1 > max_tokens || t - anchor >= 2 * m.window {
+                anchor = t.saturating_sub(m.window - 1);
+                len = 3 * (t - anchor);
+            }
+            len += 3;
+            // Spot-check a few decisions (the taped forward is slow).
+            if t % 17 == 0 {
+                let history: Vec<(f32, GraphSnapshot, usize)> = episode[anchor..t].to_vec();
+                let mut f = Fwd::eval();
+                let (sl, cl) = m.decision_logits(&mut f, &history, *rtg, snap);
+                assert_eq!(
+                    f.g.value(sl).argmax(),
+                    stages[t],
+                    "decision {t} (anchor {anchor}): cached stage diverged from taped reference"
+                );
+                assert_eq!(
+                    f.g.value(cl).argmax(),
+                    *recorded_cap,
+                    "decision {t} (anchor {anchor}): cached cap diverged from taped reference"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 3, "probe too short: only {checked} decisions checked");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! deltas — a complete, always-valid answer in a single inference.
 
 use crate::adapt::{AdaptMode, LoraSpec};
+use crate::backbone::InferenceSession;
 use crate::heads::VpHead;
 use crate::multimodal::{ImageEncoder, LearnedTokens, Projection, SeriesEncoder};
 use nt_llm::zoo::LoadedLm;
@@ -33,13 +34,22 @@ pub struct NetLlmVp {
     head: VpHead,
     pub max_pw: usize,
     pub mode: AdaptMode,
+    /// KV-cached inference session (VP is single-shot per prediction, so the
+    /// win here is the graph-free eval path: no tape, no parameter clones).
+    session: InferenceSession,
 }
 
 impl NetLlmVp {
     /// Build from a backbone. `mode` selects the Fig-13 knowledge ablation;
     /// `lora` is ignored for [`AdaptMode::NoDomain`] (adapters disabled) and
     /// [`AdaptMode::NoPretrain`] (full training, no adapters needed).
-    pub fn new(loaded: LoadedLm, mode: AdaptMode, lora: LoraSpec, max_pw: usize, seed: u64) -> Self {
+    pub fn new(
+        loaded: LoadedLm,
+        mode: AdaptMode,
+        lora: LoraSpec,
+        max_pw: usize,
+        seed: u64,
+    ) -> Self {
         let LoadedLm { mut lm, mut store, .. } = loaded;
         let mut rng = Rng::seeded(seed);
         let d = lm.cfg.d_model;
@@ -50,13 +60,24 @@ impl NetLlmVp {
         let queries = LearnedTokens::new(&mut store, "mm.vp_queries", max_pw, d, &mut rng);
         let head = VpHead::new(&mut store, d, &mut rng);
         mode.apply(&mut lm, &mut store, lora, &mut rng);
-        NetLlmVp { lm, store, img_enc, vp_enc, img_proj, vp_proj, queries, head, max_pw, mode }
+        let session = InferenceSession::new(&lm);
+        NetLlmVp {
+            lm,
+            store,
+            img_enc,
+            vp_enc,
+            img_proj,
+            vp_proj,
+            queries,
+            head,
+            max_pw,
+            mode,
+            session,
+        }
     }
 
-    /// Build the token sequence and return the delta-prediction node
-    /// `[pw, 3]` (network units).
-    fn forward(&self, f: &mut Fwd, sample: &VpSample, pw: usize) -> NodeId {
-        assert!(pw <= self.max_pw, "pw {pw} exceeds max_pw {}", self.max_pw);
+    /// History deltas as the `[3, t]` series the CNN encoder expects.
+    fn history_series(sample: &VpSample) -> Tensor {
         let hist_deltas = to_deltas(&sample.history);
         let t = hist_deltas.len();
         let mut flat = Vec::with_capacity(3 * t);
@@ -65,8 +86,14 @@ impl NetLlmVp {
                 flat.push(d[c] / DELTA_SCALE);
             }
         }
-        let series = Tensor::from_vec([3, t], flat);
+        Tensor::from_vec([3, t], flat)
+    }
 
+    /// Build the token sequence and return the delta-prediction node
+    /// `[pw, 3]` (network units).
+    fn forward(&self, f: &mut Fwd, sample: &VpSample, pw: usize) -> NodeId {
+        assert!(pw <= self.max_pw, "pw {pw} exceeds max_pw {}", self.max_pw);
+        let series = Self::history_series(sample);
         let img_feats = self.img_enc.forward(f, &self.store, &sample.saliency);
         let img_tokens = self.img_proj.forward(f, &self.store, img_feats);
         let vp_feats = self.vp_enc.forward_steps(f, &self.store, &series);
@@ -78,6 +105,22 @@ impl NetLlmVp {
         let total = f.g.value(hidden).shape()[0];
         let query_hidden = f.g.narrow(hidden, 0, total - pw, pw);
         self.head.forward(f, &self.store, query_hidden)
+    }
+
+    /// Graph-free prediction `[pw, 3]` through the shared inference session.
+    fn forward_eval(&mut self, sample: &VpSample, pw: usize) -> Tensor {
+        assert!(pw <= self.max_pw, "pw {pw} exceeds max_pw {}", self.max_pw);
+        let st = &self.store;
+        let series = Self::history_series(sample);
+        let img_tokens = self.img_proj.eval(st, &self.img_enc.eval(st, &sample.saliency));
+        let vp_tokens = self.vp_proj.eval(st, &self.vp_enc.eval_steps(st, &series));
+        let q_idx: Vec<usize> = (0..pw).collect();
+        let q_tokens = self.queries.eval(st, &q_idx);
+        let tokens = nt_tensor::concat(&[&img_tokens, &vp_tokens, &q_tokens], 0);
+        self.session.clear();
+        let hidden = self.session.append(&self.lm, &self.store, &tokens);
+        let total = hidden.shape()[0];
+        self.head.eval(&self.store, &hidden.narrow(0, total - pw, pw))
     }
 
     /// Supervised adaptation over extracted samples. Returns the mean loss
@@ -134,9 +177,7 @@ impl VpPredictor for NetLlmVp {
 
     fn predict(&mut self, sample: &VpSample, pw: usize) -> Vec<Viewport> {
         let pw_model = pw.min(self.max_pw);
-        let mut f = Fwd::eval();
-        let node = self.forward(&mut f, sample, pw_model);
-        let v = f.g.value(node);
+        let v = self.forward_eval(sample, pw_model);
         let mut deltas: Vec<[f32; 3]> = (0..pw_model)
             .map(|i| {
                 [
@@ -189,6 +230,25 @@ mod tests {
     }
 
     #[test]
+    fn eval_path_matches_taped_forward() {
+        // The session-based prediction must equal the taped forward within
+        // float tolerance for the same sample.
+        let mut m = NetLlmVp::new(tiny_backbone(), AdaptMode::NoDomain, LoraSpec::default(), 20, 9);
+        let ss = samples();
+        for s in ss.iter().take(3) {
+            let pw = 12;
+            let mut f = Fwd::eval();
+            let node = m.forward(&mut f, s, pw);
+            let taped = f.g.value(node).clone();
+            let evaled = m.forward_eval(s, pw);
+            assert_eq!(taped.shape(), evaled.shape());
+            for (a, b) in taped.data().iter().zip(evaled.data()) {
+                assert!((a - b).abs() < 1e-5, "VP eval path diverged: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
     fn adaptation_reduces_loss() {
         let mut m =
             NetLlmVp::new(tiny_backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 20, 2);
@@ -200,7 +260,8 @@ mod tests {
 
     #[test]
     fn lora_mode_trains_only_adapters_in_backbone() {
-        let m = NetLlmVp::new(tiny_backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 20, 3);
+        let m =
+            NetLlmVp::new(tiny_backbone(), AdaptMode::FullKnowledge, LoraSpec::default(), 20, 3);
         for id in m.store.ids() {
             let name = m.store.name(id);
             if name.starts_with("llm.") && m.store.is_trainable(id) {

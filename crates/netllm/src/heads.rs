@@ -7,7 +7,7 @@
 //! complete answer — the two properties token-based decoding lacks.
 
 use nt_nn::{Fwd, Init, Linear, ParamStore};
-use nt_tensor::{NodeId, Rng};
+use nt_tensor::{NodeId, Rng, Tensor};
 
 /// VP head: hidden states at the `pw` query positions -> per-step viewport
 /// deltas `(roll, pitch, yaw)`.
@@ -24,6 +24,11 @@ impl VpHead {
     pub fn forward(&self, f: &mut Fwd, store: &ParamStore, hidden: NodeId) -> NodeId {
         self.lin.forward(f, store, hidden)
     }
+
+    /// Graph-free inference forward.
+    pub fn eval(&self, store: &ParamStore, hidden: &Tensor) -> Tensor {
+        self.lin.eval(store, hidden)
+    }
 }
 
 /// ABR head: hidden state -> probability logits over the bitrate ladder.
@@ -34,12 +39,20 @@ pub struct AbrHead {
 
 impl AbrHead {
     pub fn new(store: &mut ParamStore, d_model: usize, rungs: usize, rng: &mut Rng) -> Self {
-        AbrHead { lin: Linear::new(store, "head.abr", d_model, rungs, true, Init::Xavier, rng), rungs }
+        AbrHead {
+            lin: Linear::new(store, "head.abr", d_model, rungs, true, Init::Xavier, rng),
+            rungs,
+        }
     }
 
     /// `[n, d_model]` -> `[n, rungs]` logits.
     pub fn forward(&self, f: &mut Fwd, store: &ParamStore, hidden: NodeId) -> NodeId {
         self.lin.forward(f, store, hidden)
+    }
+
+    /// Graph-free inference forward.
+    pub fn eval(&self, store: &ParamStore, hidden: &Tensor) -> Tensor {
+        self.lin.eval(store, hidden)
     }
 }
 
@@ -70,6 +83,17 @@ impl CjsHeads {
     /// One hidden `[1, d_model]` -> cap logits `[1, num_caps]`.
     pub fn cap_logits(&self, f: &mut Fwd, store: &ParamStore, hidden: NodeId) -> NodeId {
         self.cap.forward(f, store, hidden)
+    }
+
+    /// Graph-free candidate scores `[c, d_model]` -> `[1, c]`.
+    pub fn stage_logits_eval(&self, store: &ParamStore, cand_hidden: &Tensor) -> Tensor {
+        let c = cand_hidden.shape()[0];
+        self.stage.eval(store, cand_hidden).reshape([1, c])
+    }
+
+    /// Graph-free cap logits `[1, d_model]` -> `[1, num_caps]`.
+    pub fn cap_logits_eval(&self, store: &ParamStore, hidden: &Tensor) -> Tensor {
+        self.cap.eval(store, hidden)
     }
 }
 

@@ -22,15 +22,22 @@ pub struct ImageEncoder {
 }
 
 impl ImageEncoder {
-    pub fn new(store: &mut ParamStore, name: &str, grid: usize, patch_size: usize, feat_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        grid: usize,
+        patch_size: usize,
+        feat_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         assert_eq!(grid % patch_size, 0, "grid must divide into patches");
         let in_dim = patch_size * patch_size;
-        let patch = Linear::new(store, &format!("{name}.patch"), in_dim, feat_dim, true, Init::Xavier, rng);
+        let patch =
+            Linear::new(store, &format!("{name}.patch"), in_dim, feat_dim, true, Init::Xavier, rng);
         ImageEncoder { patch, grid, patch_size, feat_dim }
     }
 
-    /// Encode `[grid, grid]` image -> `[num_patches, feat_dim]` features.
-    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, img: &Tensor) -> NodeId {
+    fn patchify(&self, img: &Tensor) -> Tensor {
         assert_eq!(img.shape(), &[self.grid, self.grid], "image shape");
         let p = self.patch_size;
         let per_side = self.grid / p;
@@ -44,9 +51,19 @@ impl ImageEncoder {
                 }
             }
         }
-        let x = f.input(Tensor::from_vec([per_side * per_side, p * p], patches));
+        Tensor::from_vec([per_side * per_side, p * p], patches)
+    }
+
+    /// Encode `[grid, grid]` image -> `[num_patches, feat_dim]` features.
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, img: &Tensor) -> NodeId {
+        let x = f.input(self.patchify(img));
         let feats = self.patch.forward(f, store, x);
         f.g.gelu(feats)
+    }
+
+    /// Graph-free inference forward.
+    pub fn eval(&self, store: &ParamStore, img: &Tensor) -> Tensor {
+        self.patch.eval(store, &self.patchify(img)).map(nt_tensor::gelu)
     }
 }
 
@@ -59,8 +76,24 @@ pub struct SeriesEncoder {
 }
 
 impl SeriesEncoder {
-    pub fn new(store: &mut ParamStore, name: &str, channels_in: usize, feat_dim: usize, kernel: usize, rng: &mut Rng) -> Self {
-        let conv = Conv1d::new(store, &format!("{name}.conv"), channels_in, feat_dim, kernel, 1, kernel / 2, rng);
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        channels_in: usize,
+        feat_dim: usize,
+        kernel: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let conv = Conv1d::new(
+            store,
+            &format!("{name}.conv"),
+            channels_in,
+            feat_dim,
+            kernel,
+            1,
+            kernel / 2,
+            rng,
+        );
         SeriesEncoder { conv, channels_in, feat_dim }
     }
 
@@ -82,6 +115,37 @@ impl SeriesEncoder {
         let pooled = f.g.mean_axis(steps, 0); // [feat]
         f.g.reshape(pooled, [1, self.feat_dim])
     }
+
+    /// Graph-free `[channels_in, t]` -> `[t, feat_dim]`.
+    pub fn eval_steps(&self, store: &ParamStore, series: &Tensor) -> Tensor {
+        assert_eq!(series.shape().len(), 2);
+        assert_eq!(series.shape()[0], self.channels_in);
+        let t = series.shape()[1];
+        let x = series.clone().reshape([1, self.channels_in, t]);
+        let y = self.conv.eval(store, &x).map(nt_tensor::gelu); // [1, feat, t]
+        y.reshape([self.feat_dim, t]).t() // [t, feat]
+    }
+
+    /// Graph-free pooled feature row `[1, feat_dim]`.
+    pub fn eval_pooled(&self, store: &ParamStore, series: &Tensor) -> Tensor {
+        let steps = self.eval_steps(store, series);
+        mean_rows(&steps)
+    }
+}
+
+/// Column-wise mean of a `[n, d]` tensor -> `[1, d]` (graph-free pooling).
+pub(crate) fn mean_rows(x: &Tensor) -> Tensor {
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    let mut out = vec![0.0f32; d];
+    for r in 0..n {
+        for (o, v) in out.iter_mut().zip(&x.data()[r * d..(r + 1) * d]) {
+            *o += v;
+        }
+    }
+    for v in &mut out {
+        *v /= n as f32;
+    }
+    Tensor::from_vec([1, d], out)
 }
 
 /// Fully connected encoder for scalar (or small fixed-vector) inputs.
@@ -92,8 +156,15 @@ pub struct ScalarEncoder {
 }
 
 impl ScalarEncoder {
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, feat_dim: usize, rng: &mut Rng) -> Self {
-        let fc = Linear::new(store, &format!("{name}.fc"), in_dim, feat_dim, true, Init::Xavier, rng);
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        feat_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let fc =
+            Linear::new(store, &format!("{name}.fc"), in_dim, feat_dim, true, Init::Xavier, rng);
         ScalarEncoder { fc, in_dim, feat_dim }
     }
 
@@ -102,6 +173,11 @@ impl ScalarEncoder {
         let xi = f.input(x.clone());
         let y = self.fc.forward(f, store, xi);
         f.g.gelu(y)
+    }
+
+    /// Graph-free inference forward.
+    pub fn eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        self.fc.eval(store, x).map(nt_tensor::gelu)
     }
 }
 
@@ -112,7 +188,13 @@ pub struct GraphEncoder {
 }
 
 impl GraphEncoder {
-    pub fn new(store: &mut ParamStore, name: &str, node_feats: usize, feat_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        node_feats: usize,
+        feat_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let gnn = Gnn::new(store, &format!("{name}.gnn"), node_feats, feat_dim, feat_dim, 2, rng);
         GraphEncoder { gnn, feat_dim }
     }
@@ -122,6 +204,11 @@ impl GraphEncoder {
         let x = f.input(feats.clone());
         let a = f.input(adj.clone());
         self.gnn.forward(f, store, x, a)
+    }
+
+    /// Graph-free inference forward.
+    pub fn eval(&self, store: &ParamStore, feats: &Tensor, adj: &Tensor) -> Tensor {
+        self.gnn.eval(store, feats, adj)
     }
 }
 
@@ -133,9 +220,23 @@ pub struct Projection {
 }
 
 impl Projection {
-    pub fn new(store: &mut ParamStore, name: &str, feat_dim: usize, d_model: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        feat_dim: usize,
+        d_model: usize,
+        rng: &mut Rng,
+    ) -> Self {
         Projection {
-            proj: Linear::new(store, &format!("{name}.proj"), feat_dim, d_model, true, Init::Xavier, rng),
+            proj: Linear::new(
+                store,
+                &format!("{name}.proj"),
+                feat_dim,
+                d_model,
+                true,
+                Init::Xavier,
+                rng,
+            ),
             norm: LayerNorm::new(store, &format!("{name}.norm"), d_model),
         }
     }
@@ -144,6 +245,12 @@ impl Projection {
     pub fn forward(&self, f: &mut Fwd, store: &ParamStore, feats: NodeId) -> NodeId {
         let y = self.proj.forward(f, store, feats);
         self.norm.forward(f, store, y)
+    }
+
+    /// Graph-free inference forward.
+    pub fn eval(&self, store: &ParamStore, feats: &Tensor) -> Tensor {
+        let y = self.proj.eval(store, feats);
+        self.norm.eval(store, &y)
     }
 }
 
@@ -154,13 +261,24 @@ pub struct LearnedTokens {
 }
 
 impl LearnedTokens {
-    pub fn new(store: &mut ParamStore, name: &str, count: usize, d_model: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        count: usize,
+        d_model: usize,
+        rng: &mut Rng,
+    ) -> Self {
         LearnedTokens { table: nt_nn::Embedding::new(store, name, count, d_model, rng) }
     }
 
     /// Fetch tokens `[k, d_model]` by index.
     pub fn get(&self, f: &mut Fwd, store: &ParamStore, idx: &[usize]) -> NodeId {
         self.table.forward(f, store, idx)
+    }
+
+    /// Graph-free lookup.
+    pub fn eval(&self, store: &ParamStore, idx: &[usize]) -> Tensor {
+        self.table.eval(store, idx)
     }
 }
 

@@ -11,6 +11,11 @@
 //! - fraction of parseable/valid answers (Fig 2 middle: < 100 %),
 //! - per-answer wall-clock generation time (Fig 2 right: one backbone
 //!   inference *per token* instead of one per answer).
+//!
+//! Decoding runs through the backbone's shared KV-cached engine
+//! ([`TinyLm::generate`]), so each of those per-token inferences appends a
+//! single position instead of re-running the prompt — the inference *count*
+//! the figure reports is unchanged, only the per-inference cost shrank.
 
 use crate::adapt::LoraSpec;
 use nt_llm::zoo::LoadedLm;
@@ -28,7 +33,12 @@ pub fn render_prompt(history: &[Viewport]) -> String {
     let tail = &history[history.len().saturating_sub(PROMPT_STEPS)..];
     let mut s = String::from("h:");
     for v in tail {
-        s.push_str(&format!("{},{},{};", v[0].round() as i32, v[1].round() as i32, v[2].round() as i32));
+        s.push_str(&format!(
+            "{},{},{};",
+            v[0].round() as i32,
+            v[1].round() as i32,
+            v[2].round() as i32
+        ));
     }
     s.push_str("f:");
     s
@@ -38,7 +48,12 @@ pub fn render_prompt(history: &[Viewport]) -> String {
 pub fn render_answer(future: &[Viewport]) -> String {
     let mut s = String::new();
     for v in &future[..PROMPT_STEPS.min(future.len())] {
-        s.push_str(&format!("{},{},{};", v[0].round() as i32, v[1].round() as i32, v[2].round() as i32));
+        s.push_str(&format!(
+            "{},{},{};",
+            v[0].round() as i32,
+            v[1].round() as i32,
+            v[2].round() as i32
+        ));
     }
     s
 }
@@ -234,7 +249,8 @@ mod tests {
     #[test]
     fn token_path_counts_inferences_per_token() {
         let zoo = Zoo::new(std::env::temp_dir().join("prompt-test"));
-        let model = PromptVp::new(zoo.build_random(&size_spec("0.35b-sim")), LoraSpec::default(), 1);
+        let model =
+            PromptVp::new(zoo.build_random(&size_spec("0.35b-sim")), LoraSpec::default(), 1);
         let s = VpSample {
             history: (0..5).map(|i| [0.0, 0.0, i as f32]).collect(),
             future: (5..10).map(|i| [0.0, 0.0, i as f32]).collect(),

@@ -144,6 +144,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn table3_matches_paper() {
         assert!(matches!(ABR_UNSEEN1.traces, TraceKind::SynthWide));
         assert!(!ABR_UNSEEN1.synth_video);

@@ -15,25 +15,30 @@ fn prompt_generation_dump() {
         let mut valid = 0;
         for s in &data.test[..10] {
             let (p, _, _) = model.generate(s, &mut rng);
-            if p.is_some() { valid += 1; }
+            if p.is_some() {
+                valid += 1;
+            }
         }
         println!("round {round}: answer-loss {loss:.3} valid {valid}/10");
     }
     for temp in [0.0f32, 0.2, 0.4] {
-        let mut m2 = &mut model;
+        let m2 = &mut model;
         m2.temperature = temp;
         let mut rng = Rng::seeded(9);
         let mut valid = 0;
         for s in &data.test[..14] {
             let (p, _, _) = m2.generate(s, &mut rng);
-            if p.is_some() { valid += 1; }
+            if p.is_some() {
+                valid += 1;
+            }
         }
         println!("temp {temp}: valid {valid}/14");
     }
     let mut rng = Rng::seeded(9);
     for s in &data.test[..3] {
         let prompt_ids = model.tok.encode(&render_prompt(&s.history));
-        let (out, _) = model.lm.generate(&model.store, &prompt_ids, 80, model.temperature, &mut rng);
+        let (out, _) =
+            model.lm.generate(&model.store, &prompt_ids, 80, model.temperature, &mut rng);
         println!("PROMPT: {}", render_prompt(&s.history));
         println!("WANT  : {}", render_answer(&s.future));
         println!("GOT   : {:?}", model.tok.decode(&out));
@@ -64,13 +69,24 @@ fn teacher_forced_accuracy() {
         for (k, &target) in ids[p..].iter().enumerate() {
             let row = lv.row(p - 1 + k);
             let mut best = 0;
-            for (j, &x) in row.iter().enumerate() { if x > row[best] { best = j; } }
-            if k < 60 { per_pos[k].1 += 1; if best == target { per_pos[k].0 += 1; } }
+            for (j, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = j;
+                }
+            }
+            if k < 60 {
+                per_pos[k].1 += 1;
+                if best == target {
+                    per_pos[k].0 += 1;
+                }
+            }
         }
     }
     for (k, (c, t)) in per_pos.iter().enumerate().take(20) {
-        if *t > 0 { println!("pos {k}: {:.0}%", 100.0 * *c as f64 / *t as f64); }
+        if *t > 0 {
+            println!("pos {k}: {:.0}%", 100.0 * *c as f64 / *t as f64);
+        }
     }
-    let tot: (usize, usize) = per_pos.iter().fold((0,0), |a, b| (a.0+b.0, a.1+b.1));
-    println!("overall teacher-forced argmax accuracy: {:.1}%", 100.0*tot.0 as f64/tot.1 as f64);
+    let tot: (usize, usize) = per_pos.iter().fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    println!("overall teacher-forced argmax accuracy: {:.1}%", 100.0 * tot.0 as f64 / tot.1 as f64);
 }

@@ -3,10 +3,70 @@
 //! Heads are computed with per-head 2-D matmuls (simple, and fast enough at
 //! the model scales this workspace uses). Causal masking adds `-1e9` above
 //! the diagonal before the softmax.
+//!
+//! Two execution paths share the same math:
+//!
+//! - [`MultiHeadAttention::forward`] — taped, differentiable, used for
+//!   training and one-shot evaluation;
+//! - [`MultiHeadAttention::eval_cached`] — graph-free incremental decoding
+//!   against a per-layer [`AttnKv`] cache: only the *new* rows are
+//!   projected, their keys/values are appended to the cache, and attention
+//!   runs new-queries x all-keys. Causality is enforced by the absolute
+//!   position of each new row, so the result matches a full causal forward
+//!   over the concatenated sequence.
 
 use crate::layers::{Init, LayerNorm, Linear, Mlp};
 use crate::store::{Fwd, ParamStore};
+use nt_tensor::tensor::softmax_in_place;
 use nt_tensor::{NodeId, Rng, Tensor};
+
+/// Per-layer key/value cache for incremental decoding: flat row-major
+/// `[t, dim]` buffers that grow by `extend` and shrink by `truncate`, so an
+/// append costs `O(new x dim)` and a rollback is `O(1)` — the cache itself
+/// is never copied. Head split happens at attention time via strided reads,
+/// same split as the taped path.
+#[derive(Clone, Debug)]
+pub struct AttnKv {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    dim: usize,
+}
+
+impl AttnKv {
+    /// Empty cache for a `dim`-wide layer.
+    pub fn empty(dim: usize) -> Self {
+        AttnKv { k: Vec::new(), v: Vec::new(), dim }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.k.len() / self.dim.max(1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.k.is_empty()
+    }
+
+    /// Append `[n, dim]` key/value rows.
+    fn extend(&mut self, k_new: &Tensor, v_new: &Tensor) {
+        debug_assert_eq!(k_new.shape()[1], self.dim);
+        self.k.extend_from_slice(k_new.data());
+        self.v.extend_from_slice(v_new.data());
+    }
+
+    /// Drop every cached position from `len` on (prefix rollback).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.k.truncate(len * self.dim);
+            self.v.truncate(len * self.dim);
+        }
+    }
+
+    /// Bytes held by the cached buffers.
+    pub fn bytes(&self) -> usize {
+        (self.k.len() + self.v.len()) * 4
+    }
+}
 
 /// Multi-head self-attention over `[t, d]` sequences.
 #[derive(Clone, Debug)]
@@ -20,7 +80,13 @@ pub struct MultiHeadAttention {
 }
 
 impl MultiHeadAttention {
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut Rng,
+    ) -> Self {
         assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
         let mk = |store: &mut ParamStore, n: &str, rng: &mut Rng| {
             Linear::new(store, &format!("{name}.{n}"), dim, dim, false, Init::Xavier, rng)
@@ -66,6 +132,61 @@ impl MultiHeadAttention {
         }
         let cat = f.g.concat(&head_outs, 1); // [t, d]
         self.wo.forward(f, store, cat)
+    }
+
+    /// Graph-free causal attention for `x_new: [n, d]` new rows against (and
+    /// extending) the cache. The first new row sits at absolute position
+    /// `kv.len()` before the call. Returns `[n, d]`.
+    ///
+    /// Heads read the flat `[t, d]` cache with a column stride instead of
+    /// materializing per-head copies, so the per-call memory traffic is the
+    /// `O(n x t x d)` of the attention math itself — the cache is appended
+    /// to, never copied. The accumulation order matches the taped per-head
+    /// matmuls, keeping cached and uncached logits identical.
+    pub fn eval_cached(&self, store: &ParamStore, x_new: &Tensor, kv: &mut AttnKv) -> Tensor {
+        let (n, d) = (x_new.shape()[0], self.dim);
+        let dh = d / self.heads;
+        let q = self.wq.eval(store, x_new);
+        let k_new = self.wk.eval(store, x_new);
+        let v_new = self.wv.eval(store, x_new);
+        kv.extend(&k_new, &v_new);
+        let t_total = kv.len();
+        let p0 = t_total - n; // absolute position of the first new row
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut cat = vec![0.0f32; n * d]; // heads write their column block
+        let mut scores = vec![0.0f32; t_total];
+        for h in 0..self.heads {
+            let off = h * dh;
+            for i in 0..n {
+                let qrow = &q.data()[i * d + off..i * d + off + dh];
+                // Causal: only this row's position and everything before it
+                // is visible, so compute nothing past it — masked entries
+                // would underflow to exactly 0 in the softmax anyway, which
+                // keeps this identical to the taped full-mask forward.
+                let visible = p0 + i + 1;
+                for (j, s) in scores[..visible].iter_mut().enumerate() {
+                    let krow = &kv.k[j * d + off..j * d + off + dh];
+                    let mut dot = 0.0f32;
+                    for (a, b) in qrow.iter().zip(krow) {
+                        dot += a * b;
+                    }
+                    *s = dot * scale;
+                }
+                softmax_in_place(&mut scores[..visible]);
+                let out = &mut cat[i * d + off..i * d + off + dh];
+                for (j, &a) in scores[..visible].iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let vrow = &kv.v[j * d + off..j * d + off + dh];
+                    for (o, x) in out.iter_mut().zip(vrow) {
+                        *o += a * x;
+                    }
+                }
+            }
+        }
+        self.wo.eval(store, &Tensor::from_vec([n, d], cat))
     }
 }
 
@@ -118,6 +239,17 @@ impl TransformerBlock {
         let m = self.mlp.forward(f, store, n2);
         let m = f.g.dropout(m, self.dropout);
         f.g.add(x, m)
+    }
+
+    /// Graph-free incremental forward of the block for `x_new: [n, d]` new
+    /// rows, extending this layer's KV cache. Dropout is identity (inference).
+    pub fn eval_cached(&self, store: &ParamStore, x_new: &Tensor, kv: &mut AttnKv) -> Tensor {
+        let n1 = self.ln1.eval(store, x_new);
+        let a = self.attn.eval_cached(store, &n1, kv);
+        let x = x_new.add(&a);
+        let n2 = self.ln2.eval(store, &x);
+        let m = self.mlp.eval(store, &n2);
+        x.add(&m)
     }
 }
 
@@ -192,6 +324,68 @@ mod tests {
         let y1 = run(base);
         let y2 = run(modified);
         assert!((y1.at(&[0, 0]) - y2.at(&[0, 0])).abs() > 1e-7);
+    }
+
+    #[test]
+    fn cached_attention_matches_full_causal_forward() {
+        // Feeding the sequence in two chunks through the KV cache must give
+        // the same outputs as one taped causal forward over the whole thing.
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(7);
+        let mha = MultiHeadAttention::new(&mut s, "a", 16, 4, &mut rng);
+        let x = Tensor::randn([6, 16], 1.0, &mut rng);
+
+        let mut f = Fwd::eval();
+        let xi = f.input(x.clone());
+        let full_node = mha.forward(&mut f, &s, xi, true);
+        let full = f.g.value(full_node).clone();
+
+        let mut kv = AttnKv::empty(16);
+        let first = mha.eval_cached(&s, &x.narrow(0, 0, 4), &mut kv);
+        let second = mha.eval_cached(&s, &x.narrow(0, 4, 2), &mut kv);
+        assert_eq!(kv.len(), 6);
+        let cached = nt_tensor::concat(&[&first, &second], 0);
+        for (a, b) in full.data().iter().zip(cached.data()) {
+            assert!((a - b).abs() < 1e-5, "cached attention diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cached_block_matches_full_forward_row_by_row() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(8);
+        let blk = TransformerBlock::new(&mut s, "b0", 16, 2, 2, 0.0, &mut rng);
+        let x = Tensor::randn([5, 16], 1.0, &mut rng);
+
+        let mut f = Fwd::eval();
+        let xi = f.input(x.clone());
+        let full_node = blk.forward(&mut f, &s, xi, true);
+        let full = f.g.value(full_node).clone();
+
+        let mut kv = AttnKv::empty(16);
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            rows.push(blk.eval_cached(&s, &x.narrow(0, i, 1), &mut kv));
+        }
+        let refs: Vec<&Tensor> = rows.iter().collect();
+        let cached = nt_tensor::concat(&refs, 0);
+        for (a, b) in full.data().iter().zip(cached.data()) {
+            assert!((a - b).abs() < 1e-5, "cached block diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn kv_truncate_rolls_back_positions() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(9);
+        let mha = MultiHeadAttention::new(&mut s, "a", 8, 2, &mut rng);
+        let x = Tensor::randn([4, 8], 1.0, &mut rng);
+        let mut kv = AttnKv::empty(8);
+        let _ = mha.eval_cached(&s, &x.narrow(0, 0, 2), &mut kv);
+        let y_first = mha.eval_cached(&s, &x.narrow(0, 2, 2), &mut kv);
+        kv.truncate(2);
+        let y_again = mha.eval_cached(&s, &x.narrow(0, 2, 2), &mut kv);
+        assert_eq!(y_first.data(), y_again.data(), "truncate must restore the prefix state");
     }
 
     #[test]

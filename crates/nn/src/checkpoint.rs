@@ -17,7 +17,6 @@
 //! what lets the model zoo cache pre-trained backbones between runs.
 
 use crate::store::ParamStore;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use nt_tensor::Tensor;
 use std::fs;
 use std::io;
@@ -57,46 +56,80 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+/// Little-endian cursor over a byte slice (replaces the `bytes` crate so
+/// the workspace builds with no external dependencies).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.buf.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_f32_le(&mut self) -> Result<f32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
 /// Serialise every parameter (data + trainable flag) to bytes.
-pub fn to_bytes(store: &ParamStore) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(store.len() as u32);
+pub fn to_bytes(store: &ParamStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for id in store.ids() {
         let name = store.name(id).as_bytes();
-        buf.put_u32_le(name.len() as u32);
-        buf.put_slice(name);
-        buf.put_u8(store.is_trainable(id) as u8);
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.push(store.is_trainable(id) as u8);
         let t = store.data(id);
-        buf.put_u32_le(t.shape().len() as u32);
+        buf.extend_from_slice(&(t.shape().len() as u32).to_le_bytes());
         for &d in t.shape() {
-            buf.put_u32_le(d as u32);
+            buf.extend_from_slice(&(d as u32).to_le_bytes());
         }
         for &x in t.data() {
-            buf.put_f32_le(x);
+            buf.extend_from_slice(&x.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Restore parameter values into an existing store whose layout (names,
 /// shapes, order) matches the checkpoint.
 pub fn restore(store: &mut ParamStore, bytes: &[u8]) -> Result<(), CheckpointError> {
-    let mut buf = bytes;
+    let mut buf = Reader { buf: bytes };
     if buf.remaining() < 12 {
         return Err(CheckpointError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let magic = buf.take(4)?;
+    if magic != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    let version = buf.get_u32_le()?;
     if version != VERSION {
         return Err(CheckpointError::BadVersion(version));
     }
-    let count = buf.get_u32_le() as usize;
+    let count = buf.get_u32_le()? as usize;
     if count != store.len() {
         return Err(CheckpointError::Mismatch(format!(
             "checkpoint has {count} params, store has {}",
@@ -104,30 +137,19 @@ pub fn restore(store: &mut ParamStore, bytes: &[u8]) -> Result<(), CheckpointErr
         )));
     }
     for id in 0..count {
-        if buf.remaining() < 4 {
-            return Err(CheckpointError::Truncated);
-        }
-        let name_len = buf.get_u32_le() as usize;
-        if buf.remaining() < name_len + 1 + 4 {
-            return Err(CheckpointError::Truncated);
-        }
-        let mut name = vec![0u8; name_len];
-        buf.copy_to_slice(&mut name);
-        let name = String::from_utf8_lossy(&name).into_owned();
+        let name_len = buf.get_u32_le()? as usize;
+        let name = String::from_utf8_lossy(buf.take(name_len)?).into_owned();
         if name != store.name(id) {
             return Err(CheckpointError::Mismatch(format!(
                 "param {id}: checkpoint '{name}' vs store '{}'",
                 store.name(id)
             )));
         }
-        let trainable = buf.get_u8() != 0;
-        let rank = buf.get_u32_le() as usize;
-        if buf.remaining() < rank * 4 {
-            return Err(CheckpointError::Truncated);
-        }
+        let trainable = buf.get_u8()? != 0;
+        let rank = buf.get_u32_le()? as usize;
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
-            shape.push(buf.get_u32_le() as usize);
+            shape.push(buf.get_u32_le()? as usize);
         }
         if shape != store.data(id).shape() {
             return Err(CheckpointError::Mismatch(format!(
@@ -137,12 +159,9 @@ pub fn restore(store: &mut ParamStore, bytes: &[u8]) -> Result<(), CheckpointErr
             )));
         }
         let numel: usize = shape.iter().product();
-        if buf.remaining() < numel * 4 {
-            return Err(CheckpointError::Truncated);
-        }
         let mut data = Vec::with_capacity(numel);
         for _ in 0..numel {
-            data.push(buf.get_f32_le());
+            data.push(buf.get_f32_le()?);
         }
         *store.data_mut(id) = Tensor::from_vec(shape, data);
         store.set_trainable(id, trainable);

@@ -20,10 +20,32 @@ pub struct GnnLayer {
 }
 
 impl GnnLayer {
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         GnnLayer {
-            w_self: Linear::new(store, &format!("{name}.self"), in_dim, out_dim, true, Init::Xavier, rng),
-            w_agg: Linear::new(store, &format!("{name}.agg"), in_dim, out_dim, false, Init::Xavier, rng),
+            w_self: Linear::new(
+                store,
+                &format!("{name}.self"),
+                in_dim,
+                out_dim,
+                true,
+                Init::Xavier,
+                rng,
+            ),
+            w_agg: Linear::new(
+                store,
+                &format!("{name}.agg"),
+                in_dim,
+                out_dim,
+                false,
+                Init::Xavier,
+                rng,
+            ),
         }
     }
 
@@ -34,6 +56,13 @@ impl GnnLayer {
         let s = self.w_self.forward(f, store, h);
         let sum = f.g.add(s, a);
         f.g.relu(sum)
+    }
+
+    /// Graph-free inference forward.
+    pub fn eval(&self, store: &ParamStore, h: &Tensor, adj: &Tensor) -> Tensor {
+        let a = self.w_agg.eval(store, &adj.matmul(h));
+        let s = self.w_self.eval(store, h);
+        s.add(&a).map(|x| x.max(0.0))
     }
 }
 
@@ -60,7 +89,8 @@ impl Gnn {
             let i = if l == 0 { in_dim } else { hidden };
             layers.push(GnnLayer::new(store, &format!("{name}.l{l}"), i, hidden, rng));
         }
-        let readout = Linear::new(store, &format!("{name}.out"), hidden, out_dim, true, Init::Xavier, rng);
+        let readout =
+            Linear::new(store, &format!("{name}.out"), hidden, out_dim, true, Init::Xavier, rng);
         Gnn { layers, readout }
     }
 
@@ -71,6 +101,15 @@ impl Gnn {
             h = layer.forward(f, store, h, adj);
         }
         self.readout.forward(f, store, h)
+    }
+
+    /// Graph-free inference forward.
+    pub fn eval(&self, store: &ParamStore, feats: &Tensor, adj: &Tensor) -> Tensor {
+        let mut h = feats.clone();
+        for layer in &self.layers {
+            h = layer.eval(store, &h, adj);
+        }
+        self.readout.eval(store, &h)
     }
 }
 
@@ -85,10 +124,10 @@ pub fn normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Tensor {
         *adj.at_mut(&[c, p]) += 1.0;
         indeg[c] += 1;
     }
-    for c in 0..n {
-        if indeg[c] > 0 {
+    for (c, &deg) in indeg.iter().enumerate() {
+        if deg > 0 {
             for p in 0..n {
-                *adj.at_mut(&[c, p]) /= indeg[c] as f32;
+                *adj.at_mut(&[c, p]) /= deg as f32;
             }
         }
     }

@@ -78,13 +78,7 @@ impl Linear {
     /// Attach a LoRA adapter of rank `r`; freezes the base weight (and bias).
     /// `A` is initialised randomly, `B` to zero, so the adapted layer starts
     /// exactly equal to the frozen layer (standard LoRA initialisation).
-    pub fn attach_lora(
-        &mut self,
-        store: &mut ParamStore,
-        r: usize,
-        alpha: f32,
-        rng: &mut Rng,
-    ) {
+    pub fn attach_lora(&mut self, store: &mut ParamStore, r: usize, alpha: f32, rng: &mut Rng) {
         assert!(r > 0, "LoRA rank must be positive");
         let name = store.name(self.w).trim_end_matches(".w").to_string();
         store.set_trainable(self.w, false);
@@ -131,6 +125,22 @@ impl Linear {
             y
         }
     }
+
+    /// Graph-free inference forward over `[n, in_dim]`: same math (including
+    /// the LoRA branch) without tape bookkeeping or parameter cloning.
+    pub fn eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Linear::eval input must be [n, in]");
+        assert_eq!(x.shape()[1], self.in_dim, "Linear in_dim mismatch");
+        let mut y = x.matmul(store.data(self.w));
+        if let Some(l) = &self.lora {
+            let xab = x.matmul(store.data(l.a)).matmul(store.data(l.b)).scale(l.scale);
+            y = y.add(&xab);
+        }
+        if let Some(bid) = self.b {
+            y = y.add(store.data(bid));
+        }
+        y
+    }
 }
 
 /// Token/row embedding table.
@@ -142,12 +152,15 @@ pub struct Embedding {
 }
 
 impl Embedding {
-    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut Rng) -> Self {
-        let table = store.add(
-            format!("{name}.table"),
-            Tensor::randn([vocab, dim], 0.02, rng),
-            true,
-        );
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let table =
+            store.add(format!("{name}.table"), Tensor::randn([vocab, dim], 0.02, rng), true);
         Embedding { table, vocab, dim }
     }
 
@@ -155,6 +168,11 @@ impl Embedding {
     pub fn forward(&self, f: &mut Fwd, store: &ParamStore, ids: &[usize]) -> NodeId {
         let t = f.p(store, self.table);
         f.g.rows(t, ids)
+    }
+
+    /// Graph-free lookup.
+    pub fn eval(&self, store: &ParamStore, ids: &[usize]) -> Tensor {
+        store.data(self.table).gather_rows(ids)
     }
 }
 
@@ -178,6 +196,27 @@ impl LayerNorm {
         let b = f.p(store, self.beta);
         f.g.layer_norm(x, g, b, self.eps)
     }
+
+    /// Graph-free inference forward (same per-row statistics as the taped
+    /// kernel, so cached and uncached paths agree numerically).
+    pub fn eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let gv = store.data(self.gamma);
+        let bv = store.data(self.beta);
+        let d = *x.shape().last().expect("layer_norm needs rank >= 1");
+        assert_eq!(gv.shape(), &[d], "gamma shape");
+        let rows = x.numel() / d;
+        let mut out = x.clone();
+        for r in 0..rows {
+            let s = &mut out.data_mut()[r * d..(r + 1) * d];
+            let mean = s.iter().sum::<f32>() / d as f32;
+            let var = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = (*v - mean) * inv * gv.data()[i] + bv.data()[i];
+            }
+        }
+        out
+    }
 }
 
 /// 1-D convolution layer (`same` or `valid` padding).
@@ -190,6 +229,7 @@ pub struct Conv1d {
 }
 
 impl Conv1d {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         name: &str,
@@ -202,7 +242,8 @@ impl Conv1d {
     ) -> Self {
         let fan_in = c_in * kernel;
         let std = (2.0 / fan_in as f32).sqrt();
-        let w = store.add(format!("{name}.w"), Tensor::randn([c_out, c_in, kernel], std, rng), true);
+        let w =
+            store.add(format!("{name}.w"), Tensor::randn([c_out, c_in, kernel], std, rng), true);
         let b = store.add(format!("{name}.b"), Tensor::zeros([c_out]), true);
         Conv1d { w, b, stride, pad }
     }
@@ -212,6 +253,38 @@ impl Conv1d {
         let w = f.p(store, self.w);
         let b = f.p(store, self.b);
         f.g.conv1d(x, w, b, self.stride, self.pad)
+    }
+
+    /// Graph-free inference forward over `[batch, c_in, t]`.
+    pub fn eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let wv = store.data(self.w);
+        let bv = store.data(self.b);
+        assert_eq!(x.shape().len(), 3, "conv1d input must be [b,ci,t]");
+        let (b, ci, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let (co, ci2, k) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+        assert_eq!(ci, ci2, "conv1d channel mismatch");
+        assert!(t + 2 * self.pad >= k, "conv1d kernel larger than padded input");
+        let t_out = (t + 2 * self.pad - k) / self.stride + 1;
+        let mut out = vec![0.0f32; b * co * t_out];
+        for bi in 0..b {
+            for oc in 0..co {
+                for ot in 0..t_out {
+                    let mut acc = bv.data()[oc];
+                    for icc in 0..ci {
+                        for kk in 0..k {
+                            let it = (ot * self.stride + kk) as isize - self.pad as isize;
+                            if it < 0 || it >= t as isize {
+                                continue;
+                            }
+                            acc += x.data()[(bi * ci + icc) * t + it as usize]
+                                * wv.data()[(oc * ci + icc) * k + kk];
+                        }
+                    }
+                    out[(bi * co + oc) * t_out + ot] = acc;
+                }
+            }
+        }
+        Tensor::from_vec([b, co, t_out], out)
     }
 }
 
@@ -223,9 +296,16 @@ pub struct Mlp {
 }
 
 impl Mlp {
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let up = Linear::new(store, &format!("{name}.up"), dim, hidden, true, Init::Kaiming, rng);
-        let down = Linear::new(store, &format!("{name}.down"), hidden, dim, true, Init::Xavier, rng);
+        let down =
+            Linear::new(store, &format!("{name}.down"), hidden, dim, true, Init::Xavier, rng);
         Mlp { up, down }
     }
 
@@ -233,6 +313,12 @@ impl Mlp {
         let h = self.up.forward(f, store, x);
         let h = f.g.gelu(h);
         self.down.forward(f, store, h)
+    }
+
+    /// Graph-free inference forward over `[n, dim]`.
+    pub fn eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let h = self.up.eval(store, x).map(nt_tensor::gelu);
+        self.down.eval(store, &h)
     }
 }
 

@@ -29,7 +29,7 @@ pub mod lstm;
 pub mod optim;
 pub mod store;
 
-pub use attention::{causal_mask, MultiHeadAttention, TransformerBlock};
+pub use attention::{causal_mask, AttnKv, MultiHeadAttention, TransformerBlock};
 pub use gnn::{normalized_adjacency, Gnn, GnnLayer};
 pub use layers::{Conv1d, Embedding, Init, LayerNorm, Linear, Lora, Mlp};
 pub use lstm::Lstm;

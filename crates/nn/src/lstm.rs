@@ -18,11 +18,24 @@ pub struct Lstm {
 }
 
 impl Lstm {
-    pub fn new(store: &mut ParamStore, name: &str, input: usize, hidden: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let w_ih =
             Linear::new(store, &format!("{name}.w_ih"), input, 4 * hidden, true, Init::Xavier, rng);
-        let w_hh =
-            Linear::new(store, &format!("{name}.w_hh"), hidden, 4 * hidden, false, Init::Xavier, rng);
+        let w_hh = Linear::new(
+            store,
+            &format!("{name}.w_hh"),
+            hidden,
+            4 * hidden,
+            false,
+            Init::Xavier,
+            rng,
+        );
         // Forget-gate bias = 1.
         if let Some(bid) = w_ih.b {
             let b = store.data_mut(bid);
@@ -35,12 +48,7 @@ impl Lstm {
 
     /// Run the sequence; returns per-step hidden states `[t, hidden]` and the
     /// final `(h, c)` (each `[1, hidden]`).
-    pub fn forward(
-        &self,
-        f: &mut Fwd,
-        store: &ParamStore,
-        x: NodeId,
-    ) -> (NodeId, NodeId, NodeId) {
+    pub fn forward(&self, f: &mut Fwd, store: &ParamStore, x: NodeId) -> (NodeId, NodeId, NodeId) {
         let shape = f.g.value(x).shape().to_vec();
         assert_eq!(shape.len(), 2, "Lstm input must be [t, in]");
         let t = shape[0];

@@ -26,8 +26,7 @@ impl Sgd {
                 self.velocity.resize_with(*id + 1, || None);
             }
             let update = if self.momentum > 0.0 {
-                let v = self.velocity[*id]
-                    .get_or_insert_with(|| Tensor::zeros(g.shape().to_vec()));
+                let v = self.velocity[*id].get_or_insert_with(|| Tensor::zeros(g.shape().to_vec()));
                 for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
                     *vi = self.momentum * *vi + gi;
                 }
@@ -112,8 +111,7 @@ impl CosineSchedule {
         }
         let span = self.total.saturating_sub(self.warmup).max(1);
         let p = ((step.saturating_sub(self.warmup)) as f32 / span as f32).min(1.0);
-        self.min_lr
-            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * p).cos())
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * p).cos())
     }
 }
 

@@ -12,7 +12,7 @@
 
 use crate::rng::Rng;
 use crate::shape::{broadcast_shapes, for_each_broadcast2, numel};
-use crate::tensor::{matmul_into, softmax_in_place, Tensor};
+use crate::tensor::{gelu as gelu_fwd, matmul_into, softmax_in_place, Tensor, GELU_C};
 
 /// Identifier of a node on the tape.
 pub type NodeId = usize;
@@ -66,6 +66,11 @@ pub struct Graph {
     nodes: Vec<Node>,
     rng: Rng,
     training: bool,
+    /// When `false`, ops skip all backward bookkeeping: parents and op
+    /// payloads (gather indices, dropout masks, loss targets) are not
+    /// recorded and every node is marked `needs_grad = false`. Forward
+    /// values stay addressable, but [`Graph::backward`] must not be called.
+    tape: bool,
     cur_bytes: usize,
     peak_bytes: usize,
 }
@@ -73,7 +78,14 @@ pub struct Graph {
 impl Graph {
     /// Create a tape. `training` controls dropout; `seed` feeds dropout masks.
     pub fn new(training: bool, seed: u64) -> Self {
-        Graph { nodes: Vec::new(), rng: Rng::seeded(seed), training, cur_bytes: 0, peak_bytes: 0 }
+        Graph {
+            nodes: Vec::new(),
+            rng: Rng::seeded(seed),
+            training,
+            tape: true,
+            cur_bytes: 0,
+            peak_bytes: 0,
+        }
     }
 
     /// Inference-mode tape (dropout disabled).
@@ -81,8 +93,25 @@ impl Graph {
         Graph::new(false, 0)
     }
 
+    /// No-tape inference execution: forward values only, no `Node`
+    /// parent/op/grad bookkeeping. Forward-only evaluation of graph-built
+    /// models runs here (held-out loss, baseline policy rollouts — see
+    /// `Fwd::eval_no_tape` in `nt-nn`); the KV-cached decode path avoids
+    /// the graph entirely and uses the tensor-level kernels instead.
+    /// [`Graph::backward`] panics on such a graph.
+    pub fn no_tape() -> Self {
+        let mut g = Graph::new(false, 0);
+        g.tape = false;
+        g
+    }
+
     pub fn is_training(&self) -> bool {
         self.training
+    }
+
+    /// Whether backward bookkeeping is being recorded.
+    pub fn records_tape(&self) -> bool {
+        self.tape
     }
 
     /// Number of nodes on the tape.
@@ -102,7 +131,19 @@ impl Graph {
     fn push(&mut self, op: Op, parents: Vec<NodeId>, value: Tensor, needs_grad: bool) -> NodeId {
         self.cur_bytes += value.numel() * 4;
         self.peak_bytes = self.peak_bytes.max(self.cur_bytes);
-        self.nodes.push(Node { value, grad: None, parents, op, needs_grad });
+        if self.tape {
+            self.nodes.push(Node { value, grad: None, parents, op, needs_grad });
+        } else {
+            // No-tape mode: drop the backward bookkeeping (op payloads such
+            // as gather indices or dropout masks, and the parent links).
+            self.nodes.push(Node {
+                value,
+                grad: None,
+                parents: vec![],
+                op: Op::Leaf,
+                needs_grad: false,
+            });
+        }
         self.nodes.len() - 1
     }
 
@@ -523,7 +564,14 @@ impl Graph {
     }
 
     /// 1-D convolution: `x [b,ci,t]`, `w [co,ci,k]`, `bias [co]`.
-    pub fn conv1d(&mut self, x: NodeId, w: NodeId, bias: NodeId, stride: usize, pad: usize) -> NodeId {
+    pub fn conv1d(
+        &mut self,
+        x: NodeId,
+        w: NodeId,
+        bias: NodeId,
+        stride: usize,
+        pad: usize,
+    ) -> NodeId {
         let xv = &self.nodes[x].value;
         let wv = &self.nodes[w].value;
         let bv = &self.nodes[bias].value;
@@ -563,6 +611,7 @@ impl Graph {
 
     /// Backpropagate from a scalar `loss` node, filling node gradients.
     pub fn backward(&mut self, loss: NodeId) {
+        assert!(self.tape, "backward() on a no-tape inference graph");
         assert_eq!(self.nodes[loss].value.numel(), 1, "backward from non-scalar");
         let mut grads: Vec<Option<Vec<f32>>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss] = Some(vec![1.0]);
@@ -844,8 +893,7 @@ impl Graph {
                 self.acc(grads, ps[0], |s| {
                     for r in 0..rows {
                         let off = r * cols;
-                        let dot: f32 =
-                            (0..cols).map(|i| g[off + i] * y[off + i]).sum();
+                        let dot: f32 = (0..cols).map(|i| g[off + i] * y[off + i]).sum();
                         for i in 0..cols {
                             s[off + i] += y[off + i] * (g[off + i] - dot);
                         }
@@ -994,12 +1042,6 @@ fn add_into(dst: &mut [f32], src: &[f32]) {
 
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
-}
-
-const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
-
-fn gelu_fwd(x: f32) -> f32 {
-    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
 }
 
 fn gelu_bwd(x: f32) -> f32 {
@@ -1226,8 +1268,8 @@ mod tests {
     fn grad_reductions() {
         grad_check(probe(), |g, x| {
             let s = g.sum_axis(x, 0);
-            let m = g.mean_axis(s, 0);
-            m
+
+            g.mean_axis(s, 0)
         });
         grad_check(probe(), |g, x| {
             let m = g.mean_axis(x, 1);
@@ -1271,7 +1313,8 @@ mod tests {
     fn grad_conv1d() {
         let x = Tensor::from_vec([1, 2, 4], vec![0.1, 0.2, 0.3, 0.4, -0.1, -0.2, -0.3, -0.4]);
         grad_check(x, |g, x| {
-            let w = g.constant(Tensor::from_vec([2, 2, 3], (0..12).map(|i| 0.1 * i as f32).collect()));
+            let w =
+                g.constant(Tensor::from_vec([2, 2, 3], (0..12).map(|i| 0.1 * i as f32).collect()));
             let b = g.constant(Tensor::from_slice(&[0.1, -0.1]));
             let y = g.conv1d(x, w, b, 1, 1);
             let sq = g.mul(y, y);
@@ -1334,6 +1377,34 @@ mod tests {
         let l = g.sum_all(y);
         g.backward(l);
         assert_eq!(g.grad(x).unwrap().data(), &[7.0]);
+    }
+
+    #[test]
+    fn no_tape_forward_matches_taped_forward() {
+        // Same ops, same values — only the bookkeeping differs.
+        let build = |g: &mut Graph| {
+            let x = g.leaf(probe(), true);
+            let c = g.constant(Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]));
+            let y = g.mul(x, c);
+            let s = g.softmax_last(y);
+            let n = g.narrow(s, 1, 0, 2);
+            g.sum_all(n)
+        };
+        let mut taped = Graph::inference();
+        let lt = build(&mut taped);
+        let mut notape = Graph::no_tape();
+        let ln = build(&mut notape);
+        assert_eq!(taped.value(lt).data(), notape.value(ln).data());
+        assert!(!notape.records_tape());
+    }
+
+    #[test]
+    #[should_panic(expected = "no-tape")]
+    fn no_tape_backward_panics() {
+        let mut g = Graph::no_tape();
+        let x = g.leaf(Tensor::ones([2]), true);
+        let l = g.sum_all(x);
+        g.backward(l);
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod tensor;
 
 pub use graph::{Graph, NodeId};
 pub use rng::Rng;
-pub use tensor::Tensor;
+pub use tensor::{concat, gelu, Tensor};

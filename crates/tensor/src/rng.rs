@@ -1,37 +1,59 @@
 //! Deterministic random number generation.
 //!
 //! Everything in this workspace that draws randomness goes through [`Rng`],
-//! a seeded wrapper over `rand::rngs::SmallRng`. Simulators, dataset
+//! a self-contained xoshiro256** generator seeded through splitmix64 (no
+//! external dependency — the build runs fully offline). Simulators, dataset
 //! generators and training loops all take an explicit seed so that every
 //! experiment is bit-reproducible.
-
-use rand::rngs::SmallRng;
-use rand::{Rng as _, SeedableRng};
 
 /// Seeded random source used across the workspace.
 #[derive(Clone, Debug)]
 pub struct Rng {
-    inner: SmallRng,
+    state: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f32>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Rng {
     /// Create from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        Rng { inner: SmallRng::seed_from_u64(seed), spare_normal: None }
+        let mut s = seed;
+        let state =
+            [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        Rng { state, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child stream; use to give subcomponents their
     /// own reproducible randomness without sharing state.
     pub fn fork(&mut self, salt: u64) -> Rng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Rng::seeded(s)
     }
 
     /// Uniform in `[0, 1)`.
     pub fn unit(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
     }
 
     /// Uniform in `[lo, hi)`.
@@ -42,13 +64,15 @@ impl Rng {
     /// Uniform integer in `[0, n)`. Panics when `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Lemire-style rejection-free reduction is overkill here; modulo
+        // bias is negligible for the n (< 2^32) this workspace draws.
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: usize, hi: usize) -> usize {
         assert!(hi > lo, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli draw.
@@ -96,7 +120,7 @@ impl Rng {
             // Argmax over finite weights; NaN entries are ignored.
             let mut best: Option<usize> = None;
             for (i, &w) in weights.iter().enumerate() {
-                if w.is_finite() && best.map_or(true, |b| w > weights[b]) {
+                if w.is_finite() && best.is_none_or(|b| w > weights[b]) {
                     best = Some(i);
                 }
             }

@@ -23,10 +23,10 @@ pub fn strides(shape: &[usize]) -> Vec<usize> {
 pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let rank = a.len().max(b.len());
     let mut out = vec![0usize; rank];
-    for i in 0..rank {
+    for (i, slot) in out.iter_mut().enumerate() {
         let da = dim_from_right(a, rank - 1 - i);
         let db = dim_from_right(b, rank - 1 - i);
-        out[i] = match (da, db) {
+        *slot = match (da, db) {
             (x, y) if x == y => x,
             (1, y) => y,
             (x, 1) => x,

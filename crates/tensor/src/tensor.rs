@@ -237,6 +237,75 @@ impl Tensor {
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
     }
+
+    /// Slice `len` entries starting at `start` along `axis` (graph-free
+    /// kernel; the differentiable version is [`crate::graph::Graph::narrow`]).
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        assert!(axis < self.shape.len(), "narrow axis out of range");
+        assert!(start + len <= self.shape[axis], "narrow slice out of bounds");
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let d = self.shape[axis];
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = len;
+        let mut out = vec![0.0f32; outer * len * inner];
+        for o in 0..outer {
+            let src = (o * d + start) * inner;
+            out[o * len * inner..(o + 1) * len * inner]
+                .copy_from_slice(&self.data[src..src + len * inner]);
+        }
+        Tensor { shape: out_shape, data: out }
+    }
+
+    /// Gather rows of a 2-D tensor by index (graph-free embedding lookup).
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "gather_rows needs a 2-D tensor");
+        let (n, d) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            assert!(i < n, "row index {i} out of {n}");
+            out.extend_from_slice(&self.data[i * d..(i + 1) * d]);
+        }
+        Tensor { shape: vec![indices.len(), d], data: out }
+    }
+}
+
+/// Concatenate tensors along `axis` (graph-free kernel; all inputs must
+/// agree on the other dims). This plus [`Tensor::narrow`] are the two
+/// shape ops a KV cache leans on: append new keys/values, slice the live
+/// prefix back out.
+pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!parts.is_empty(), "concat of nothing");
+    let first = parts[0].shape().to_vec();
+    let rank = first.len();
+    assert!(axis < rank, "concat axis {axis} out of rank {rank}");
+    let mut axis_total = 0usize;
+    for p in parts {
+        let s = p.shape();
+        assert_eq!(s.len(), rank, "concat rank mismatch");
+        for d in 0..rank {
+            if d != axis {
+                assert_eq!(s[d], first[d], "concat dim {d} mismatch");
+            }
+        }
+        axis_total += s[axis];
+    }
+    let mut out_shape = first.clone();
+    out_shape[axis] = axis_total;
+    let outer: usize = first[..axis].iter().product();
+    let inner: usize = first[axis + 1..].iter().product();
+    let mut out = vec![0.0f32; crate::shape::numel(&out_shape)];
+    let mut axis_off = 0usize;
+    for p in parts {
+        let len = p.shape()[axis];
+        for o in 0..outer {
+            let src = &p.data()[o * len * inner..(o + 1) * len * inner];
+            let dst_start = (o * axis_total + axis_off) * inner;
+            out[dst_start..dst_start + len * inner].copy_from_slice(src);
+        }
+        axis_off += len;
+    }
+    Tensor::from_vec(out_shape, out)
 }
 
 /// `out += a x b` for row-major matrices, ikj loop order for cache locality.
@@ -257,6 +326,15 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
             }
         }
     }
+}
+
+pub(crate) const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+/// Tanh-approximation GELU, shared by the taped forward, its backward and
+/// the graph-free inference kernels (one definition keeps the cached and
+/// uncached paths bit-identical).
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
 }
 
 /// Numerically stable in-place softmax of a slice.
@@ -351,5 +429,35 @@ mod tests {
         let a = Tensor::randn([4, 4], 1.0, &mut r1);
         let b = Tensor::randn([4, 4], 1.0, &mut r2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn narrow_kernel_slices_rows_and_cols() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.narrow(0, 1, 1).data(), &[4., 5., 6.]);
+        assert_eq!(t.narrow(1, 1, 2).data(), &[2., 3., 5., 6.]);
+        assert_eq!(t.narrow(1, 1, 2).shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn concat_kernel_roundtrips_with_narrow() {
+        let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec([1, 2], vec![5., 6.]);
+        let cat = concat(&[&a, &b], 0);
+        assert_eq!(cat.shape(), &[3, 2]);
+        assert_eq!(cat.narrow(0, 0, 2), a);
+        assert_eq!(cat.narrow(0, 2, 1), b);
+        // Column-axis concat too (the KV layout appends along time).
+        let c = concat(&[&a, &a], 1);
+        assert_eq!(c.shape(), &[2, 4]);
+        assert_eq!(c.data(), &[1., 2., 1., 2., 3., 4., 3., 4.]);
+    }
+
+    #[test]
+    fn gather_rows_kernel_matches_indexing() {
+        let t = Tensor::from_vec([3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let g = t.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.data(), &[5., 6., 1., 2., 5., 6.]);
     }
 }

@@ -133,9 +133,8 @@ pub fn generate(spec: &DatasetSpec) -> VpDataset {
 fn gen_video(p: &MotionProfile, steps: usize, rng: &mut Rng) -> VideoMotion {
     let dt = 1.0 / HZ as f32;
     // POI tracks: smooth random walks on the sphere.
-    let mut pos: Vec<(f32, f32)> = (0..p.num_pois)
-        .map(|_| (rng.uniform(-40.0, 40.0), rng.uniform(-180.0, 180.0)))
-        .collect();
+    let mut pos: Vec<(f32, f32)> =
+        (0..p.num_pois).map(|_| (rng.uniform(-40.0, 40.0), rng.uniform(-180.0, 180.0))).collect();
     let mut vel: Vec<(f32, f32)> = (0..p.num_pois).map(|_| (0.0, 0.0)).collect();
     let mut pois = Vec::with_capacity(steps);
     let mut saliency = Vec::with_capacity(steps);

@@ -146,7 +146,7 @@ impl VpPredictor for Track {
     }
 
     fn predict(&mut self, sample: &VpSample, pw: usize) -> Vec<Viewport> {
-        let mut f = Fwd::eval();
+        let mut f = Fwd::eval_no_tape();
         let outs = self.rollout(&mut f, sample, pw, None);
         let deltas: Vec<[f32; 3]> = outs
             .iter()

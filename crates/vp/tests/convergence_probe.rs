@@ -3,9 +3,13 @@ use nt_vp::*;
 
 /// Oracle: noise-free mean dynamics toward the POI best aligned with the
 /// current velocity (proxy upper bound for saliency-aware prediction).
-struct Oracle<'a> { ds: &'a VpDataset }
+struct Oracle<'a> {
+    ds: &'a VpDataset,
+}
 impl VpPredictor for Oracle<'_> {
-    fn name(&self) -> &str { "oracle" }
+    fn name(&self) -> &str {
+        "oracle"
+    }
     fn predict(&mut self, s: &VpSample, pw: usize) -> Vec<Viewport> {
         let p = &self.ds.spec.profile;
         let last = *s.history.last().unwrap();
@@ -14,19 +18,30 @@ impl VpPredictor for Oracle<'_> {
         // candidate POIs = bright cells; pick the one most aligned with velocity,
         // tie-broken by distance
         let mut cands: Vec<(f32, f32, f32)> = vec![]; // (pitch, yaw, weight)
-        for r in 0..GRID { for c in 0..GRID {
-            let v = s.saliency.at(&[r, c]);
-            if v > 0.5 { let (pp, yy) = cell_center(r, c); cands.push((pp, yy, v)); }
-        }}
-        if cands.is_empty() { cands.push((0.0, 0.0, 1.0)); }
-        let mut best = cands[0]; let mut bs = f32::MIN;
+        for r in 0..GRID {
+            for c in 0..GRID {
+                let v = s.saliency.at(&[r, c]);
+                if v > 0.5 {
+                    let (pp, yy) = cell_center(r, c);
+                    cands.push((pp, yy, v));
+                }
+            }
+        }
+        if cands.is_empty() {
+            cands.push((0.0, 0.0, 1.0));
+        }
+        let mut best = cands[0];
+        let mut bs = f32::MIN;
         for &(pp, yy, w) in &cands {
             let ep = pp - last[1];
             let ey = ang_diff(yy, last[2]);
-            let align = (ep * vp0 + ey * vy0) / ((ep*ep+ey*ey).sqrt().max(1.0));
-            let dist = (ep*ep+ey*ey).sqrt();
-            let score = w + 0.5*align - 0.005*dist;
-            if score > bs { bs = score; best = (pp, yy, w); }
+            let align = (ep * vp0 + ey * vy0) / ((ep * ep + ey * ey).sqrt().max(1.0));
+            let dist = (ep * ep + ey * ey).sqrt();
+            let score = w + 0.5 * align - 0.005 * dist;
+            if score > bs {
+                bs = score;
+                best = (pp, yy, w);
+            }
         }
         let (tp, ty) = (best.0, best.1);
         let (mut vp, mut vy) = (vp0, vy0);

@@ -17,7 +17,8 @@ fn main() {
     println!("== NetLLM cluster job scheduling ==");
 
     // Inspect one workload.
-    let preview = generate_workload(&WorkloadConfig { num_jobs: 5, mean_interarrival: 1.5, seed: 1 });
+    let preview =
+        generate_workload(&WorkloadConfig { num_jobs: 5, mean_interarrival: 1.5, seed: 1 });
     for j in &preview {
         println!(
             "  job {} (template {:2}): {} stages, {} edges, {:.0}s total work, arrives t={:.1}s",
@@ -34,7 +35,13 @@ fn main() {
     println!("\ntraining Decima (demo budget)...");
     let mut decima = train_decima(
         CJS_DEFAULT.mean_interarrival,
-        &DecimaTrainConfig { bc_iters: 10, rl_iters: 6, episode_jobs: 6, executors: 10, ..Default::default() },
+        &DecimaTrainConfig {
+            bc_iters: 10,
+            rl_iters: 6,
+            episode_jobs: 6,
+            executors: 10,
+            ..Default::default()
+        },
     );
 
     // Adapt NetLLM from Decima experience (Fig 9 pipeline).
@@ -42,8 +49,11 @@ fn main() {
     let backbone = zoo.load_or_pretrain(&profile_spec(Profile::LlamaSim), 60);
     let collect_workloads = build_cjs_workloads(&CJS_DEFAULT, Fidelity::Smoke, &[21, 22]);
     let dataset = rl_collect_cjs(&mut decima, &collect_workloads, CJS_DEFAULT.executors);
-    println!("collected {} episodes, {} decisions total", dataset.len(),
-        dataset.iter().map(|t| t.steps.len()).sum::<usize>());
+    println!(
+        "collected {} episodes, {} decisions total",
+        dataset.len(),
+        dataset.iter().map(|t| t.steps.len()).sum::<usize>()
+    );
     let mut netllm_sched = adapt_cjs(backbone, AdaptMode::FullKnowledge, &dataset, 40, 5);
 
     // Evaluate everyone on a held-out workload.

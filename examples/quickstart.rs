@@ -11,7 +11,9 @@
 //! 3. `Adapt`: data-driven low-rank adaptation (DD-LRNA),
 //! 4. `Test`: stream held-out network traces and compare QoE.
 
-use netllm::{adapt_abr, build_abr_env, rl_collect_abr, test_abr, AdaptMode, Fidelity, ABR_DEFAULT};
+use netllm::{
+    adapt_abr, build_abr_env, rl_collect_abr, test_abr, AdaptMode, Fidelity, ABR_DEFAULT,
+};
 use nt_abr::{Bba, Mpc};
 use nt_llm::{profile_spec, Profile, Zoo};
 

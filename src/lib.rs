@@ -1,0 +1,15 @@
+//! Root facade of the NetLLM reproduction workspace.
+//!
+//! The actual functionality lives in the `crates/` members (see the crate
+//! map in `README.md`); this package exists to host the workspace-level
+//! integration tests under `tests/` and the runnable walkthroughs under
+//! `examples/`. Re-exports are provided so downstream experiments can
+//! depend on a single crate.
+
+pub extern crate netllm;
+pub use nt_abr as abr;
+pub use nt_cjs as cjs;
+pub use nt_llm as llm;
+pub use nt_nn as nn;
+pub use nt_tensor as tensor;
+pub use nt_vp as vp;

@@ -104,8 +104,5 @@ fn unseen_settings_are_harder_or_different() {
     assert!(u2[0].len() > d[0].len(), "unseen2 must have more jobs");
     let fifo_d = test_cjs(&mut Fifo, &d, CJS_DEFAULT.executors);
     let fifo_u1 = test_cjs(&mut Fifo, &d, netllm::CJS_UNSEEN1.executors);
-    assert!(
-        fifo_u1[0].mean_jct() >= fifo_d[0].mean_jct(),
-        "fewer executors cannot speed FIFO up"
-    );
+    assert!(fifo_u1[0].mean_jct() >= fifo_d[0].mean_jct(), "fewer executors cannot speed FIFO up");
 }

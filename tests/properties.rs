@@ -159,6 +159,108 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Autodiff invariants for the shape ops the KV-cache path leans on
+// ---------------------------------------------------------------------------
+
+/// Finite-difference check of d(loss)/d(leaf) for a scalar-valued builder.
+fn grad_matches_numeric(
+    input: nt_tensor::Tensor,
+    build: impl Fn(&mut nt_tensor::Graph, nt_tensor::NodeId) -> nt_tensor::NodeId,
+) -> Result<(), String> {
+    let mut g = nt_tensor::Graph::new(false, 0);
+    let x = g.leaf(input.clone(), true);
+    let loss = build(&mut g, x);
+    g.backward(loss);
+    let analytic = g.grad(x).ok_or("no gradient")?.clone();
+    let eps = 1e-2f32;
+    for i in 0..input.numel() {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= eps;
+        let eval = |t: nt_tensor::Tensor| {
+            let mut g = nt_tensor::Graph::new(false, 0);
+            let x = g.leaf(t, true);
+            let l = build(&mut g, x);
+            g.value(l).item()
+        };
+        let numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = numeric.abs().max(a.abs()).max(1.0);
+        if (numeric - a).abs() / denom > 3e-2 {
+            return Err(format!("grad mismatch at {i}: numeric {numeric} vs analytic {a}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Narrow must route gradients only into the sliced region, for any
+    /// slice of any axis of a random 2-D tensor.
+    #[test]
+    fn narrow_gradient_matches_finite_differences(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        axis in 0usize..2,
+        pick in 0u64..10_000,
+        data in proptest::collection::vec(-2.0f32..2.0, 25..26),
+    ) {
+        let t = nt_tensor::Tensor::from_vec([rows, cols], data[..rows * cols].to_vec());
+        let dim = [rows, cols][axis];
+        let start = (pick as usize) % dim;
+        let len = 1 + (pick as usize / dim) % (dim - start);
+        let r = grad_matches_numeric(t, |g, x| {
+            let n = g.narrow(x, axis, start, len);
+            let sq = g.mul(n, n);
+            g.sum_all(sq)
+        });
+        prop_assert!(r.is_ok(), "{:?}", r.err());
+    }
+
+    /// Concat must split the incoming gradient back to its parents
+    /// (checked against finite differences for both axes).
+    #[test]
+    fn concat_gradient_matches_finite_differences(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        axis in 0usize..2,
+        data in proptest::collection::vec(-2.0f32..2.0, 16..17),
+    ) {
+        let t = nt_tensor::Tensor::from_vec([rows, cols], data[..rows * cols].to_vec());
+        let r = grad_matches_numeric(t, |g, x| {
+            // Concat the leaf with a constant AND with itself: gradients
+            // must accumulate across both appearances.
+            let c = g.constant(nt_tensor::Tensor::ones([rows, cols]));
+            let cat = g.concat(&[x, c, x], axis);
+            let sq = g.mul(cat, cat);
+            g.sum_all(sq)
+        });
+        prop_assert!(r.is_ok(), "{:?}", r.err());
+    }
+
+    /// Narrow(Concat) round-trip: slicing a concat back apart must
+    /// reproduce the inputs exactly, for any axis (the exact invariant the
+    /// KV cache relies on when rolling back candidate tokens).
+    #[test]
+    fn concat_narrow_roundtrip(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        axis in 0usize..2,
+        data in proptest::collection::vec(-3.0f32..3.0, 50..51),
+    ) {
+        let a = nt_tensor::Tensor::from_vec([rows, cols], data[..rows * cols].to_vec());
+        let b = nt_tensor::Tensor::from_vec([rows, cols], data[25..25 + rows * cols].to_vec());
+        let cat = nt_tensor::concat(&[&a, &b], axis);
+        let first = cat.narrow(axis, 0, [rows, cols][axis]);
+        let second = cat.narrow(axis, [rows, cols][axis], [rows, cols][axis]);
+        prop_assert_eq!(first.data(), a.data());
+        prop_assert_eq!(second.data(), b.data());
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Framework invariants
 // ---------------------------------------------------------------------------
 

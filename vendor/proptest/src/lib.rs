@@ -1,0 +1,330 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro over functions with `arg in strategy` parameters,
+//! numeric range strategies, tuple strategies, [`collection::vec`], a
+//! single-character-class regex string strategy, and the `prop_assert*`
+//! macros. Cases are sampled from a deterministic per-test RNG (seeded from
+//! the test name and case index), so failures are reproducible; there is no
+//! shrinking.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Deterministic split-mix RNG driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let x = self.start + (rng.unit() as f32) * (self.end - self.start);
+        // Rounding in the f32 cast/multiply can land exactly on the
+        // exclusive upper bound; keep the half-open contract.
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let x = self.start + rng.unit() * (self.end - self.start);
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// String strategy from a `[class]{lo,hi}` regex literal (the only regex
+/// shape the workspace uses).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_regex(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+fn parse_class_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    let bytes: Vec<char> = pattern.chars().collect();
+    assert!(
+        bytes.first() == Some(&'['),
+        "proptest shim only supports `[class]{{lo,hi}}` regex strategies, got {pattern:?}"
+    );
+    let mut chars = Vec::new();
+    let mut i = 1;
+    while i < bytes.len() && bytes[i] != ']' {
+        let c = if bytes[i] == '\\' {
+            i += 1;
+            bytes[i]
+        } else {
+            bytes[i]
+        };
+        // Range `a-z` (a `-` that is not last-in-class and not escaped).
+        if i + 2 < bytes.len() && bytes[i + 1] == '-' && bytes[i + 2] != ']' {
+            let end = bytes[i + 2];
+            for x in c..=end {
+                chars.push(x);
+            }
+            i += 3;
+        } else {
+            chars.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < bytes.len(), "unterminated character class in {pattern:?}");
+    let rep: String = bytes[i + 1..].iter().collect();
+    let inner = rep
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("expected {{lo,hi}} repetition in {pattern:?}"));
+    let (lo, hi) = match inner.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n: usize = inner.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(hi >= lo, "bad repetition bounds in {pattern:?}");
+    (chars, lo, hi)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with element strategy `element` and length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test name, for deterministic per-test seeds.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let base = $crate::seed_from_name(stringify!($name));
+            for case in 0..cfg.cases {
+                let mut rng = $crate::TestRng::seeded(base ^ (case as u64).wrapping_mul(0x9E37_79B9));
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // Render inputs up front: the body may consume them.
+                let mut vals = String::new();
+                $(vals.push_str(&format!("{} = {:?}; ", stringify!($arg), &$arg));)+
+                let result: ::std::result::Result<(), String> = (|| { $body Ok(()) })();
+                if let Err(msg) = result {
+                    panic!("proptest case {case} failed: {msg}\n  inputs: {vals}");
+                }
+            }
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($cfg:expr;) => {};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seeded(1);
+        for _ in 0..1000 {
+            let x = (3u64..17).sample(&mut rng);
+            assert!((3..17).contains(&x));
+            let f = (0.5f64..2.5).sample(&mut rng);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_class_parses() {
+        let (chars, lo, hi) = parse_class_regex("[a-c1\\]x-]{0,4}");
+        assert!(chars.contains(&'a') && chars.contains(&'c'));
+        assert!(chars.contains(&']') && chars.contains(&'-') && chars.contains(&'x'));
+        assert_eq!((lo, hi), (0, 4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_roundtrip(a in 0u64..10, v in collection::vec(0.0f32..1.0, 1..5)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+}

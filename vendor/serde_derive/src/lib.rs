@@ -1,0 +1,173 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal `serde` data model (see `vendor/serde`) and this proc-macro
+//! crate derives impls for the shapes the workspace actually uses:
+//!
+//! - structs with named fields -> serialized as a string-keyed map;
+//! - enums with unit variants  -> serialized as the variant name.
+//!
+//! `Deserialize` is a marker trait in the vendored `serde` (nothing in the
+//! workspace deserializes), so its derive only emits an empty impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parse just enough of a `struct`/`enum` item to know its name and the
+/// names of its named fields / unit variants.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`# [ ... ]`) and visibility (`pub`, `pub ( ... )`).
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = Some(id.to_string());
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("serde_derive shim: expected `struct` or `enum`");
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other}"),
+    };
+    i += 1;
+    // No generics in this workspace's derive targets; find the brace body.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic items are not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: tuple/unit items are not supported"),
+        }
+    };
+    let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        let mut j = 0;
+        while j < inner.len() {
+            match &inner[j] {
+                TokenTree::Punct(p) if p.as_char() == '#' => j += 2,
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    j += 1;
+                    if matches!(&inner.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        j += 1;
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    fields.push(id.to_string());
+                    j += 1;
+                    assert!(
+                        matches!(&inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+                        "serde_derive shim: expected `:` after field name"
+                    );
+                    // Skip the type: everything up to a top-level comma.
+                    let mut depth = 0usize;
+                    while j < inner.len() {
+                        match &inner[j] {
+                            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => {
+                                depth = depth.saturating_sub(1)
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    j += 1; // past the comma
+                }
+                other => panic!("serde_derive shim: unexpected token in struct body: {other}"),
+            }
+        }
+        Item::Struct { name, fields }
+    } else {
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < inner.len() {
+            match &inner[j] {
+                TokenTree::Punct(p) if p.as_char() == '#' => j += 2,
+                TokenTree::Ident(id) => {
+                    variants.push(id.to_string());
+                    j += 1;
+                    match &inner.get(j) {
+                        None => {}
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => j += 1,
+                        Some(other) => panic!(
+                            "serde_derive shim: only unit enum variants are supported, got {other}"
+                        ),
+                    }
+                }
+                other => panic!("serde_derive shim: unexpected token in enum body: {other}"),
+            }
+        }
+        Item::Enum { name, variants }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.push((\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Content::Map(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive shim: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl failed to parse")
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements exactly the surface the workspace uses: [`Value`]/[`Map`],
+//! the [`json!`] macro, [`to_value`] and [`to_string_pretty`]. Values are
+//! built from anything implementing the vendored `serde::Serialize`.
+
+#![forbid(unsafe_code)]
+
+use serde::{Content, Serialize};
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// A string-keyed, insertion-ordered JSON object.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert a key, replacing (and returning) any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => Content::Num(*n),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(xs) => Content::Seq(xs.iter().map(Serialize::to_content).collect()),
+            Value::Object(m) => {
+                Content::Map(m.entries.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+            }
+        }
+    }
+}
+
+fn from_content(c: Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::Num(n) => Value::Number(n),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(xs) => Value::Array(xs.into_iter().map(from_content).collect()),
+        Content::Map(m) => {
+            let mut out = Map::new();
+            for (k, v) in m {
+                out.insert(k, from_content(v));
+            }
+            Value::Object(out)
+        }
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    from_content(v.to_content())
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(xs) => {
+            if xs.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, x) in xs.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, x, indent + 1);
+                out.push_str(if i + 1 < xs.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, x)) in m.entries.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, x, indent + 1);
+                out.push_str(if i + 1 < m.entries.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print a serializable value as JSON. Infallible in this shim, but
+/// typed as `io::Result` so `?` call sites match the real crate.
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> std::io::Result<String> {
+    let mut out = String::new();
+    write_pretty(&mut out, &to_value(v), 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from JSON-ish syntax: `json!({"k": expr, ...})`,
+/// `json!([a, b])`, or `json!(expr)`. Object and array literals nest; keys
+/// must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {
+        $crate::Value::Array($crate::json_array_items!($($tt)*))
+    };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object_inner!(map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_inner {
+    ($m:ident) => {};
+    ($m:ident ,) => {};
+    ($m:ident $k:literal : { $($v:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert($k.to_string(), $crate::json!({ $($v)* }));
+        $( $crate::json_object_inner!($m $($rest)*); )?
+    };
+    ($m:ident $k:literal : [ $($v:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert($k.to_string(), $crate::json!([ $($v)* ]));
+        $( $crate::json_object_inner!($m $($rest)*); )?
+    };
+    ($m:ident $k:literal : $v:expr , $($rest:tt)*) => {
+        $m.insert($k.to_string(), $crate::to_value(&$v));
+        $crate::json_object_inner!($m $($rest)*);
+    };
+    ($m:ident $k:literal : $v:expr) => {
+        $m.insert($k.to_string(), $crate::to_value(&$v));
+    };
+}
+
+/// Builds the element `Vec` of an array literal by prepending the head onto
+/// the recursively-built tail (head-first order is preserved).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_items {
+    () => { Vec::new() };
+    (,) => { Vec::new() };
+    ({ $($v:tt)* } $(, $($rest:tt)*)?) => {{
+        let mut items = vec![$crate::json!({ $($v)* })];
+        items.extend($crate::json_array_items!($($($rest)*)?));
+        items
+    }};
+    ([ $($v:tt)* ] $(, $($rest:tt)*)?) => {{
+        let mut items = vec![$crate::json!([ $($v)* ])];
+        items.extend($crate::json_array_items!($($($rest)*)?));
+        items
+    }};
+    ($v:expr , $($rest:tt)*) => {{
+        let mut items = vec![$crate::to_value(&$v)];
+        items.extend($crate::json_array_items!($($rest)*));
+        items
+    }};
+    ($v:expr) => { vec![$crate::to_value(&$v)] };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"a": 1.5, "b": [1.0, 2.0], "c": "s"});
+        match &v {
+            Value::Object(m) => {
+                assert_eq!(m.get("a"), Some(&Value::Number(1.5)));
+                assert_eq!(m.get("c"), Some(&Value::String("s".into())));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1.5"));
+    }
+
+    #[test]
+    fn integers_print_without_decimal() {
+        let mut s = String::new();
+        write_number(&mut s, 3.0);
+        assert_eq!(s, "3");
+    }
+}
