@@ -95,7 +95,9 @@ impl GenetNet {
         let mut f = Fwd::eval_no_tape();
         let x = f.input(Tensor::from_vec([1, FEAT_DIM], feat.to_vec()));
         let (logits, _) = self.forward(&mut f, store, x);
-        f.g.value(logits).clone().softmax_last().into_data()
+        let mut probs = f.g.value(logits).clone();
+        probs.softmax_last_mut();
+        probs.into_data()
     }
 }
 

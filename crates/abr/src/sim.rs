@@ -33,6 +33,30 @@ pub struct AbrObservation {
     pub chunk_index: usize,
 }
 
+impl AbrObservation {
+    /// Deterministic synthetic observation stream: `len` open-loop
+    /// observations over the standard 6-rung ladder, with uniformly drawn
+    /// throughput/delay histories and buffer levels. Open loop means the
+    /// observations do not depend on the policy's actions, which is what
+    /// the serving equivalence tests and throughput benches need — every
+    /// path sees byte-identical inputs.
+    pub fn synthetic_stream(seed: u64, len: usize) -> Vec<AbrObservation> {
+        let mut rng = nt_tensor::Rng::seeded(seed);
+        (0..len)
+            .map(|i| AbrObservation {
+                throughput_hist: (0..HIST).map(|_| rng.uniform(0.5, 6.0) as f64).collect(),
+                delay_hist: (0..HIST).map(|_| rng.uniform(0.5, 3.0) as f64).collect(),
+                next_sizes: (0..6).map(|r| 0.4 + 0.3 * r as f64).collect(),
+                buffer_secs: rng.uniform(2.0, 25.0) as f64,
+                last_rung: (i > 0).then_some(0),
+                remain_frac: 1.0 - i as f64 / len.max(1) as f64,
+                ladder_mbps: vec![0.3, 0.75, 1.2, 1.85, 2.85, 4.3],
+                chunk_index: i,
+            })
+            .collect()
+    }
+}
+
 /// History window length exposed to policies.
 pub const HIST: usize = 8;
 

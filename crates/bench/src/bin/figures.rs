@@ -1,13 +1,17 @@
 //! Regenerate every evaluation figure of the NetLLM paper.
 //!
 //! ```text
-//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16]
+//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2]
 //!                                                  [--fidelity smoke|default|paper]
 //! ```
 //!
 //! Each figure prints a console table and writes `reports/figN_*.json`.
 //! Absolute numbers are simulator-scale; the reproduction target is the
 //! *shape* (winners, orderings, crossovers) — see EXPERIMENTS.md.
+//!
+//! `--fig bench2` regenerates `reports/BENCH_2.json`, the PR 2 serving
+//! throughput snapshot (single-stream vs batched decode, speedup vs the
+//! PR 1 kernels) that tracks the perf trajectory across PRs.
 
 use netllm::{
     build_abr_env, build_cjs_workloads, build_vp_data, evaluate_token_path, AdaptMode, Fidelity,
@@ -69,6 +73,9 @@ fn main() {
     }
     if run("16") {
         fig16(&engine);
+    }
+    if fig == "bench2" {
+        bench2();
     }
     println!("\nall requested figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -819,6 +826,144 @@ fn fig16(e: &Engine) {
 }
 
 // ---------------------------------------------------------------------------
+// BENCH_2: serving-throughput snapshot (perf trajectory across PRs)
+// ---------------------------------------------------------------------------
+
+/// PR 1 single-stream KV-cached decode, measured on the reference box
+/// before the PR 2 kernels landed (`tests/kv_speedup.rs`, 7b-sim,
+/// decoding positions 8..=136: 129 tokens in 4.451 ms). Recorded here so
+/// `BENCH_2.json` can report the trajectory without rebuilding old
+/// commits.
+const PR1_DECODE_TOKENS_PER_S: f64 = 28_987.0;
+
+#[allow(clippy::needless_range_loop)]
+fn bench2() {
+    use netllm::{AdaptMode, LoraSpec, NetLlmAbr, ServingEngine};
+    use nt_abr::{AbrObservation, AbrPolicy};
+    use nt_llm::{size_spec, Zoo};
+
+    println!("\n[bench2] serving throughput snapshot");
+    let zoo = Zoo::new(std::env::temp_dir().join("bench2-zoo"));
+    let loaded = zoo.build_random(&size_spec("7b-sim"));
+
+    // ---- single-stream KV-cached decode (same setup as PR 1's gate) ----
+    let mut rng = Rng::seeded(1);
+    let len = 136usize;
+    let prompt = 8usize;
+    let ids: Vec<usize> = (0..len).map(|_| rng.below(loaded.tok.vocab_size())).collect();
+    let mut single = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let mut session = loaded.lm.start_session();
+        for k in prompt..=len {
+            let _ = loaded.lm.next_token_logits_cached(&loaded.store, &ids[..k], &mut session);
+        }
+        single = single.min(t.elapsed().as_secs_f64());
+    }
+    let decode_tokens = (len - prompt + 1) as f64;
+    let single_tps = decode_tokens / single;
+
+    // ---- batched ABR serving: decisions/s and tokens/s vs batch size ----
+    let window = 8usize;
+    let chunks = 24usize;
+    let tok_per_decision = 6.0; // rtg/thr/delay/sizes/buffer + action
+    let mk_obs =
+        |seed: u64| -> Vec<AbrObservation> { AbrObservation::synthetic_stream(seed, chunks) };
+    let mut m = NetLlmAbr::new(
+        zoo.build_random(&size_spec("7b-sim")),
+        AdaptMode::NoDomain,
+        LoraSpec::default(),
+        window,
+        2,
+    );
+    m.target_return = 2.0;
+
+    let mut rows = Vec::new();
+    let mut batched_json = serde_json::Map::new();
+    let mut batch16_dps = 0.0f64;
+    for &batch in &[1usize, 4, 16, 64] {
+        let streams: Vec<Vec<AbrObservation>> =
+            (0..batch).map(|s| mk_obs(1000 + s as u64)).collect();
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let mut engine = ServingEngine::new();
+            let ids: Vec<_> = (0..batch).map(|_| engine.join(&m)).collect();
+            let t = Instant::now();
+            for c in 0..chunks {
+                let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][c])).collect();
+                let _ = engine.step(&m, &reqs);
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        let dps = (batch * chunks) as f64 / best;
+        if batch == 16 {
+            batch16_dps = dps;
+        }
+        rows.push(vec![
+            batch.to_string(),
+            format!("{:.0}", dps),
+            format!("{:.0}", dps * tok_per_decision),
+            format!("{:.2}", dps / chunks as f64),
+        ]);
+        batched_json.insert(
+            format!("batch_{batch}"),
+            json!({"decisions_per_s": dps, "tokens_per_s": dps * tok_per_decision,
+                   "sessions_per_s": dps / chunks as f64}),
+        );
+    }
+
+    // ---- sequential baseline at 16 streams (B independent sessions) ----
+    let streams: Vec<Vec<AbrObservation>> = (0..16).map(|s| mk_obs(1000 + s as u64)).collect();
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for obs in &streams {
+            m.reset();
+            for o in obs {
+                let _ = m.select(o);
+            }
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let seq16_dps = (16 * chunks) as f64 / best;
+
+    print_table(
+        "BENCH_2: batched ABR serving (7b-sim backbone)",
+        &["batch", "decisions/s", "tokens/s", "sessions/s"],
+        &rows,
+    );
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "single-stream decode: {single_tps:.0} tok/s ({:.2}x vs PR1 {PR1_DECODE_TOKENS_PER_S:.0}); \
+         batch16 vs 16 sequential sessions: {:.2}x ({} pool workers / {hw} hw threads)",
+        single_tps / PR1_DECODE_TOKENS_PER_S,
+        batch16_dps / seq16_dps,
+        nt_tensor::pool::num_threads(),
+    );
+    let path = write_report(
+        "BENCH_2",
+        &json!({
+            "environment": {
+                "hardware_threads": hw,
+                "pool_workers": nt_tensor::pool::num_threads(),
+            },
+            "single_stream_decode": {
+                "tokens_per_s": single_tps,
+                "pr1_tokens_per_s": PR1_DECODE_TOKENS_PER_S,
+                "speedup_vs_pr1": single_tps / PR1_DECODE_TOKENS_PER_S,
+                "setup": "7b-sim, KV-cached decode of positions 8..=136",
+            },
+            "batched_serving": serde_json::Value::Object(batched_json),
+            "sequential_16_sessions_decisions_per_s": seq16_dps,
+            "batch16_speedup_vs_sequential": batch16_dps / seq16_dps,
+            "note": "batched and sequential serving are flop-identical; the batch16 \
+                     speedup reflects per-call amortisation on single-core hosts and \
+                     band-parallelism (NT_THREADS) on multi-core hosts",
+        }),
+    )
+    .unwrap();
+    println!("wrote {}", path.display());
+}
 
 fn to64(xs: &[f32]) -> Vec<f64> {
     xs.iter().map(|&x| x as f64).collect()

@@ -1,0 +1,83 @@
+//! Micro-profile of the hot kernels: GEMM rates at serving shapes, the
+//! PR 1 naive kernel for comparison, and the transcendental budget.
+//!
+//! ```text
+//! cargo run -p nt-bench --release --bin profile_kernels
+//! ```
+
+use nt_tensor::{Rng, Tensor};
+use std::time::Instant;
+
+/// The PR 1 matmul (ikj + zero-skip), kept here as the perf baseline.
+fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+fn gmacs(shapes: &[(usize, usize, usize)], reps: usize, naive: bool) {
+    let mut rng = Rng::seeded(1);
+    for &(m, k, n) in shapes {
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        let t = Instant::now();
+        for _ in 0..reps {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            if naive {
+                matmul_naive(a.data(), b.data(), &mut out, m, k, n);
+            } else {
+                nt_tensor::tensor::matmul_into(a.data(), b.data(), &mut out, m, k, n);
+            }
+        }
+        let el = t.elapsed().as_secs_f64();
+        let rate = (m * k * n * reps) as f64 / el / 1e9;
+        println!(
+            "  [{m:>3},{k:>3}]x[{k:>3},{n:>3}] {}: {rate:6.2} GMAC/s",
+            if naive { "naive  " } else { "blocked" },
+        );
+    }
+}
+
+fn main() {
+    let shapes = [(6, 48, 48), (96, 48, 48), (96, 48, 192), (96, 192, 48), (6, 70, 12)];
+    println!("blocked kernel:");
+    gmacs(&shapes, 20000, false);
+    println!("PR1 naive kernel:");
+    gmacs(&shapes, 20000, true);
+
+    // Transcendental budget: exp / tanh rates.
+    let xs: Vec<f32> = (0..4096).map(|i| (i as f32 / 409.6) - 5.0).collect();
+    let t = Instant::now();
+    let mut acc = 0.0f32;
+    for _ in 0..2000 {
+        for &x in &xs {
+            acc += x.exp();
+        }
+    }
+    println!(
+        "exp:  {:.1} ns/call (acc {acc:.1})",
+        t.elapsed().as_secs_f64() * 1e9 / (4096.0 * 2000.0)
+    );
+    let t = Instant::now();
+    let mut acc = 0.0f32;
+    for _ in 0..2000 {
+        for &x in &xs {
+            acc += x.tanh();
+        }
+    }
+    println!(
+        "tanh: {:.1} ns/call (acc {acc:.1})",
+        t.elapsed().as_secs_f64() * 1e9 / (4096.0 * 2000.0)
+    );
+}

@@ -1,0 +1,59 @@
+//! Phase-level profile of one serving decision: where does the time go?
+//!
+//! ```text
+//! cargo run -p nt-bench --release --bin profile_serving
+//! ```
+//! Splits a rollout step into tokenisation (multimodal encoders),
+//! backbone append (KV attention + MLPs) and head scoring, for the
+//! sequential path and the batched engine. Used to steer the batching
+//! optimisations; not part of CI.
+
+use netllm::{AdaptMode, LoraSpec, NetLlmAbr, ServingEngine};
+use nt_abr::{AbrObservation, AbrPolicy};
+use nt_llm::{size_spec, Zoo};
+use std::time::Instant;
+
+fn obs_stream(seed: u64, len: usize) -> Vec<AbrObservation> {
+    AbrObservation::synthetic_stream(seed, len)
+}
+
+#[allow(clippy::needless_range_loop)]
+fn main() {
+    let loaded =
+        Zoo::new(std::env::temp_dir().join("profile-serving")).build_random(&size_spec("7b-sim"));
+    let mut m = NetLlmAbr::new(loaded, AdaptMode::NoDomain, LoraSpec::default(), 8, 1);
+    m.target_return = 2.0;
+    let chunks = 24usize;
+    let batch = 16usize;
+    let streams: Vec<Vec<AbrObservation>> =
+        (0..batch).map(|s| obs_stream(s as u64, chunks)).collect();
+
+    // Sequential rollouts.
+    let t = Instant::now();
+    for obs in &streams {
+        m.reset();
+        for o in obs {
+            let _ = m.select(o);
+        }
+    }
+    let seq = t.elapsed();
+
+    // Batched engine.
+    let mut engine = ServingEngine::new();
+    let ids: Vec<_> = (0..batch).map(|_| engine.join(&m)).collect();
+    let t = Instant::now();
+    for c in 0..chunks {
+        let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][c])).collect();
+        let _ = engine.step(&m, &reqs);
+    }
+    let bat = t.elapsed();
+
+    let n = (batch * chunks) as f64;
+    println!("sequential: {seq:?} total, {:.1} us/decision", seq.as_secs_f64() * 1e6 / n);
+    println!("batched:    {bat:?} total, {:.1} us/decision", bat.as_secs_f64() * 1e6 / n);
+    println!(
+        "batched phases: tokenize+backbone {:?}, head {:?}",
+        engine.phase_times[0], engine.phase_times[2]
+    );
+    println!("speedup: {:.2}x", seq.as_secs_f64() / bat.as_secs_f64());
+}

@@ -82,9 +82,10 @@ impl DecimaNet {
     ) -> (Vec<f32>, Vec<f32>) {
         let mut f = Fwd::eval_no_tape();
         let (sl, cl) = self.decision_logits(&mut f, store, snap, chosen.unwrap_or(0));
-        let sp = f.g.value(sl).clone().softmax_last().into_data();
-        let cp = f.g.value(cl).clone().softmax_last().into_data();
-        (sp, cp)
+        let (mut sp, mut cp) = (f.g.value(sl).clone(), f.g.value(cl).clone());
+        sp.softmax_last_mut();
+        cp.softmax_last_mut();
+        (sp.into_data(), cp.into_data())
     }
 }
 

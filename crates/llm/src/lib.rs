@@ -31,7 +31,9 @@ pub mod pretrain;
 pub mod tokenizer;
 pub mod zoo;
 
-pub use model::{sample_logits, DecodeSession, KvCache, LmConfig, TinyLm};
+pub use model::{
+    sample_logits, BatchedDecodeSession, DecodeSession, KvCache, LmConfig, SlotMap, TinyLm,
+};
 pub use pretrain::{eval_loss, pretrain, Corpus, CorpusMix, PretrainReport};
 pub use tokenizer::{Tokenizer, BOS, EOS, PAD, UNK};
 pub use zoo::{profile_spec, size_spec, LoadedLm, ModelSpec, Profile, Zoo, SIZE_LADDER};

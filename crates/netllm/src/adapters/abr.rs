@@ -26,9 +26,9 @@ use nt_tensor::{NodeId, Rng, Tensor};
 
 const FEAT: usize = 24;
 /// Tokens per trajectory step: return, throughput, delay, sizes, buffer, action.
-const TOK_PER_STEP: usize = 6;
+pub(crate) const TOK_PER_STEP: usize = 6;
 /// Reward scale: per-chunk QoE is divided by this before entering returns.
-const R_SCALE: f64 = 5.0;
+pub(crate) const R_SCALE: f64 = 5.0;
 
 /// One step of recorded experience.
 #[derive(Clone, Debug)]
@@ -121,6 +121,27 @@ impl AbrPolicy for AbrRecorder<'_> {
     }
 }
 
+/// Mutable per-stream rollout state: everything one live video session
+/// carries between chunks. [`NetLlmAbr`] owns one (its own single-stream
+/// rollout); `nt_netllm::serving::ServingEngine` owns one per slot so many
+/// streams can share one model.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AbrEpisode {
+    pub episode: AbrTrajectory,
+    pub rtg_now: f32,
+    pub prev_bitrate: Option<f64>,
+    pub prev_buffer: f64,
+    /// First episode step currently encoded in the KV session.
+    pub anchor: usize,
+}
+
+impl AbrEpisode {
+    /// Fresh episode prompted with `target_return`.
+    pub fn fresh(target_return: f32) -> Self {
+        AbrEpisode { rtg_now: target_return, ..Default::default() }
+    }
+}
+
 /// The adapted ABR model.
 pub struct NetLlmAbr {
     pub lm: TinyLm,
@@ -136,22 +157,17 @@ pub struct NetLlmAbr {
     sizes_proj: Projection,
     buf_proj: Projection,
     action_tokens: LearnedTokens,
-    head: AbrHead,
+    pub(crate) head: AbrHead,
     pub window: usize,
     pub mode: AdaptMode,
     /// Target return used to prompt the model at inference.
     pub target_return: f32,
-    // ---- inference episode state ----
-    episode: AbrTrajectory,
-    rtg_now: f32,
-    prev_bitrate: Option<f64>,
-    prev_buffer: f64,
+    // ---- single-stream inference state ----
+    ep: AbrEpisode,
     weights: QoeWeights,
     /// KV-cached inference session over the backbone; rollout steps append
     /// ~[`TOK_PER_STEP`] new tokens instead of re-encoding the window.
     session: InferenceSession,
-    /// First episode step currently encoded in the session.
-    anchor: usize,
     /// Action logits of the most recent [`AbrPolicy::select`] call (the
     /// equivalence tests compare these against the taped reference).
     last_logits: Vec<f32>,
@@ -201,13 +217,9 @@ impl NetLlmAbr {
             window,
             mode,
             target_return: 0.0,
-            episode: AbrTrajectory::default(),
-            rtg_now: 0.0,
-            prev_bitrate: None,
-            prev_buffer: 0.0,
+            ep: AbrEpisode::default(),
             weights: QoeWeights::default(),
             session,
-            anchor: 0,
             last_logits: Vec::new(),
         }
     }
@@ -277,7 +289,7 @@ impl NetLlmAbr {
 
     /// Graph-free state tokens `[5, d]` for one step (same encoder math as
     /// [`NetLlmAbr::tokenize`], without the tape).
-    fn state_tokens_eval(&self, s: &AbrStep, rtg: f32) -> Tensor {
+    pub(crate) fn state_tokens_eval(&self, s: &AbrStep, rtg: f32) -> Tensor {
         let st = &self.store;
         let rtg_feat = self.rtg_enc.eval(st, &Tensor::from_vec([1, 1], vec![rtg]));
         let rtg_tok = self.rtg_proj.eval(st, &rtg_feat);
@@ -299,6 +311,82 @@ impl NetLlmAbr {
 
     fn action_token_eval(&self, action: usize) -> Tensor {
         self.action_tokens.eval(&self.store, &[action.min(5)])
+    }
+
+    /// Action logits of the most recent [`AbrPolicy::select`] call.
+    pub fn last_logits(&self) -> &[f32] {
+        &self.last_logits
+    }
+
+    /// Settle the previous chunk's realised QoE into the episode (the
+    /// re-anchor rebuild reconstructs historical rtg prompts from these
+    /// rewards), decrement the return-to-go (the DT inference rule), and
+    /// push the new observation as a pending step. Shared verbatim by the
+    /// single-stream [`AbrPolicy::select`] and the batched serving engine,
+    /// so both paths stay step-for-step identical.
+    pub(crate) fn settle_and_push(&self, ep: &mut AbrEpisode, obs: &AbrObservation) {
+        if let Some(prev) = ep.episode.steps.last_mut() {
+            let download = *obs.delay_hist.last().unwrap_or(&0.0);
+            let rebuf =
+                if obs.chunk_index <= 1 { 0.0 } else { (download - ep.prev_buffer).max(0.0) };
+            let br = obs.ladder_mbps[prev.action];
+            let r = chunk_qoe(&self.weights, br, rebuf, ep.prev_bitrate);
+            prev.reward = r;
+            ep.rtg_now -= (r / R_SCALE) as f32;
+            ep.prev_bitrate = Some(br);
+        }
+        ep.prev_buffer = obs.buffer_secs;
+        ep.episode.steps.push(AbrStep {
+            thr_hist: obs.throughput_hist.clone(),
+            delay_hist: obs.delay_hist.clone(),
+            next_sizes: obs.next_sizes.clone(),
+            buffer: obs.buffer_secs,
+            action: 0, // filled once the head has spoken
+            reward: 0.0,
+        });
+    }
+
+    /// Build the token rows this step appends to the KV session, deciding
+    /// between the incremental append (settled action token + new state)
+    /// and a re-anchor rebuild of the last `window` steps. Returns the
+    /// rows and whether the caller must clear its session first (the
+    /// re-anchor case). `session_len`/`session_fits` describe the calling
+    /// stream's KV session.
+    pub(crate) fn step_tokens(
+        &self,
+        ep: &mut AbrEpisode,
+        session_len: usize,
+        session_fits: bool,
+    ) -> (Tensor, bool) {
+        let n = ep.episode.steps.len() - 1; // index of the current step
+        let grown = n - ep.anchor >= 2 * self.window;
+        if session_len > 0 && session_fits && !grown {
+            let prev_action = ep.episode.steps[n - 1].action;
+            let state = self.state_tokens_eval(&ep.episode.steps[n], ep.rtg_now);
+            (nt_tensor::concat(&[&self.action_token_eval(prev_action), &state], 0), false)
+        } else {
+            // Fresh episode or full context: rebuild from the last
+            // `window` steps, reconstructing their rtg prompts from the
+            // realised rewards (identical values to when they were
+            // current).
+            let w = self.window.min(n + 1);
+            ep.anchor = n + 1 - w;
+            let mut rtgs = vec![ep.rtg_now; w];
+            for k in (0..w - 1).rev() {
+                let future_reward = ep.episode.steps[ep.anchor + k].reward / R_SCALE;
+                rtgs[k] = rtgs[k + 1] + future_reward as f32;
+            }
+            let mut groups: Vec<Tensor> = Vec::with_capacity(2 * w);
+            for (k, &rtg) in rtgs.iter().enumerate() {
+                let step = &ep.episode.steps[ep.anchor + k];
+                groups.push(self.state_tokens_eval(step, rtg));
+                if k + 1 < w {
+                    groups.push(self.action_token_eval(step.action));
+                }
+            }
+            let refs: Vec<&Tensor> = groups.iter().collect();
+            (nt_tensor::concat(&refs, 0), true)
+        }
     }
 
     /// Data-driven adaptation over a fixed experience dataset (collected
@@ -356,81 +444,34 @@ impl AbrPolicy for NetLlmAbr {
     }
 
     fn reset(&mut self) {
-        self.episode = AbrTrajectory::default();
-        self.rtg_now = self.target_return;
-        self.prev_bitrate = None;
-        self.prev_buffer = 0.0;
+        self.ep = AbrEpisode::fresh(self.target_return);
         self.session.clear();
-        self.anchor = 0;
     }
 
     fn select(&mut self, obs: &AbrObservation) -> usize {
-        // Settle the previous chunk's realised QoE into the episode (the
-        // re-anchor rebuild reconstructs historical rtg prompts from these
-        // rewards) and decrement the return-to-go (the DT inference rule).
-        if let Some(prev) = self.episode.steps.last_mut() {
-            let download = *obs.delay_hist.last().unwrap_or(&0.0);
-            let rebuf =
-                if obs.chunk_index <= 1 { 0.0 } else { (download - self.prev_buffer).max(0.0) };
-            let br = obs.ladder_mbps[prev.action];
-            let r = chunk_qoe(&self.weights, br, rebuf, self.prev_bitrate);
-            prev.reward = r;
-            self.rtg_now -= (r / R_SCALE) as f32;
-            self.prev_bitrate = Some(br);
-        }
-        self.prev_buffer = obs.buffer_secs;
-        self.episode.steps.push(AbrStep {
-            thr_hist: obs.throughput_hist.clone(),
-            delay_hist: obs.delay_hist.clone(),
-            next_sizes: obs.next_sizes.clone(),
-            buffer: obs.buffer_secs,
-            action: 0, // filled below
-            reward: 0.0,
-        });
-        let n = self.episode.steps.len() - 1; // index of the current step
-
         // KV-cached inference: the session holds tokens for steps
         // `anchor..=n-1` (the last one missing its action token, chosen
         // after the fact). Append the settled action plus the new step's
         // state; re-anchor to the training window when the context fills
         // or the visible history reaches twice the training window, so the
         // train/inference prompt-length mismatch stays bounded (see
-        // `backbone` module docs).
-        let grown = n - self.anchor >= 2 * self.window;
-        let new_tokens = if !self.session.is_empty() && self.session.fits(TOK_PER_STEP) && !grown {
-            let prev_action = self.episode.steps[n - 1].action;
-            let state = self.state_tokens_eval(&self.episode.steps[n], self.rtg_now);
-            nt_tensor::concat(&[&self.action_token_eval(prev_action), &state], 0)
-        } else {
-            // Fresh episode or full context: rebuild from the last
-            // `window` steps, reconstructing their rtg prompts from the
-            // realised rewards (identical values to when they were current).
-            let w = self.window.min(n + 1);
-            self.anchor = n + 1 - w;
+        // `backbone` module docs). The episode bookkeeping and token
+        // construction are shared with the batched serving engine.
+        let mut ep = std::mem::take(&mut self.ep);
+        self.settle_and_push(&mut ep, obs);
+        let (new_tokens, reanchored) =
+            self.step_tokens(&mut ep, self.session.len(), self.session.fits(TOK_PER_STEP));
+        if reanchored {
             self.session.clear();
-            let mut rtgs = vec![self.rtg_now; w];
-            for k in (0..w - 1).rev() {
-                let future_reward = self.episode.steps[self.anchor + k].reward / R_SCALE;
-                rtgs[k] = rtgs[k + 1] + future_reward as f32;
-            }
-            let mut groups: Vec<Tensor> = Vec::with_capacity(2 * w);
-            for (k, &rtg) in rtgs.iter().enumerate() {
-                let step = &self.episode.steps[self.anchor + k];
-                groups.push(self.state_tokens_eval(step, rtg));
-                if k + 1 < w {
-                    groups.push(self.action_token_eval(step.action));
-                }
-            }
-            let refs: Vec<&Tensor> = groups.iter().collect();
-            nt_tensor::concat(&refs, 0)
-        };
+        }
         let hidden = self.session.append(&self.lm, &self.store, &new_tokens);
         // The final appended row is the current step's state-closing token.
         let t_new = hidden.shape()[0];
         let logits = self.head.eval(&self.store, &hidden.narrow(0, t_new - 1, 1));
         let best = logits.argmax();
         self.last_logits = logits.into_data();
-        self.episode.steps.last_mut().unwrap().action = best;
+        ep.episode.steps.last_mut().unwrap().action = best;
+        self.ep = ep;
         best
     }
 }
@@ -530,13 +571,13 @@ mod tests {
             };
             let picked = m.select(&obs);
             // Mirror select()'s re-anchor rule to know the visible steps.
-            let n = m.episode.steps.len() - 1;
+            let n = m.ep.episode.steps.len() - 1;
             if chunk == 0 || n - anchor >= 2 * window {
                 anchor = n + 1 - window.min(n + 1);
             }
-            let steps = &m.episode.steps[anchor..];
+            let steps = &m.ep.episode.steps[anchor..];
             let w = steps.len();
-            let mut rtgs = vec![m.rtg_now; w];
+            let mut rtgs = vec![m.ep.rtg_now; w];
             for k in (0..w - 1).rev() {
                 rtgs[k] = rtgs[k + 1] + (steps[k].reward / R_SCALE) as f32;
             }
@@ -561,7 +602,7 @@ mod tests {
                 .0;
             assert_eq!(picked, ref_argmax, "chunk {chunk}: action diverged from taped path");
         }
-        assert!(m.anchor > 0, "probe should have re-anchored at least once");
+        assert!(m.ep.anchor > 0, "probe should have re-anchored at least once");
     }
 
     #[test]

@@ -77,6 +77,27 @@ impl InferenceSession {
     }
 }
 
+/// Append token embeddings to many sessions in one batched backbone
+/// forward: `emb` stacks each session's new rows (`[N, d_model]`, grouped
+/// per `rows_per_slot`, ragged counts allowed), and the result is the
+/// hidden states `[N, d_model]` in the same order. Equivalent to calling
+/// [`InferenceSession::append`] per session, but the projections and MLPs
+/// run as single stacked GEMMs across every session — the serving
+/// engine's throughput lever.
+pub fn append_batched(
+    lm: &TinyLm,
+    store: &ParamStore,
+    sessions: &mut [&mut InferenceSession],
+    emb: &Tensor,
+    rows_per_slot: &[usize],
+) -> Tensor {
+    for (sess, &n) in sessions.iter().zip(rows_per_slot) {
+        assert!(sess.fits(n), "session of {} cannot take {} more tokens", sess.len(), n);
+    }
+    let mut caches: Vec<&mut KvCache> = sessions.iter_mut().map(|s| &mut s.cache).collect();
+    lm.forward_embeddings_cached_batched(store, emb, rows_per_slot, &mut caches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

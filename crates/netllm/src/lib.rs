@@ -32,6 +32,7 @@ pub mod backbone;
 pub mod heads;
 pub mod multimodal;
 pub mod prompt;
+pub mod serving;
 pub mod settings;
 
 pub use adapt::{AdaptMode, LoraSpec};
@@ -42,11 +43,12 @@ pub use api::{
     adapt_abr, adapt_cjs, adapt_vp, build_abr_env, build_cjs_workloads, build_vp_data,
     default_lora, rl_collect_abr, rl_collect_cjs, test_abr, test_cjs, Task, VpData,
 };
-pub use backbone::InferenceSession;
+pub use backbone::{append_batched, InferenceSession};
 pub use heads::{AbrHead, CjsHeads, VpHead};
 pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
 };
+pub use serving::{ServingEngine, SessionId};
 pub use settings::{
     AbrSetting, CjsSetting, Fidelity, VpSetting, ABR_DEFAULT, ABR_UNSEEN1, ABR_UNSEEN2,
     ABR_UNSEEN3, CJS_DEFAULT, CJS_UNSEEN1, CJS_UNSEEN2, CJS_UNSEEN3, VP_DEFAULT, VP_UNSEEN1,

@@ -1,0 +1,323 @@
+//! Batched multi-session serving engine.
+//!
+//! One adapted model, many live network sessions: the [`ServingEngine`]
+//! multiplexes concurrent adapter rollouts into *one* batched backbone
+//! step per tick. Where B independent [`crate::InferenceSession`]s each
+//! push a handful of token rows through every projection and MLP alone,
+//! the engine stacks all B sessions' new rows into single `[N, d]` GEMMs
+//! (`nt_llm::TinyLm::forward_embeddings_cached_batched`), while each slot
+//! keeps its own ragged-length KV cache, return-to-go prompt and
+//! re-anchoring schedule — batching changes the arithmetic shape, never
+//! the answers (gated at 1e-5 against the sequential path, including
+//! re-anchor events).
+//!
+//! ```text
+//!  stream 0 ─ obs ─┐                                   ┌─ action 0
+//!  stream 1 ─ obs ─┤  per-slot tokens    one batched   ├─ action 1
+//!      ...         ├──[a_prev | state]──► backbone ────┤   ...
+//!  stream B ─ obs ─┘   (ragged rows)     step [N,d]    └─ action B
+//!                       slot KV caches ──┘ └── head on B closing rows
+//! ```
+//!
+//! ABR is served first (highest decision rate: every ~4 s chunk per
+//! viewer); the same slot/stack/step pattern extends to the CJS and VP
+//! adapters. Join/leave never disturbs other slots: a slot owns its KV
+//! session and episode state, and the batch is just "whichever slots got
+//! an observation this tick".
+
+use crate::adapters::abr::{AbrEpisode, NetLlmAbr, TOK_PER_STEP};
+use crate::backbone::{append_batched, InferenceSession};
+use nt_abr::AbrObservation;
+use nt_llm::SlotMap;
+use nt_tensor::Tensor;
+
+/// One live stream inside the engine.
+struct AbrSlot {
+    ep: AbrEpisode,
+    session: InferenceSession,
+    last_logits: Vec<f32>,
+}
+
+/// Stable handle for a stream served by a [`ServingEngine`].
+pub type SessionId = usize;
+
+/// Multiplexes many concurrent ABR rollouts over one shared [`NetLlmAbr`]
+/// model. The engine owns only per-stream state; the model (weights,
+/// encoders, head) is borrowed per call, so one adapted checkpoint can
+/// back any number of engines.
+#[derive(Default)]
+pub struct ServingEngine {
+    slots: SlotMap<AbrSlot>,
+    /// Cumulative per-phase wall time (tokenise+backbone / unused / head),
+    /// for the profiling bin.
+    pub phase_times: [std::time::Duration; 3],
+}
+
+impl ServingEngine {
+    /// Engine with no live streams.
+    pub fn new() -> Self {
+        ServingEngine::default()
+    }
+
+    /// Admit a new stream; returns its stable [`SessionId`] (smallest
+    /// free id, recycled after [`ServingEngine::leave`]).
+    pub fn join(&mut self, model: &NetLlmAbr) -> SessionId {
+        self.slots.insert(AbrSlot {
+            ep: AbrEpisode::fresh(model.target_return),
+            session: InferenceSession::new(&model.lm),
+            last_logits: Vec::new(),
+        })
+    }
+
+    /// Remove a stream, dropping its KV cache. Other slots are untouched.
+    pub fn leave(&mut self, id: SessionId) {
+        let _ = self.slots.remove(id);
+    }
+
+    /// Live stream count.
+    pub fn active(&self) -> usize {
+        self.slots.active()
+    }
+
+    /// Action logits of `id`'s most recent step (equivalence tests
+    /// compare these against the sequential path).
+    pub fn last_logits(&self, id: SessionId) -> &[f32] {
+        &self.slots.get(id).last_logits
+    }
+
+    /// Bytes held by every live slot's KV cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.session.cache_bytes()).sum()
+    }
+
+    /// Serve one tick: each `(id, observation)` pair advances that stream
+    /// by one chunk decision, all through a single batched backbone step.
+    /// Returns the chosen bitrate rung per request, in request order.
+    ///
+    /// Per-slot semantics are identical to [`nt_abr::AbrPolicy::select`]
+    /// on a dedicated `NetLlmAbr`: the previous chunk's QoE is settled
+    /// into the return-to-go prompt, the new state is tokenized, and the
+    /// slot re-anchors to its training window when its context fills or
+    /// its visible history reaches twice the window — each on its own
+    /// schedule.
+    pub fn step(
+        &mut self,
+        model: &NetLlmAbr,
+        requests: &[(SessionId, &AbrObservation)],
+    ) -> Vec<usize> {
+        assert!(!requests.is_empty(), "empty serving batch");
+        // Pull a distinct &mut slot per request, in request order.
+        let mut picked = self.slots.get_distinct_mut(requests.iter().map(|&(id, _)| id));
+
+        // Phases 1+2 (per band): settle rewards, build this tick's token
+        // rows, then run one batched backbone step over the band's rows.
+        // Bands are contiguous request ranges; with NT_THREADS > 1 they
+        // run on scoped worker threads — each band is an independent
+        // slice of slots (own KV caches, own episode state), and band
+        // splits never change any per-element accumulation order, so
+        // threaded and serial serving are bit-identical.
+        let t0 = std::time::Instant::now();
+        // Band gate: each spawned band must carry at least two slots so
+        // tiny batches never pay a thread spawn per tick, and band
+        // workers register with the kernel pool so per-matmul
+        // parallelism cannot stack a second layer of threads on top.
+        let threads = nt_tensor::pool::num_threads().min(requests.len() / 2).max(1);
+        let band_len = requests.len().div_ceil(threads);
+        let run_band = |slots: &mut [&mut AbrSlot],
+                        reqs: &[(SessionId, &AbrObservation)]|
+         -> (Tensor, Vec<usize>) {
+            let mut parts: Vec<Tensor> = Vec::with_capacity(reqs.len());
+            let mut rows = Vec::with_capacity(reqs.len());
+            for (slot, &(_, obs)) in slots.iter_mut().zip(reqs) {
+                model.settle_and_push(&mut slot.ep, obs);
+                let (tokens, reanchored) = model.step_tokens(
+                    &mut slot.ep,
+                    slot.session.len(),
+                    slot.session.fits(TOK_PER_STEP),
+                );
+                if reanchored {
+                    slot.session.clear();
+                }
+                rows.push(tokens.shape()[0]);
+                parts.push(tokens);
+            }
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            let stacked = nt_tensor::concat(&refs, 0);
+            let mut sessions: Vec<&mut InferenceSession> =
+                slots.iter_mut().map(|s| &mut s.session).collect();
+            let hidden = append_batched(&model.lm, &model.store, &mut sessions, &stacked, &rows);
+            (hidden, rows)
+        };
+        let bands: Vec<(Tensor, Vec<usize>)> = if threads <= 1 {
+            vec![run_band(&mut picked, requests)]
+        } else {
+            std::thread::scope(|sc| {
+                let handles: Vec<_> = picked
+                    .chunks_mut(band_len)
+                    .zip(requests.chunks(band_len))
+                    .map(|(slots, reqs)| {
+                        sc.spawn(move || {
+                            let _guard = nt_tensor::pool::enter_worker();
+                            run_band(slots, reqs)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("serving band panicked")).collect()
+            })
+        };
+        let mut rows_per_slot = Vec::with_capacity(requests.len());
+        for (_, rows) in &bands {
+            rows_per_slot.extend_from_slice(rows);
+        }
+        let hidden = if bands.len() == 1 {
+            bands.into_iter().next().unwrap().0
+        } else {
+            let hiddens: Vec<&Tensor> = bands.iter().map(|(h, _)| h).collect();
+            nt_tensor::concat(&hiddens, 0)
+        };
+        self.phase_times[0] += t0.elapsed();
+
+        // Phase 3: every slot's final row is its state-closing token; one
+        // head GEMM scores all slots at once.
+        let t2 = std::time::Instant::now();
+        let mut closing_rows = Vec::with_capacity(requests.len());
+        let mut row = 0usize;
+        for &n in &rows_per_slot {
+            row += n;
+            closing_rows.push(row - 1);
+        }
+        let logits = model.head.eval(&model.store, &hidden.gather_rows(&closing_rows));
+        let rungs = logits.shape()[1];
+        let mut actions = Vec::with_capacity(requests.len());
+        for (b, slot) in picked.iter_mut().enumerate() {
+            let lrow = &logits.data()[b * rungs..(b + 1) * rungs];
+            let best = lrow
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            slot.ep.episode.steps.last_mut().unwrap().action = best;
+            slot.last_logits = lrow.to_vec();
+            actions.push(best);
+        }
+        self.phase_times[2] += t2.elapsed();
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::{AdaptMode, LoraSpec};
+    use nt_abr::AbrPolicy;
+    use nt_llm::{size_spec, Zoo};
+
+    fn model(window: usize, seed: u64) -> NetLlmAbr {
+        let loaded = Zoo::new(std::env::temp_dir().join("netllm-serving-test"))
+            .build_random(&size_spec("7b-sim"));
+        let mut m = NetLlmAbr::new(loaded, AdaptMode::NoDomain, LoraSpec::default(), window, seed);
+        m.target_return = 2.0;
+        m
+    }
+
+    fn obs_stream(seed: u64, len: usize) -> Vec<AbrObservation> {
+        AbrObservation::synthetic_stream(seed, len)
+    }
+
+    #[test]
+    fn batched_serving_matches_sequential_rollouts_through_reanchor() {
+        // Three streams served in one engine must produce chunk-for-chunk
+        // the same logits and actions as replaying each stream alone
+        // through AbrPolicy::select on the same model — across staggered
+        // joins (ragged prefixes) and past the 2x-window re-anchor.
+        let window = 3;
+        let mut m = model(window, 41);
+        let streams: Vec<Vec<AbrObservation>> =
+            (0..3).map(|s| obs_stream(100 + s as u64, 10)).collect();
+
+        // Staggered joins: stream s starts at tick s.
+        let mut engine = ServingEngine::new();
+        let mut ids = Vec::new();
+        let mut batched: Vec<Vec<(usize, Vec<f32>)>> = vec![Vec::new(); streams.len()];
+        for tick in 0..streams[0].len() + streams.len() {
+            if tick < streams.len() {
+                ids.push(engine.join(&m));
+            }
+            let mut requests = Vec::new();
+            for (s, obs) in streams.iter().enumerate() {
+                if tick >= s && tick - s < obs.len() {
+                    requests.push((ids[s], &obs[tick - s]));
+                }
+            }
+            if requests.is_empty() {
+                break;
+            }
+            let actions = engine.step(&m, &requests);
+            for (req, act) in requests.iter().zip(actions) {
+                let s = ids.iter().position(|&i| i == req.0).unwrap();
+                batched[s].push((act, engine.last_logits(req.0).to_vec()));
+            }
+        }
+
+        // Sequential reference: same model, one stream at a time.
+        for (s, obs) in streams.iter().enumerate() {
+            m.reset();
+            let mut reanchored = false;
+            for (chunk, o) in obs.iter().enumerate() {
+                let act = m.select(o);
+                let (bact, blogits) = &batched[s][chunk];
+                assert_eq!(act, *bact, "stream {s} chunk {chunk}: action diverged");
+                for (x, y) in m.last_logits().iter().zip(blogits) {
+                    assert!(
+                        (x - y).abs() < 1e-5,
+                        "stream {s} chunk {chunk}: batched {y} vs sequential {x}"
+                    );
+                }
+                reanchored |= chunk >= 2 * window;
+            }
+            assert!(reanchored, "probe must cross a re-anchor event");
+        }
+    }
+
+    #[test]
+    fn join_leave_recycles_ids_without_disturbing_survivors() {
+        let mut m = model(4, 42);
+        let mut engine = ServingEngine::new();
+        let a = engine.join(&m);
+        let b = engine.join(&m);
+        let c = engine.join(&m);
+        assert_eq!((a, b, c), (0, 1, 2));
+        let obs = obs_stream(7, 6);
+
+        // Advance all three, then drop a and c mid-flight.
+        let _ = engine.step(&m, &[(a, &obs[0]), (b, &obs[0]), (c, &obs[0])]);
+        let _ = engine.step(&m, &[(a, &obs[1]), (b, &obs[1]), (c, &obs[1])]);
+        engine.leave(a);
+        engine.leave(c);
+        assert_eq!(engine.active(), 1);
+        let d = engine.join(&m);
+        assert_eq!(d, 0, "smallest freed id is recycled");
+
+        // The survivor must continue exactly like a sequential rollout.
+        let mut expected: Vec<usize> = Vec::new();
+        m.reset();
+        for o in &obs {
+            expected.push(m.select(o));
+        }
+        for (i, o) in obs.iter().enumerate().skip(2) {
+            let got = engine.step(&m, &[(b, o), (d, &obs[i - 2])]);
+            assert_eq!(got[0], expected[i], "survivor diverged after leave/join at chunk {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_session_in_batch_panics() {
+        let m = model(4, 43);
+        let mut engine = ServingEngine::new();
+        let a = engine.join(&m);
+        let obs = obs_stream(9, 1);
+        let _ = engine.step(&m, &[(a, &obs[0]), (a, &obs[0])]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Banded (threaded) serving must be bit-compatible with the sequential
+//! single-stream path. Lives in its own test binary so `NT_THREADS` can
+//! be pinned before the pool's `OnceLock` is first read.
+
+use netllm::{AdaptMode, LoraSpec, NetLlmAbr, ServingEngine};
+use nt_abr::{AbrObservation, AbrPolicy};
+use nt_llm::{size_spec, Zoo};
+
+fn obs_stream(seed: u64, len: usize) -> Vec<AbrObservation> {
+    AbrObservation::synthetic_stream(seed, len)
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn threaded_bands_match_sequential_rollouts() {
+    std::env::set_var("NT_THREADS", "4");
+    assert_eq!(nt_tensor::pool::num_threads(), 4);
+
+    let loaded = Zoo::new(std::env::temp_dir().join("netllm-threaded-serving"))
+        .build_random(&size_spec("7b-sim"));
+    let mut m = NetLlmAbr::new(loaded, AdaptMode::NoDomain, LoraSpec::default(), 4, 3);
+    m.target_return = 2.0;
+    let batch = 10usize; // not a multiple of the band count: ragged last band
+    let chunks = 10usize;
+    let streams: Vec<Vec<AbrObservation>> =
+        (0..batch).map(|s| obs_stream(50 + s as u64, chunks)).collect();
+
+    let mut engine = ServingEngine::new();
+    let ids: Vec<_> = (0..batch).map(|_| engine.join(&m)).collect();
+    let mut batched: Vec<Vec<(usize, Vec<f32>)>> = vec![Vec::new(); batch];
+    for c in 0..chunks {
+        let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][c])).collect();
+        let actions = engine.step(&m, &reqs);
+        for (s, act) in actions.into_iter().enumerate() {
+            batched[s].push((act, engine.last_logits(ids[s]).to_vec()));
+        }
+    }
+
+    for (s, obs) in streams.iter().enumerate() {
+        m.reset();
+        for (c, o) in obs.iter().enumerate() {
+            let act = m.select(o);
+            let (bact, blogits) = &batched[s][c];
+            assert_eq!(act, *bact, "stream {s} chunk {c}: threaded action diverged");
+            for (x, y) in m.last_logits().iter().zip(blogits) {
+                assert!(
+                    (x - y).abs() < 1e-5,
+                    "stream {s} chunk {c}: threaded {y} vs sequential {x}"
+                );
+            }
+        }
+    }
+}

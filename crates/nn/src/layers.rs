@@ -127,19 +127,39 @@ impl Linear {
     }
 
     /// Graph-free inference forward over `[n, in_dim]`: same math (including
-    /// the LoRA branch) without tape bookkeeping or parameter cloning.
+    /// the LoRA branch) without tape bookkeeping or parameter cloning. The
+    /// bias seeds the output buffer before the accumulating matmul kernel
+    /// runs, so no broadcast pass is needed afterwards.
     pub fn eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 2, "Linear::eval input must be [n, in]");
         assert_eq!(x.shape()[1], self.in_dim, "Linear in_dim mismatch");
-        let mut y = x.matmul(store.data(self.w));
-        if let Some(l) = &self.lora {
-            let xab = x.matmul(store.data(l.a)).matmul(store.data(l.b)).scale(l.scale);
-            y = y.add(&xab);
-        }
+        let n = x.shape()[0];
+        let mut out = vec![0.0f32; n * self.out_dim];
         if let Some(bid) = self.b {
-            y = y.add(store.data(bid));
+            let bias = store.data(bid).data();
+            for row in out.chunks_exact_mut(self.out_dim) {
+                row.copy_from_slice(bias);
+            }
         }
-        y
+        let w = store.data(self.w);
+        nt_tensor::tensor::matmul_into(x.data(), w.data(), &mut out, n, self.in_dim, self.out_dim);
+        if let Some(l) = &self.lora {
+            let xa = x.matmul(store.data(l.a)); // [n, r]
+            let bmat = store.data(l.b);
+            let mut xab = vec![0.0f32; n * self.out_dim];
+            nt_tensor::tensor::matmul_into(
+                xa.data(),
+                bmat.data(),
+                &mut xab,
+                n,
+                l.rank,
+                self.out_dim,
+            );
+            for (o, v) in out.iter_mut().zip(&xab) {
+                *o += v * l.scale;
+            }
+        }
+        Tensor::from_vec([n, self.out_dim], out)
     }
 }
 
@@ -315,9 +335,13 @@ impl Mlp {
         self.down.forward(f, store, h)
     }
 
-    /// Graph-free inference forward over `[n, dim]`.
+    /// Graph-free inference forward over `[n, dim]` (GELU applied in
+    /// place — no intermediate allocation).
     pub fn eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
-        let h = self.up.eval(store, x).map(nt_tensor::gelu);
+        let mut h = self.up.eval(store, x);
+        for v in h.data_mut() {
+            *v = nt_tensor::gelu(*v);
+        }
         self.down.eval(store, &h)
     }
 }

@@ -283,15 +283,31 @@ impl Graph {
         assert_eq!(bt, bt2, "batch dims {bt} vs {bt2}");
         assert_eq!(k, k2, "inner dims {k} vs {k2}");
         let mut out = vec![0.0f32; bt * m * n];
-        for i in 0..bt {
-            matmul_into(
-                &av.data()[i * m * k..(i + 1) * m * k],
-                &bv.data()[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
+        if crate::pool::parallel_worthwhile(bt * m * k * n) && bt > 1 {
+            // One batch entry per block: disjoint output slices, identical
+            // per-element accumulation order to the serial loop.
+            let (ad, bd) = (av.data(), bv.data());
+            crate::pool::for_each_block_mut(&mut out, m * n, |i, chunk| {
+                matmul_into(
+                    &ad[i * m * k..(i + 1) * m * k],
+                    &bd[i * k * n..(i + 1) * k * n],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            for i in 0..bt {
+                matmul_into(
+                    &av.data()[i * m * k..(i + 1) * m * k],
+                    &bv.data()[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
         }
         let t = Tensor::from_vec([bt, m, n], out);
         let ng = self.any_needs_grad(&[a, b]);
@@ -1046,7 +1062,7 @@ fn sigmoid(x: f32) -> f32 {
 
 fn gelu_bwd(x: f32) -> f32 {
     let u = GELU_C * (x + 0.044715 * x * x * x);
-    let t = u.tanh();
+    let t = crate::tensor::tanh_fast(u);
     let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
     0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
 }

@@ -13,7 +13,9 @@
 //!
 //! Implemented:
 //! - row-major dense tensors, NumPy-style broadcasting for binary ops
-//! - matmul / batched matmul, transpose, reshape, concat, narrow, row gather
+//! - matmul / batched matmul (tiled + register-blocked kernels, optional
+//!   row-block parallelism via [`pool`] behind the `NT_THREADS` knob),
+//!   transpose, reshape, concat, narrow, row gather
 //! - activations (relu/gelu/tanh/sigmoid/exp/ln), softmax & log-softmax
 //! - fused layer-norm, 1-D convolution, inverted dropout
 //! - losses: MSE, (weighted) cross-entropy — the weighted form doubles as a
@@ -27,10 +29,11 @@
 #![forbid(unsafe_code)]
 
 pub mod graph;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
 
 pub use graph::{Graph, NodeId};
 pub use rng::Rng;
-pub use tensor::{concat, gelu, Tensor};
+pub use tensor::{concat, gelu, transpose_into, Tensor};

@@ -1,0 +1,138 @@
+//! Self-contained scoped parallelism for the hot kernels.
+//!
+//! Same policy as the vendored shims: no external dependencies and no
+//! `unsafe`. Workers are `std::thread::scope` threads, so they may borrow
+//! the caller's slices directly and every invocation joins before
+//! returning — there is no detached state, no channels and no lifetime
+//! erasure. The price is a spawn per parallel call, which is why callers
+//! gate on a work threshold ([`parallel_worthwhile`]) and fall back to the
+//! serial path for small kernels.
+//!
+//! The worker count comes from the `NT_THREADS` environment variable
+//! (`0`/`1` disables parallelism entirely); unset, it defaults to the
+//! machine's available parallelism. The variable is read once per process.
+//! Parallel and serial execution are bit-identical for every kernel in
+//! this crate: work is split across *disjoint output row blocks*, so the
+//! per-element accumulation order never changes.
+
+use std::sync::OnceLock;
+
+static CONFIGURED: OnceLock<usize> = OnceLock::new();
+
+std::thread_local! {
+    /// True on threads spawned by this pool (or registered via
+    /// [`enter_worker`]): nested kernels on such threads stay serial, so
+    /// parallelism never composes into `NT_THREADS^2` spawns.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Mark the current thread as a pool worker for the duration of the
+/// returned guard. Higher-level scoped parallelism (e.g. serving bands)
+/// calls this inside its own spawned threads so the kernels they run do
+/// not spawn a second layer of workers.
+pub fn enter_worker() -> WorkerGuard {
+    let was = IN_WORKER.with(|w| w.replace(true));
+    WorkerGuard { was }
+}
+
+/// Resets the worker flag when dropped (see [`enter_worker`]).
+pub struct WorkerGuard {
+    was: bool,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        IN_WORKER.with(|w| w.set(self.was));
+    }
+}
+
+/// Worker threads the kernels may use (>= 1). `NT_THREADS` overrides;
+/// unset defaults to `std::thread::available_parallelism()`.
+pub fn num_threads() -> usize {
+    *CONFIGURED.get_or_init(|| {
+        match std::env::var("NT_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(0) => 1,
+            Some(n) => n.min(256),
+            None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
+}
+
+/// Whether a kernel of roughly `flops` multiply-accumulates is worth a
+/// scoped spawn. Thread startup costs tens of microseconds; anything under
+/// a few million MACs finishes faster serially. Always false on a pool
+/// worker thread (no nested spawning).
+pub fn parallel_worthwhile(flops: usize) -> bool {
+    num_threads() > 1 && flops >= 4 << 20 && !IN_WORKER.with(|w| w.get())
+}
+
+/// Split `data` into `chunk_len`-sized output blocks and run
+/// `f(block_index, block)` over all of them, on up to [`num_threads`]
+/// scoped threads. Blocks are distributed as contiguous per-thread bands,
+/// so block `i` is always the `i`-th chunk of `data` regardless of thread
+/// count — callers can derive offsets from the index alone. Falls back to
+/// a plain serial loop when one thread is configured.
+pub fn for_each_block_mut<T: Send, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_blocks = data.len().div_ceil(chunk_len);
+    let threads = if IN_WORKER.with(|w| w.get()) { 1 } else { num_threads().min(n_blocks) };
+    if threads <= 1 {
+        for (i, block) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, block);
+        }
+        return;
+    }
+    // Contiguous bands of whole blocks per thread keep the split
+    // deterministic and the per-thread work balanced for uniform blocks.
+    let blocks_per_thread = n_blocks.div_ceil(threads);
+    let band_len = blocks_per_thread * chunk_len;
+    std::thread::scope(|s| {
+        for (band_idx, band) in data.chunks_mut(band_len).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let _guard = enter_worker();
+                for (j, block) in band.chunks_mut(chunk_len).enumerate() {
+                    f(band_idx * blocks_per_thread + j, block);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_indices_cover_everything_once() {
+        let mut data = vec![0u32; 103];
+        for_each_block_mut(&mut data, 10, |i, block| {
+            for v in block.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 10) as u32, "element {i} touched wrongly");
+        }
+    }
+
+    #[test]
+    fn single_block_runs_inline() {
+        let mut data = vec![1.0f32; 7];
+        for_each_block_mut(&mut data, 100, |i, block| {
+            assert_eq!(i, 0);
+            for v in block.iter_mut() {
+                *v *= 2.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

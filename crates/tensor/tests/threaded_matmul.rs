@@ -1,0 +1,51 @@
+//! The `NT_THREADS` parallel path must be bit-identical to serial
+//! execution. This lives in its own test binary so the env knob can be
+//! set before the pool's `OnceLock` is first read — `cargo test` runs
+//! each integration test in a fresh process.
+
+use nt_tensor::{pool, Rng, Tensor};
+
+/// Single test fn: every sub-check must run after the env var is set and
+/// before anything else touches the pool, so they share one body.
+#[test]
+fn threaded_matmul_is_bit_identical_to_serial() {
+    std::env::set_var("NT_THREADS", "4");
+    assert_eq!(pool::num_threads(), 4);
+
+    let mut rng = Rng::seeded(7);
+    // Big enough to clear the parallel work threshold (m*k*n >= 4Mi).
+    let (m, k, n) = (256, 192, 128);
+    let a = Tensor::randn([m, k], 1.0, &mut rng);
+    let b = Tensor::randn([k, n], 1.0, &mut rng);
+    assert!(pool::parallel_worthwhile(m * k * n), "test must exercise the parallel branch");
+    let par = a.matmul(&b);
+
+    // Serial reference through the same blocked kernel: row-band splits
+    // never change the per-element accumulation order, so slicing the
+    // product row-by-row through 1-row matmuls must agree bit-for-bit.
+    let mut serial = Vec::with_capacity(m * n);
+    for i in 0..m {
+        let row = a.narrow(0, i, 1).matmul(&b);
+        serial.extend_from_slice(row.data());
+    }
+    assert_eq!(par.data(), &serial[..], "parallel matmul diverged from serial");
+
+    // batch_matmul's per-batch blocks must also be bit-identical.
+    let mut g = nt_tensor::Graph::new(false, 0);
+    let ba = g.leaf(Tensor::randn([8, 96, 96], 1.0, &mut rng), false);
+    let bb = g.leaf(Tensor::randn([8, 96, 96], 1.0, &mut rng), false);
+    let prod = g.batch_matmul(ba, bb);
+    let got = g.value(prod).clone();
+    for i in 0..8 {
+        let ai =
+            Tensor::from_vec([96, 96], g.value(ba).data()[i * 96 * 96..(i + 1) * 96 * 96].to_vec());
+        let bi =
+            Tensor::from_vec([96, 96], g.value(bb).data()[i * 96 * 96..(i + 1) * 96 * 96].to_vec());
+        let want = ai.matmul(&bi);
+        assert_eq!(
+            &got.data()[i * 96 * 96..(i + 1) * 96 * 96],
+            want.data(),
+            "batch entry {i} diverged"
+        );
+    }
+}

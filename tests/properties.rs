@@ -261,6 +261,112 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Batched-serving invariants (the PR 2 decode path)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched attention over ragged slots (arbitrary per-slot cache
+    /// prefix lengths and new-row counts) must match per-slot unbatched
+    /// attention — the invariant the serving engine stands on.
+    #[test]
+    fn batched_attention_matches_per_slot_unbatched(
+        seed in 0u64..1_000,
+        slots in proptest::collection::vec((0usize..9, 1usize..4), 1..5),
+    ) {
+        let mut store = nt_nn::ParamStore::new();
+        let mut rng = nt_tensor::Rng::seeded(seed);
+        let mha = nt_nn::MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+
+        // Prefill each slot's cache to its own ragged length.
+        let mut kvs_seq: Vec<nt_nn::AttnKv> =
+            slots.iter().map(|_| nt_nn::AttnKv::empty(8)).collect();
+        for (kv, &(prefix, _)) in kvs_seq.iter_mut().zip(&slots) {
+            if prefix > 0 {
+                let x = nt_tensor::Tensor::randn([prefix, 8], 0.8, &mut rng);
+                let _ = mha.eval_cached(&store, &x, kv);
+            }
+        }
+        let mut kvs_bat = kvs_seq.clone();
+
+        let news: Vec<nt_tensor::Tensor> = slots
+            .iter()
+            .map(|&(_, n)| nt_tensor::Tensor::randn([n, 8], 0.8, &mut rng))
+            .collect();
+        let unbatched: Vec<nt_tensor::Tensor> = news
+            .iter()
+            .zip(kvs_seq.iter_mut())
+            .map(|(x, kv)| mha.eval_cached(&store, x, kv))
+            .collect();
+
+        let refs: Vec<&nt_tensor::Tensor> = news.iter().collect();
+        let stacked = nt_tensor::concat(&refs, 0);
+        let rows: Vec<usize> = slots.iter().map(|&(_, n)| n).collect();
+        let mut kv_refs: Vec<&mut nt_nn::AttnKv> = kvs_bat.iter_mut().collect();
+        let batched = mha.eval_cached_batched(&store, &stacked, &rows, &mut kv_refs);
+
+        let mut row = 0usize;
+        for (s, want) in unbatched.iter().enumerate() {
+            for (i, wrow) in want.data().chunks(8).enumerate() {
+                for (j, w) in wrow.iter().enumerate() {
+                    let got = batched.at(&[row + i, j]);
+                    prop_assert!(
+                        (got - w).abs() < 1e-5,
+                        "slot {} row {} col {}: batched {} vs unbatched {}", s, i, j, got, w
+                    );
+                }
+            }
+            row += want.shape()[0];
+        }
+        for (a, b) in kvs_seq.iter().zip(&kvs_bat) {
+            prop_assert_eq!(a.len(), b.len());
+        }
+    }
+
+    /// `concat` along the batch dimension then `gather_rows` must recover
+    /// every slot's rows exactly (the stack/unstack pair the batched
+    /// decode path is built from), and `narrow` must agree with gather.
+    #[test]
+    fn gather_rows_concat_roundtrip_under_batch_dim(
+        cols in 1usize..6,
+        counts in proptest::collection::vec(1usize..5, 1..6),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = nt_tensor::Rng::seeded(seed);
+        let parts: Vec<nt_tensor::Tensor> = counts
+            .iter()
+            .map(|&n| nt_tensor::Tensor::randn([n, cols], 1.0, &mut rng))
+            .collect();
+        let refs: Vec<&nt_tensor::Tensor> = parts.iter().collect();
+        let stacked = nt_tensor::concat(&refs, 0);
+
+        let mut start = 0usize;
+        for (p, &n) in parts.iter().zip(&counts) {
+            let idx: Vec<usize> = (start..start + n).collect();
+            let gathered = stacked.gather_rows(&idx);
+            prop_assert_eq!(gathered.data(), p.data());
+            let narrowed = stacked.narrow(0, start, n);
+            prop_assert_eq!(narrowed.data(), p.data());
+            start += n;
+        }
+        // Gathering the closing row of every slot (the logits path) must
+        // pick exactly each part's last row.
+        let mut closing = Vec::new();
+        let mut row = 0usize;
+        for &n in &counts {
+            row += n;
+            closing.push(row - 1);
+        }
+        let last = stacked.gather_rows(&closing);
+        for (b, p) in parts.iter().enumerate() {
+            let want = p.narrow(0, p.shape()[0] - 1, 1);
+            prop_assert_eq!(last.row(b), want.data());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Framework invariants
 // ---------------------------------------------------------------------------
 
