@@ -41,7 +41,8 @@ fn batched_serving(c: &mut Criterion) {
                 let mut engine = ServingEngine::new();
                 let ids: Vec<_> = (0..batch).map(|_| engine.join(&m)).collect();
                 for c in 0..CHUNKS {
-                    let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][c])).collect();
+                    let reqs: Vec<_> =
+                        ids.iter().enumerate().map(|(s, &id)| (id, &streams[s][c])).collect();
                     let _ = engine.step(&m, &reqs);
                 }
             })

@@ -1,7 +1,7 @@
 //! Regenerate every evaluation figure of the NetLLM paper.
 //!
 //! ```text
-//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2]
+//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3]
 //!                                                  [--fidelity smoke|default|paper]
 //! ```
 //!
@@ -11,7 +11,10 @@
 //!
 //! `--fig bench2` regenerates `reports/BENCH_2.json`, the PR 2 serving
 //! throughput snapshot (single-stream vs batched decode, speedup vs the
-//! PR 1 kernels) that tracks the perf trajectory across PRs.
+//! PR 1 kernels); `--fig bench3` regenerates `reports/BENCH_3.json`, the
+//! PR 3 sharded-serving snapshot (ABR and CJS fleets across shard
+//! counts, with per-shard KV accounting). Together they track the perf
+//! trajectory across PRs.
 
 use netllm::{
     build_abr_env, build_cjs_workloads, build_vp_data, evaluate_token_path, AdaptMode, Fidelity,
@@ -76,6 +79,9 @@ fn main() {
     }
     if fig == "bench2" {
         bench2();
+    }
+    if fig == "bench3" {
+        bench3();
     }
     println!("\nall requested figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -890,7 +896,8 @@ fn bench2() {
             let ids: Vec<_> = (0..batch).map(|_| engine.join(&m)).collect();
             let t = Instant::now();
             for c in 0..chunks {
-                let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][c])).collect();
+                let reqs: Vec<_> =
+                    ids.iter().enumerate().map(|(s, &id)| (id, &streams[s][c])).collect();
                 let _ = engine.step(&m, &reqs);
             }
             best = best.min(t.elapsed().as_secs_f64());
@@ -962,6 +969,137 @@ fn bench2() {
         }),
     )
     .unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_3: sharded-serving snapshot (PR 3 — one fleet, three workloads)
+// ---------------------------------------------------------------------------
+
+/// Sharded fleet throughput across shard counts: ABR (incremental DT
+/// steps) and CJS (candidate rollback inside every batched step) streams
+/// served through `ShardedServer`, decisions/s per shard count, plus the
+/// per-shard KV accounting the router exposes. The enforced gate lives in
+/// `tests/sharded_serving.rs`; this bin snapshots the trajectory.
+#[allow(clippy::needless_range_loop)]
+fn bench3() {
+    use netllm::{AdaptMode, CjsObs, LoraSpec, NetLlmAbr, NetLlmCjs, ShardedServer};
+    use nt_abr::AbrObservation;
+    use nt_cjs::{generate_workload, run_workload, Srpt, WorkloadConfig};
+    use nt_llm::Zoo;
+
+    println!("\n[bench3] sharded serving snapshot");
+    let zoo = Zoo::new(std::env::temp_dir().join("bench3-zoo"));
+    let batch = 16usize;
+    let workers = nt_tensor::pool::num_threads();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut report = serde_json::Map::new();
+    report.insert("environment".into(), json!({"hardware_threads": hw, "pool_workers": workers}));
+
+    // ---- ABR fleet across shard counts --------------------------------
+    let mut m_abr = NetLlmAbr::new(
+        zoo.build_random(&size_spec("7b-sim")),
+        AdaptMode::NoDomain,
+        LoraSpec::default(),
+        8,
+        3,
+    );
+    m_abr.target_return = 2.0;
+    let chunks = 24usize;
+    let abr_streams: Vec<Vec<AbrObservation>> =
+        (0..batch).map(|s| AbrObservation::synthetic_stream(3000 + s as u64, chunks)).collect();
+    let mut rows = Vec::new();
+    let mut abr_json = serde_json::Map::new();
+    for &k in &[1usize, 2, 4] {
+        let mut best = f64::MAX;
+        let mut cache = (Vec::new(), 0usize);
+        for _ in 0..3 {
+            let mut server = ShardedServer::new(k);
+            let ids: Vec<_> = (0..batch).map(|_| server.join(&m_abr)).collect();
+            let t = Instant::now();
+            for c in 0..chunks {
+                let reqs: Vec<_> =
+                    ids.iter().enumerate().map(|(s, &id)| (id, &abr_streams[s][c])).collect();
+                let _ = server.step(&m_abr, &reqs);
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+            cache = (server.cache_bytes_per_shard(), server.cache_bytes());
+        }
+        let dps = (batch * chunks) as f64 / best;
+        rows.push(vec![
+            format!("ABR x{k}"),
+            format!("{dps:.0}"),
+            format!("{:.1}", cache.1 as f64 / 1e3),
+            format!("{:?}", cache.0.iter().map(|b| b / 1000).collect::<Vec<_>>()),
+        ]);
+        abr_json.insert(
+            format!("shards_{k}"),
+            json!({"decisions_per_s": dps, "cache_bytes_total": cache.1,
+                   "cache_bytes_per_shard": cache.0}),
+        );
+    }
+
+    // ---- CJS fleet (rollback inside every batched step) ---------------
+    let mut m_cjs = NetLlmCjs::new(
+        zoo.build_random(&size_spec("7b-sim")),
+        AdaptMode::NoDomain,
+        LoraSpec::default(),
+        8,
+        5,
+    );
+    m_cjs.target_return = -1.0;
+    let cjs_streams: Vec<Vec<CjsObs>> = (0..batch)
+        .map(|s| {
+            let jobs = generate_workload(&WorkloadConfig {
+                num_jobs: 4,
+                mean_interarrival: 1.5,
+                seed: 600 + s as u64,
+            });
+            let mut obs = Vec::new();
+            let mut hook = |view: &nt_cjs::SchedView, _d: &nt_cjs::Decision| {
+                obs.push(CjsObs::from_view(view));
+            };
+            run_workload(&mut Srpt, &jobs, 8, Some(&mut hook));
+            obs
+        })
+        .collect();
+    let ticks = cjs_streams.iter().map(Vec::len).min().unwrap().min(16);
+    let mut cjs_json = serde_json::Map::new();
+    for &k in &[1usize, 4] {
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let mut server = ShardedServer::new(k);
+            let ids: Vec<_> = (0..batch).map(|_| server.join(&m_cjs)).collect();
+            let t = Instant::now();
+            for c in 0..ticks {
+                let reqs: Vec<_> =
+                    ids.iter().enumerate().map(|(s, &id)| (id, &cjs_streams[s][c])).collect();
+                let _ = server.step(&m_cjs, &reqs);
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        let dps = (batch * ticks) as f64 / best;
+        rows.push(vec![format!("CJS x{k}"), format!("{dps:.0}"), "-".into(), "-".into()]);
+        cjs_json.insert(format!("shards_{k}"), json!({"decisions_per_s": dps}));
+    }
+
+    print_table(
+        "BENCH_3: sharded serving (7b-sim backbone, B=16)",
+        &["fleet x shards", "decisions/s", "KV KB", "per-shard KV KB"],
+        &rows,
+    );
+    report.insert("abr_fleet".into(), serde_json::Value::Object(abr_json));
+    report.insert("cjs_fleet".into(), serde_json::Value::Object(cjs_json));
+    report.insert(
+        "note".into(),
+        json!(
+            "per-shard math is identical across shard counts (gated at 1e-5 in \
+               tests/sharded_serving.rs); shard counts > 1 win wall-clock only when \
+               NT_THREADS workers can run shards concurrently — on narrower hosts \
+               expect parity, not speedup"
+        ),
+    );
+    let path = write_report("BENCH_3", &serde_json::Value::Object(report)).unwrap();
     println!("wrote {}", path.display());
 }
 

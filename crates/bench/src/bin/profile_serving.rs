@@ -43,7 +43,7 @@ fn main() {
     let ids: Vec<_> = (0..batch).map(|_| engine.join(&m)).collect();
     let t = Instant::now();
     for c in 0..chunks {
-        let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][c])).collect();
+        let reqs: Vec<_> = ids.iter().enumerate().map(|(s, &id)| (id, &streams[s][c])).collect();
         let _ = engine.step(&m, &reqs);
     }
     let bat = t.elapsed();
@@ -52,8 +52,8 @@ fn main() {
     println!("sequential: {seq:?} total, {:.1} us/decision", seq.as_secs_f64() * 1e6 / n);
     println!("batched:    {bat:?} total, {:.1} us/decision", bat.as_secs_f64() * 1e6 / n);
     println!(
-        "batched phases: tokenize+backbone {:?}, head {:?}",
-        engine.phase_times[0], engine.phase_times[2]
+        "batched phases: plan+backbone {:?}, rollback {:?}, head {:?}",
+        engine.phase_times[0], engine.phase_times[1], engine.phase_times[2]
     );
     println!("speedup: {:.2}x", seq.as_secs_f64() / bat.as_secs_f64());
 }

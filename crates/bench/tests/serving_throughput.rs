@@ -50,7 +50,7 @@ fn batched_serving_is_3x_over_independent_sessions_at_batch_16() {
     {
         let mut engine = ServingEngine::new();
         let ids: Vec<_> = (0..BATCH).map(|_| engine.join(&m)).collect();
-        let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][0])).collect();
+        let reqs: Vec<_> = ids.iter().enumerate().map(|(s, &id)| (id, &streams[s][0])).collect();
         let _ = engine.step(&m, &reqs);
     }
     let mut batched_logits: Vec<Vec<Vec<f32>>> = vec![Vec::new(); BATCH];
@@ -63,7 +63,8 @@ fn batched_serving_is_3x_over_independent_sessions_at_batch_16() {
         }
         let start = Instant::now();
         for chunk in 0..CHUNKS {
-            let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][chunk])).collect();
+            let reqs: Vec<_> =
+                ids.iter().enumerate().map(|(s, &id)| (id, &streams[s][chunk])).collect();
             let _ = engine.step(&m, &reqs);
             for (s, &id) in ids.iter().enumerate() {
                 batched_logits[s].push(engine.last_logits(id).to_vec());

@@ -175,6 +175,11 @@ impl<T> SlotMap<T> {
         self.slots.get(id).and_then(Option::as_ref).expect("slot not live")
     }
 
+    /// Exclusive access to a live slot (panics otherwise).
+    pub fn get_mut(&mut self, id: usize) -> &mut T {
+        self.slots.get_mut(id).and_then(Option::as_mut).expect("slot not live")
+    }
+
     /// Iterate over live slots.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.slots.iter().flatten()
@@ -244,6 +249,17 @@ impl BatchedDecodeSession {
     /// Cached positions in `slot`.
     pub fn len(&self, slot: usize) -> usize {
         self.slots.get(slot).cache.len()
+    }
+
+    /// Roll `slot` back to its first `len` tokens, dropping the cached
+    /// suffix (candidate or speculative tokens that must not become part
+    /// of the persistent history). The next batched call re-decodes from
+    /// the kept prefix; other slots are untouched.
+    pub fn truncate(&mut self, slot: usize, len: usize) {
+        let s = self.slots.get_mut(slot);
+        assert!(len <= s.ids.len(), "cannot truncate slot {slot} of {} to {len}", s.ids.len());
+        s.cache.truncate(len);
+        s.ids.truncate(len);
     }
 
     /// True when no slot is active.
@@ -808,6 +824,38 @@ mod tests {
         let want = lm.next_token_logits_cached(&s, &grown, &mut fresh);
         for (x, y) in got.row(0).iter().zip(want.data()) {
             assert!((x - y).abs() < 1e-5, "post-leave decode diverged: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn batched_truncate_rolls_back_candidate_suffix() {
+        // Speculative/candidate rollback inside a batched session: decode
+        // a suffix, truncate it away, and the slot must continue exactly
+        // like a session that never saw the suffix — while a co-resident
+        // slot is unaffected.
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let mut batched = lm.start_batched_session();
+        let a = batched.join(&lm);
+        let b = batched.join(&lm);
+
+        let base = [1usize, 4, 5];
+        let spec = [1usize, 4, 5, 9, 3]; // candidate suffix [9, 3]
+        let other = [2usize, 7];
+        let _ = lm.next_token_logits_batched(&s, &[(a, &spec), (b, &other)], &mut batched);
+        assert_eq!(batched.len(a), 5);
+        batched.truncate(a, base.len());
+        assert_eq!(batched.len(a), 3);
+        assert_eq!(batched.ids(a), &base);
+        assert_eq!(batched.ids(b), &other, "co-resident slot untouched by rollback");
+
+        // Continue with a different suffix; must match a fresh session.
+        let cont = [1usize, 4, 5, 2];
+        let got = lm.next_token_logits_batched(&s, &[(a, &cont)], &mut batched);
+        let mut fresh = lm.start_session();
+        let want = lm.next_token_logits_cached(&s, &cont, &mut fresh);
+        for (x, y) in got.row(0).iter().zip(want.data()) {
+            assert!((x - y).abs() < 1e-5, "post-rollback decode diverged: {x} vs {y}");
         }
     }
 

@@ -18,6 +18,7 @@ use crate::adapt::{AdaptMode, LoraSpec};
 use crate::backbone::InferenceSession;
 use crate::heads::AbrHead;
 use crate::multimodal::{LearnedTokens, Projection, ScalarEncoder, SeriesEncoder};
+use crate::serving::{ServedTask, StepOutcome, StepPlan};
 use nt_abr::{chunk_qoe, AbrObservation, AbrPolicy, QoeWeights};
 use nt_llm::zoo::LoadedLm;
 use nt_llm::TinyLm;
@@ -123,10 +124,11 @@ impl AbrPolicy for AbrRecorder<'_> {
 
 /// Mutable per-stream rollout state: everything one live video session
 /// carries between chunks. [`NetLlmAbr`] owns one (its own single-stream
-/// rollout); `nt_netllm::serving::ServingEngine` owns one per slot so many
-/// streams can share one model.
+/// rollout); the serving engine owns one per slot so many streams can
+/// share one model (`NetLlmAbr` is the [`ServedTask`] whose
+/// [`ServedTask::Slot`] this is).
 #[derive(Clone, Debug, Default)]
-pub(crate) struct AbrEpisode {
+pub struct AbrEpisode {
     pub episode: AbrTrajectory,
     pub rtg_now: f32,
     pub prev_bitrate: Option<f64>,
@@ -438,6 +440,55 @@ fn padded_series(xs: &[f64], len: usize, scale: f64) -> Tensor {
     Tensor::from_vec([1, len], v)
 }
 
+/// ABR behind the serving engine: incremental decision-transformer steps.
+/// [`ServedTask::plan_step`]/[`ServedTask::settle_step`] *are* the
+/// single-stream [`AbrPolicy::select`] path (which routes through them),
+/// so batched and unbatched rollouts stay step-for-step identical.
+impl ServedTask for NetLlmAbr {
+    type Obs = AbrObservation;
+    type Action = usize;
+    type Slot = AbrEpisode;
+
+    fn backbone(&self, _group: usize) -> (&TinyLm, &ParamStore) {
+        (&self.lm, &self.store)
+    }
+
+    fn new_slot(&self, _group: usize) -> AbrEpisode {
+        AbrEpisode::fresh(self.target_return)
+    }
+
+    fn plan_step(
+        &self,
+        ep: &mut AbrEpisode,
+        obs: &AbrObservation,
+        session: &InferenceSession,
+    ) -> StepPlan {
+        // The session holds tokens for steps `anchor..=n-1` (the last one
+        // missing its action token, chosen after the fact). Append the
+        // settled action plus the new step's state; re-anchor to the
+        // training window when the context fills or the visible history
+        // reaches twice the training window, so the train/inference
+        // prompt-length mismatch stays bounded (see `backbone` docs).
+        self.settle_and_push(ep, obs);
+        let (tokens, reanchor) = self.step_tokens(ep, session.len(), session.fits(TOK_PER_STEP));
+        StepPlan { tokens, reanchor }
+    }
+
+    fn settle_step(
+        &self,
+        ep: &mut AbrEpisode,
+        _obs: &AbrObservation,
+        hidden: &Tensor,
+    ) -> StepOutcome<usize> {
+        // The final appended row is the current step's state-closing token.
+        let t_new = hidden.shape()[0];
+        let logits = self.head.eval(&self.store, &hidden.narrow(0, t_new - 1, 1));
+        let best = logits.argmax();
+        ep.episode.steps.last_mut().unwrap().action = best;
+        StepOutcome { action: best, logits: logits.into_data(), rollback: None }
+    }
+}
+
 impl AbrPolicy for NetLlmAbr {
     fn name(&self) -> &str {
         "NetLLM"
@@ -449,30 +500,18 @@ impl AbrPolicy for NetLlmAbr {
     }
 
     fn select(&mut self, obs: &AbrObservation) -> usize {
-        // KV-cached inference: the session holds tokens for steps
-        // `anchor..=n-1` (the last one missing its action token, chosen
-        // after the fact). Append the settled action plus the new step's
-        // state; re-anchor to the training window when the context fills
-        // or the visible history reaches twice the training window, so the
-        // train/inference prompt-length mismatch stays bounded (see
-        // `backbone` module docs). The episode bookkeeping and token
-        // construction are shared with the batched serving engine.
+        // KV-cached inference through the same ServedTask hooks the
+        // batched engine drives — one slot, one model, zero divergence.
         let mut ep = std::mem::take(&mut self.ep);
-        self.settle_and_push(&mut ep, obs);
-        let (new_tokens, reanchored) =
-            self.step_tokens(&mut ep, self.session.len(), self.session.fits(TOK_PER_STEP));
-        if reanchored {
+        let plan = self.plan_step(&mut ep, obs, &self.session);
+        if plan.reanchor {
             self.session.clear();
         }
-        let hidden = self.session.append(&self.lm, &self.store, &new_tokens);
-        // The final appended row is the current step's state-closing token.
-        let t_new = hidden.shape()[0];
-        let logits = self.head.eval(&self.store, &hidden.narrow(0, t_new - 1, 1));
-        let best = logits.argmax();
-        self.last_logits = logits.into_data();
-        ep.episode.steps.last_mut().unwrap().action = best;
+        let hidden = self.session.append(&self.lm, &self.store, &plan.tokens);
+        let out = self.settle_step(&mut ep, obs, &hidden);
+        self.last_logits = out.logits;
         self.ep = ep;
-        best
+        out.action
     }
 }
 

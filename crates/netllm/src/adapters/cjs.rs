@@ -21,6 +21,7 @@ use crate::adapt::{AdaptMode, LoraSpec};
 use crate::backbone::InferenceSession;
 use crate::heads::CjsHeads;
 use crate::multimodal::{mean_rows, GraphEncoder, LearnedTokens, Projection, ScalarEncoder};
+use crate::serving::{RollbackPlan, ServedTask, StepOutcome, StepPlan};
 use nt_cjs::{snapshot, Decision, GraphSnapshot, SchedView, Scheduler, CAP_FRACS, NODE_FEATS};
 use nt_llm::zoo::LoadedLm;
 use nt_llm::TinyLm;
@@ -92,6 +93,59 @@ pub fn collect_episode(
     CjsTrajectory { steps }
 }
 
+/// A self-contained scheduling observation: what [`NetLlmCjs`] needs to
+/// make one decision, lifted out of the borrowed [`SchedView`] so served
+/// sessions can carry it across ticks. [`CjsObs::from_view`] captures it
+/// at decision time.
+#[derive(Clone, Debug)]
+pub struct CjsObs {
+    /// Frozen stage-DAG snapshot (the GNN modality).
+    pub snap: GraphSnapshot,
+    /// Cluster clock at decision time.
+    pub now: f64,
+    /// Jobs currently arrived and incomplete (the return-to-go decrement
+    /// integrates `active_jobs x elapsed`).
+    pub active_jobs: usize,
+    /// Executor budget the cap menu scales against.
+    pub total_executors: usize,
+}
+
+impl CjsObs {
+    /// Capture a decision-time observation from a live view.
+    pub fn from_view(view: &SchedView) -> Self {
+        CjsObs {
+            snap: snapshot(view),
+            now: view.now,
+            active_jobs: view.jobs.iter().filter(|j| j.arrived && !j.completed).count(),
+            total_executors: view.total_executors,
+        }
+    }
+}
+
+/// Mutable per-session rollout state: everything one live scheduling
+/// session carries between decisions. [`NetLlmCjs`] owns one (its own
+/// single-stream rollout); the serving engine owns one per slot
+/// (`NetLlmCjs` is the [`ServedTask`] whose [`ServedTask::Slot`] this is).
+#[derive(Clone, Debug, Default)]
+pub struct CjsEpisode {
+    /// Per-decision history: (rtg prompt, graph snapshot, cap choice).
+    pub steps: Vec<(f32, GraphSnapshot, usize)>,
+    pub rtg_now: f32,
+    pub last_decision_time: f64,
+    /// First episode entry currently encoded in the KV session.
+    pub anchor: usize,
+    /// Candidate count of the in-flight decision (set by `plan_step`,
+    /// consumed by `settle_step`).
+    pending_c: usize,
+}
+
+impl CjsEpisode {
+    /// Fresh episode prompted with `target_return`.
+    pub fn fresh(target_return: f32) -> Self {
+        CjsEpisode { rtg_now: target_return, ..Default::default() }
+    }
+}
+
 /// The adapted CJS model.
 pub struct NetLlmCjs {
     pub lm: TinyLm,
@@ -106,16 +160,16 @@ pub struct NetLlmCjs {
     pub window: usize,
     pub mode: AdaptMode,
     pub target_return: f32,
-    // ---- inference state ----
-    episode: Vec<(f32, GraphSnapshot, usize)>, // (rtg, snap, cap_choice)
-    rtg_now: f32,
-    last_decision_time: f64,
+    // ---- single-stream inference state ----
+    ep: CjsEpisode,
     /// KV-cached inference session; holds `[rtg, graph, action]` triples for
     /// the encoded history. Candidate tokens are appended per decision and
     /// rolled back once the stage is chosen.
     session: InferenceSession,
-    /// First episode entry currently encoded in the session.
-    anchor: usize,
+    /// Stage + cap logits of the most recent decision (stage logits for
+    /// the `c` candidates, then the cap-menu logits) — what the
+    /// batched-vs-unbatched equivalence gates compare.
+    last_logits: Vec<f32>,
 }
 
 impl NetLlmCjs {
@@ -156,12 +210,42 @@ impl NetLlmCjs {
             window,
             mode,
             target_return: 0.0,
-            episode: Vec::new(),
-            rtg_now: 0.0,
-            last_decision_time: 0.0,
+            ep: CjsEpisode::default(),
             session,
-            anchor: 0,
+            last_logits: Vec::new(),
         }
+    }
+
+    /// Stage + cap logits of the most recent decision (see the field
+    /// docs for the layout).
+    pub fn last_logits(&self) -> &[f32] {
+        &self.last_logits
+    }
+
+    /// One scheduling decision over a captured observation — the
+    /// single-stream path, routed through the same [`ServedTask`] hooks
+    /// the batched serving engine drives (including the candidate-token
+    /// rollback), so the two worlds are step-for-step identical.
+    /// Panics when `obs.snap` has no candidates.
+    pub fn decide_obs(&mut self, obs: &CjsObs) -> Decision {
+        let mut ep = std::mem::take(&mut self.ep);
+        let plan = self.plan_step(&mut ep, obs, &self.session);
+        if plan.reanchor {
+            self.session.clear();
+        }
+        let hidden = self.session.append(&self.lm, &self.store, &plan.tokens);
+        let out = self.settle_step(&mut ep, obs, &hidden);
+        if let Some(RollbackPlan { drop_rows, post_tokens }) = out.rollback {
+            // The candidates are not part of the persistent history: roll
+            // them back and complete the step's triple with its action
+            // token.
+            let keep = self.session.len() - drop_rows;
+            self.session.truncate(keep);
+            self.session.append(&self.lm, &self.store, &post_tokens);
+        }
+        self.last_logits = out.logits;
+        self.ep = ep;
+        out.action
     }
 
     /// Build tokens for a window ending at the current decision. Returns
@@ -272,76 +356,103 @@ impl NetLlmCjs {
     }
 }
 
+/// CJS behind the serving engine: decision-transformer steps whose
+/// candidate tokens are rolled back out of the persistent history once
+/// the stage is chosen — the [`RollbackPlan`] hook inside a batched step.
+impl ServedTask for NetLlmCjs {
+    type Obs = CjsObs;
+    type Action = Decision;
+    type Slot = CjsEpisode;
+
+    fn backbone(&self, _group: usize) -> (&TinyLm, &ParamStore) {
+        (&self.lm, &self.store)
+    }
+
+    fn new_slot(&self, _group: usize) -> CjsEpisode {
+        CjsEpisode::fresh(self.target_return)
+    }
+
+    fn plan_step(&self, ep: &mut CjsEpisode, obs: &CjsObs, session: &InferenceSession) -> StepPlan {
+        let c = obs.snap.candidates.len().min(MAX_CANDS);
+        assert!(c > 0, "CJS decision needs at least one candidate");
+        // Decrement return-to-go by the realised cost since the last
+        // decision: active jobs x elapsed time (cost is negative return).
+        let dt = (obs.now - ep.last_decision_time).max(0.0);
+        ep.rtg_now += (dt * obs.active_jobs as f64 / R_SCALE) as f32;
+        ep.last_decision_time = obs.now;
+        ep.pending_c = c;
+
+        // The session holds `[rtg, graph, action]` triples for steps
+        // `anchor..`. Re-anchor to the training window when the context
+        // cannot take this decision's tokens (2 prompt rows + `c`
+        // candidates + the action token appended after the rollback) or
+        // the visible history reaches twice the training window, bounding
+        // the train/inference prompt-length mismatch (see `backbone` docs).
+        let grown = ep.steps.len() - ep.anchor >= 2 * self.window;
+        let reanchor = session.is_empty() || !session.fits(2 + c + 1) || grown;
+        let mut parts: Vec<Tensor> = Vec::new();
+        if reanchor {
+            ep.anchor = ep.steps.len().saturating_sub(self.window - 1);
+            for (rtg, hsnap, cap) in &ep.steps[ep.anchor..] {
+                parts.push(self.rtg_token_eval(*rtg));
+                parts.push(self.graph_tokens_eval(hsnap).1);
+                parts.push(self.action_tokens.eval(&self.store, &[*cap]));
+            }
+        }
+        // Current decision: [rtg_t, graph_t, cand_1..c].
+        parts.push(self.rtg_token_eval(ep.rtg_now));
+        let (nodes, graph_tok) = self.graph_tokens_eval(&obs.snap);
+        parts.push(graph_tok);
+        parts.push(self.node_proj.eval(&self.store, &nodes.gather_rows(&obs.snap.candidates[..c])));
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        StepPlan { tokens: nt_tensor::concat(&refs, 0), reanchor }
+    }
+
+    fn settle_step(
+        &self,
+        ep: &mut CjsEpisode,
+        obs: &CjsObs,
+        hidden: &Tensor,
+    ) -> StepOutcome<Decision> {
+        // The candidate rows close the append; the pooled-graph row sits
+        // just before them (history rows may precede both after a
+        // re-anchor rebuild).
+        let c = ep.pending_c;
+        let n = hidden.shape()[0];
+        let stage_logits = self.heads.stage_logits_eval(&self.store, &hidden.narrow(0, n - c, c));
+        let cap_logits = self.heads.cap_logits_eval(&self.store, &hidden.narrow(0, n - c - 1, 1));
+        let stage = stage_logits.argmax();
+        let cap_idx = cap_logits.argmax();
+        let cap = (CAP_FRACS[cap_idx] * obs.total_executors as f64).ceil() as usize;
+        ep.steps.push((ep.rtg_now, obs.snap.clone(), cap_idx));
+        let mut logits = stage_logits.into_data();
+        logits.extend_from_slice(cap_logits.data());
+        StepOutcome {
+            action: Decision { candidate: stage, cap: cap.max(1) },
+            logits,
+            rollback: Some(RollbackPlan {
+                drop_rows: c,
+                post_tokens: self.action_tokens.eval(&self.store, &[cap_idx]),
+            }),
+        }
+    }
+}
+
 impl Scheduler for NetLlmCjs {
     fn name(&self) -> &str {
         "NetLLM"
     }
 
     fn reset(&mut self) {
-        self.episode.clear();
-        self.rtg_now = self.target_return;
-        self.last_decision_time = 0.0;
+        self.ep = CjsEpisode::fresh(self.target_return);
         self.session.clear();
-        self.anchor = 0;
     }
 
     fn decide(&mut self, view: &SchedView) -> Option<Decision> {
         if view.candidates.is_empty() {
             return None;
         }
-        // Decrement return-to-go by the realised cost since the last
-        // decision: active jobs x elapsed time.
-        let active = view.jobs.iter().filter(|j| j.arrived && !j.completed).count();
-        let dt = (view.now - self.last_decision_time).max(0.0);
-        self.rtg_now += (dt * active as f64 / R_SCALE) as f32; // cost is negative return
-        self.last_decision_time = view.now;
-
-        let snap = snapshot(view);
-        let c = snap.candidates.len().min(MAX_CANDS);
-
-        // KV-cached inference: the session holds `[rtg, graph, action]`
-        // triples for steps `anchor..`. Re-anchor to the training window
-        // when the context cannot take this decision's tokens (2 prompt
-        // rows + `c` candidates + the action token appended afterwards) or
-        // the visible history reaches twice the training window, bounding
-        // the train/inference prompt-length mismatch (see `backbone` docs).
-        let grown = self.episode.len() - self.anchor >= 2 * self.window;
-        if self.session.is_empty() || !self.session.fits(2 + c + 1) || grown {
-            self.anchor = self.episode.len().saturating_sub(self.window - 1);
-            self.session.clear();
-            let mut triples: Vec<Tensor> = Vec::new();
-            for (rtg, hsnap, cap) in &self.episode[self.anchor..] {
-                triples.push(self.rtg_token_eval(*rtg));
-                triples.push(self.graph_tokens_eval(hsnap).1);
-                triples.push(self.action_tokens.eval(&self.store, &[*cap]));
-            }
-            if !triples.is_empty() {
-                let refs: Vec<&Tensor> = triples.iter().collect();
-                let history = nt_tensor::concat(&refs, 0);
-                self.session.append(&self.lm, &self.store, &history);
-            }
-        }
-
-        // Current decision: [rtg_t, graph_t, cand_1..c] appended in one go.
-        let rtg_tok = self.rtg_token_eval(self.rtg_now);
-        let (nodes, graph_tok) = self.graph_tokens_eval(&snap);
-        let cand_toks = self.node_proj.eval(&self.store, &nodes.gather_rows(&snap.candidates[..c]));
-        let new = nt_tensor::concat(&[&rtg_tok, &graph_tok, &cand_toks], 0);
-        let base = self.session.len();
-        let hidden = self.session.append(&self.lm, &self.store, &new);
-
-        let stage = self.heads.stage_logits_eval(&self.store, &hidden.narrow(0, 2, c)).argmax();
-        let cap_idx = self.heads.cap_logits_eval(&self.store, &hidden.narrow(0, 1, 1)).argmax();
-        let cap = (CAP_FRACS[cap_idx] * view.total_executors as f64).ceil() as usize;
-
-        // The candidates are not part of the persistent history: roll them
-        // back and complete the step's triple with its action token.
-        self.session.truncate(base + 2);
-        let action_tok = self.action_tokens.eval(&self.store, &[cap_idx]);
-        self.session.append(&self.lm, &self.store, &action_tok);
-
-        self.episode.push((self.rtg_now, snap, cap_idx));
-        Some(Decision { candidate: stage, cap: cap.max(1) })
+        Some(self.decide_obs(&CjsObs::from_view(view)))
     }
 }
 
@@ -402,7 +513,7 @@ mod tests {
             run_workload(&mut m, &w, 6, Some(&mut hook))
         };
         assert_eq!(stats.jcts.len(), 2);
-        let episode = m.episode.clone();
+        let episode = m.ep.steps.clone();
         assert_eq!(stages.len(), episode.len());
         assert!(episode.len() > 2 * m.window, "probe should span at least one re-anchor");
         let max_tokens = m.lm.cfg.max_seq;

@@ -12,11 +12,26 @@ use crate::adapt::{AdaptMode, LoraSpec};
 use crate::backbone::InferenceSession;
 use crate::heads::VpHead;
 use crate::multimodal::{ImageEncoder, LearnedTokens, Projection, SeriesEncoder};
+use crate::serving::{ServedTask, StepOutcome, StepPlan};
 use nt_llm::zoo::LoadedLm;
 use nt_llm::TinyLm;
 use nt_nn::{clip_grad_norm, Adam, Fwd, ParamStore};
 use nt_tensor::{NodeId, Rng, Tensor};
 use nt_vp::{apply_deltas, to_deltas, Viewport, VpPredictor, VpSample, GRID};
+
+/// One served VP request: a sample to answer and the prediction horizon.
+/// VP is one-shot — a request is a complete question, so served slots
+/// carry no episode state between ticks.
+#[derive(Clone, Debug)]
+pub struct VpQuery {
+    pub sample: VpSample,
+    pub pw: usize,
+}
+
+/// Served VP sessions are stateless between ticks (one-shot eval slots
+/// that join, answer, and leave).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VpSlot;
 
 /// Degrees per network unit (same convention as TRACK).
 const DELTA_SCALE: f32 = 5.0;
@@ -107,8 +122,10 @@ impl NetLlmVp {
         self.head.forward(f, &self.store, query_hidden)
     }
 
-    /// Graph-free prediction `[pw, 3]` through the shared inference session.
-    fn forward_eval(&mut self, sample: &VpSample, pw: usize) -> Tensor {
+    /// Graph-free token build `[n, d]` for one query:
+    /// `[saliency patches | history-delta tokens | pw query tokens]`.
+    /// Shared by the single-stream eval path and the serving engine.
+    fn query_tokens(&self, sample: &VpSample, pw: usize) -> Tensor {
         assert!(pw <= self.max_pw, "pw {pw} exceeds max_pw {}", self.max_pw);
         let st = &self.store;
         let series = Self::history_series(sample);
@@ -116,11 +133,44 @@ impl NetLlmVp {
         let vp_tokens = self.vp_proj.eval(st, &self.vp_enc.eval_steps(st, &series));
         let q_idx: Vec<usize> = (0..pw).collect();
         let q_tokens = self.queries.eval(st, &q_idx);
-        let tokens = nt_tensor::concat(&[&img_tokens, &vp_tokens, &q_tokens], 0);
+        nt_tensor::concat(&[&img_tokens, &vp_tokens, &q_tokens], 0)
+    }
+
+    /// Graph-free prediction `[pw, 3]` (network-unit deltas) through the
+    /// shared inference session. Public so equivalence gates can compare
+    /// served answers against the unbatched path at the logits level.
+    pub fn forward_eval(&mut self, sample: &VpSample, pw: usize) -> Tensor {
+        let tokens = self.query_tokens(sample, pw);
         self.session.clear();
         let hidden = self.session.append(&self.lm, &self.store, &tokens);
         let total = hidden.shape()[0];
         self.head.eval(&self.store, &hidden.narrow(0, total - pw, pw))
+    }
+
+    /// Scale predicted deltas `[pw_model, 3]` back to degrees and extend
+    /// them to `pw` steps (velocity hold, decayed) from the sample's last
+    /// known viewport. Shared by [`VpPredictor::predict`] and the served
+    /// path.
+    fn deltas_to_viewports(sample: &VpSample, v: &Tensor, pw: usize) -> Vec<Viewport> {
+        let pw_model = v.shape()[0];
+        let mut deltas: Vec<[f32; 3]> = (0..pw_model)
+            .map(|i| {
+                [
+                    v.at(&[i, 0]) * DELTA_SCALE,
+                    v.at(&[i, 1]) * DELTA_SCALE,
+                    v.at(&[i, 2]) * DELTA_SCALE,
+                ]
+            })
+            .collect();
+        // Horizons beyond max_pw: hold the final predicted velocity, decayed.
+        while deltas.len() < pw {
+            let mut last = *deltas.last().unwrap();
+            for x in &mut last {
+                *x *= 0.9;
+            }
+            deltas.push(last);
+        }
+        apply_deltas(sample.history.last().unwrap(), &deltas)
     }
 
     /// Supervised adaptation over extracted samples. Returns the mean loss
@@ -170,6 +220,48 @@ impl NetLlmVp {
     }
 }
 
+/// VP behind the serving engine: one-shot eval slots. Every tick is a
+/// complete question — [`StepPlan::reanchor`] always clears the slot's
+/// session, the query tokens go through the shared batched backbone
+/// step, and the head answers at the query positions. Slots typically
+/// join, answer, and leave.
+impl ServedTask for NetLlmVp {
+    type Obs = VpQuery;
+    type Action = Vec<Viewport>;
+    type Slot = VpSlot;
+
+    fn backbone(&self, _group: usize) -> (&TinyLm, &ParamStore) {
+        (&self.lm, &self.store)
+    }
+
+    fn new_slot(&self, _group: usize) -> VpSlot {
+        VpSlot
+    }
+
+    fn plan_step(
+        &self,
+        _slot: &mut VpSlot,
+        obs: &VpQuery,
+        _session: &InferenceSession,
+    ) -> StepPlan {
+        let pw = obs.pw.min(self.max_pw);
+        StepPlan { tokens: self.query_tokens(&obs.sample, pw), reanchor: true }
+    }
+
+    fn settle_step(
+        &self,
+        _slot: &mut VpSlot,
+        obs: &VpQuery,
+        hidden: &Tensor,
+    ) -> StepOutcome<Vec<Viewport>> {
+        let pw = obs.pw.min(self.max_pw);
+        let n = hidden.shape()[0];
+        let v = self.head.eval(&self.store, &hidden.narrow(0, n - pw, pw));
+        let action = Self::deltas_to_viewports(&obs.sample, &v, obs.pw);
+        StepOutcome { action, logits: v.into_data(), rollback: None }
+    }
+}
+
 impl VpPredictor for NetLlmVp {
     fn name(&self) -> &str {
         "NetLLM"
@@ -178,24 +270,7 @@ impl VpPredictor for NetLlmVp {
     fn predict(&mut self, sample: &VpSample, pw: usize) -> Vec<Viewport> {
         let pw_model = pw.min(self.max_pw);
         let v = self.forward_eval(sample, pw_model);
-        let mut deltas: Vec<[f32; 3]> = (0..pw_model)
-            .map(|i| {
-                [
-                    v.at(&[i, 0]) * DELTA_SCALE,
-                    v.at(&[i, 1]) * DELTA_SCALE,
-                    v.at(&[i, 2]) * DELTA_SCALE,
-                ]
-            })
-            .collect();
-        // Horizons beyond max_pw: hold the final predicted velocity, decayed.
-        while deltas.len() < pw {
-            let mut last = *deltas.last().unwrap();
-            for x in &mut last {
-                *x *= 0.9;
-            }
-            deltas.push(last);
-        }
-        apply_deltas(sample.history.last().unwrap(), &deltas)
+        Self::deltas_to_viewports(sample, &v, pw)
     }
 }
 

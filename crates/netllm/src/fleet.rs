@@ -1,0 +1,174 @@
+//! One fleet, three workloads: a heterogeneous [`ServedTask`] that puts
+//! ABR, CJS and VP sessions behind the *same* serving engine (and, via
+//! [`crate::ShardedServer`], the same sharded fleet).
+//!
+//! This is the paper's serving claim made concrete: one adapted-LLM
+//! deployment answers bitrate decisions, scheduling decisions and
+//! viewport predictions concurrently, the realistic mix of heterogeneous
+//! flows a network actually carries. Each member task keeps its own
+//! weights (the repo adapts one backbone per task), so the engine groups
+//! a tick's slots by member: every same-member run in the batch shares a
+//! stacked backbone GEMM, members never mix weights, and per-slot
+//! semantics — ABR re-anchoring, CJS candidate rollback, VP one-shot
+//! eval — are exactly the member's own [`ServedTask`] hooks, delegated.
+
+use crate::adapters::abr::AbrEpisode;
+use crate::adapters::cjs::{CjsEpisode, CjsObs};
+use crate::adapters::vp::{VpQuery, VpSlot};
+use crate::backbone::InferenceSession;
+use crate::serving::{ServedTask, StepOutcome, StepPlan};
+use crate::{NetLlmAbr, NetLlmCjs, NetLlmVp};
+use nt_cjs::Decision;
+use nt_llm::TinyLm;
+use nt_nn::ParamStore;
+use nt_tensor::Tensor;
+use nt_vp::Viewport;
+
+/// Backbone group of ABR sessions in a fleet.
+pub const FLEET_ABR: usize = 0;
+/// Backbone group of CJS sessions in a fleet.
+pub const FLEET_CJS: usize = 1;
+/// Backbone group of VP sessions in a fleet.
+pub const FLEET_VP: usize = 2;
+
+/// The three adapted models a fleet serves, borrowed for the serving
+/// calls (weights stay owned by the caller, as with every served task).
+pub struct NetLlmFleet<'m> {
+    pub abr: &'m NetLlmAbr,
+    pub cjs: &'m NetLlmCjs,
+    pub vp: &'m NetLlmVp,
+}
+
+/// A tick observation for one fleet session (must match the slot's task).
+#[derive(Clone, Debug)]
+pub enum FleetObs {
+    Abr(nt_abr::AbrObservation),
+    Cjs(CjsObs),
+    Vp(VpQuery),
+}
+
+/// Per-session state of one fleet member.
+pub enum FleetSlot {
+    Abr(AbrEpisode),
+    Cjs(CjsEpisode),
+    Vp(VpSlot),
+}
+
+/// A fleet decision, tagged by member task.
+#[derive(Clone, Debug)]
+pub enum FleetAction {
+    Abr(usize),
+    Cjs(Decision),
+    Vp(Vec<Viewport>),
+}
+
+impl FleetAction {
+    /// The ABR bitrate rung (panics for other members).
+    pub fn abr(self) -> usize {
+        match self {
+            FleetAction::Abr(a) => a,
+            other => panic!("expected an ABR action, got {other:?}"),
+        }
+    }
+
+    /// The CJS scheduling decision (panics for other members).
+    pub fn cjs(self) -> Decision {
+        match self {
+            FleetAction::Cjs(d) => d,
+            other => panic!("expected a CJS action, got {other:?}"),
+        }
+    }
+
+    /// The VP viewport prediction (panics for other members).
+    pub fn vp(self) -> Vec<Viewport> {
+        match self {
+            FleetAction::Vp(v) => v,
+            other => panic!("expected a VP action, got {other:?}"),
+        }
+    }
+}
+
+impl ServedTask for NetLlmFleet<'_> {
+    type Obs = FleetObs;
+    type Action = FleetAction;
+    type Slot = FleetSlot;
+
+    fn groups(&self) -> usize {
+        3
+    }
+
+    fn backbone(&self, group: usize) -> (&TinyLm, &ParamStore) {
+        match group {
+            FLEET_ABR => ServedTask::backbone(self.abr, 0),
+            FLEET_CJS => ServedTask::backbone(self.cjs, 0),
+            FLEET_VP => ServedTask::backbone(self.vp, 0),
+            other => panic!("fleet has no group {other}"),
+        }
+    }
+
+    fn group_of(&self, slot: &FleetSlot) -> usize {
+        match slot {
+            FleetSlot::Abr(_) => FLEET_ABR,
+            FleetSlot::Cjs(_) => FLEET_CJS,
+            FleetSlot::Vp(_) => FLEET_VP,
+        }
+    }
+
+    fn new_slot(&self, group: usize) -> FleetSlot {
+        match group {
+            FLEET_ABR => FleetSlot::Abr(self.abr.new_slot(0)),
+            FLEET_CJS => FleetSlot::Cjs(self.cjs.new_slot(0)),
+            FLEET_VP => FleetSlot::Vp(self.vp.new_slot(0)),
+            other => panic!("fleet has no group {other}"),
+        }
+    }
+
+    fn plan_step(
+        &self,
+        slot: &mut FleetSlot,
+        obs: &FleetObs,
+        session: &InferenceSession,
+    ) -> StepPlan {
+        match (slot, obs) {
+            (FleetSlot::Abr(ep), FleetObs::Abr(o)) => self.abr.plan_step(ep, o, session),
+            (FleetSlot::Cjs(ep), FleetObs::Cjs(o)) => self.cjs.plan_step(ep, o, session),
+            (FleetSlot::Vp(sl), FleetObs::Vp(o)) => self.vp.plan_step(sl, o, session),
+            _ => panic!("fleet observation does not match the session's task"),
+        }
+    }
+
+    fn settle_step(
+        &self,
+        slot: &mut FleetSlot,
+        obs: &FleetObs,
+        hidden: &Tensor,
+    ) -> StepOutcome<FleetAction> {
+        match (slot, obs) {
+            (FleetSlot::Abr(ep), FleetObs::Abr(o)) => {
+                let out = self.abr.settle_step(ep, o, hidden);
+                StepOutcome {
+                    action: FleetAction::Abr(out.action),
+                    logits: out.logits,
+                    rollback: out.rollback,
+                }
+            }
+            (FleetSlot::Cjs(ep), FleetObs::Cjs(o)) => {
+                let out = self.cjs.settle_step(ep, o, hidden);
+                StepOutcome {
+                    action: FleetAction::Cjs(out.action),
+                    logits: out.logits,
+                    rollback: out.rollback,
+                }
+            }
+            (FleetSlot::Vp(sl), FleetObs::Vp(o)) => {
+                let out = self.vp.settle_step(sl, o, hidden);
+                StepOutcome {
+                    action: FleetAction::Vp(out.action),
+                    logits: out.logits,
+                    rollback: out.rollback,
+                }
+            }
+            _ => panic!("fleet observation does not match the session's task"),
+        }
+    }
+}

@@ -16,7 +16,10 @@
 //! [`prompt`] implements the *alternatives* the paper measures against
 //! (prompt learning + token decoding, Fig 2). [`api`] exposes the Fig 9
 //! `RL_Collect`/`Adapt`/`Test` integration surface. [`settings`] encodes
-//! Tables 2–4 and the fidelity ladder.
+//! Tables 2–4 and the fidelity ladder. [`serving`], [`shard`] and
+//! [`fleet`] are the serving stack: an adapter-generic batched engine
+//! ([`ServedTask`]), a session-hash-sharded fleet ([`ShardedServer`]),
+//! and the heterogeneous ABR+CJS+VP mix ([`NetLlmFleet`]).
 //!
 //! The backbone is the in-repo pre-trained [`nt_llm::TinyLm`] — see
 //! `DESIGN.md` for the substitution argument (repro band: candle/burn are
@@ -29,28 +32,34 @@ pub mod adapt;
 pub mod adapters;
 pub mod api;
 pub mod backbone;
+pub mod fleet;
 pub mod heads;
 pub mod multimodal;
 pub mod prompt;
 pub mod serving;
 pub mod settings;
+pub mod shard;
 
 pub use adapt::{AdaptMode, LoraSpec};
-pub use adapters::abr::{AbrRecorder, AbrStep, AbrTrajectory, NetLlmAbr};
-pub use adapters::cjs::{collect_episode, CjsStep, CjsTrajectory, NetLlmCjs};
-pub use adapters::vp::NetLlmVp;
+pub use adapters::abr::{AbrEpisode, AbrRecorder, AbrStep, AbrTrajectory, NetLlmAbr};
+pub use adapters::cjs::{collect_episode, CjsEpisode, CjsObs, CjsStep, CjsTrajectory, NetLlmCjs};
+pub use adapters::vp::{NetLlmVp, VpQuery, VpSlot};
 pub use api::{
     adapt_abr, adapt_cjs, adapt_vp, build_abr_env, build_cjs_workloads, build_vp_data,
     default_lora, rl_collect_abr, rl_collect_cjs, test_abr, test_cjs, Task, VpData,
 };
 pub use backbone::{append_batched, InferenceSession};
+pub use fleet::{FleetAction, FleetObs, FleetSlot, NetLlmFleet, FLEET_ABR, FLEET_CJS, FLEET_VP};
 pub use heads::{AbrHead, CjsHeads, VpHead};
 pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
 };
-pub use serving::{ServingEngine, SessionId};
+pub use serving::{
+    ParkedSlot, RollbackPlan, ServedTask, ServingEngine, SessionId, StepOutcome, StepPlan,
+};
 pub use settings::{
     AbrSetting, CjsSetting, Fidelity, VpSetting, ABR_DEFAULT, ABR_UNSEEN1, ABR_UNSEEN2,
     ABR_UNSEEN3, CJS_DEFAULT, CJS_UNSEEN1, CJS_UNSEEN2, CJS_UNSEEN3, VP_DEFAULT, VP_UNSEEN1,
     VP_UNSEEN2, VP_UNSEEN3,
 };
+pub use shard::{GlobalSessionId, ShardedServer};

@@ -1,155 +1,358 @@
-//! Batched multi-session serving engine.
+//! Adapter-generic batched serving engine.
 //!
 //! One adapted model, many live network sessions: the [`ServingEngine`]
-//! multiplexes concurrent adapter rollouts into *one* batched backbone
-//! step per tick. Where B independent [`crate::InferenceSession`]s each
+//! multiplexes concurrent adapter rollouts into batched backbone steps,
+//! one per tick. Where B independent [`crate::InferenceSession`]s each
 //! push a handful of token rows through every projection and MLP alone,
 //! the engine stacks all B sessions' new rows into single `[N, d]` GEMMs
 //! (`nt_llm::TinyLm::forward_embeddings_cached_batched`), while each slot
-//! keeps its own ragged-length KV cache, return-to-go prompt and
-//! re-anchoring schedule — batching changes the arithmetic shape, never
-//! the answers (gated at 1e-5 against the sequential path, including
-//! re-anchor events).
+//! keeps its own ragged-length KV cache, episode state and re-anchoring
+//! schedule — batching changes the arithmetic shape, never the answers
+//! (gated at 1e-5 against each adapter's sequential path, including
+//! re-anchor and rollback events).
 //!
 //! ```text
-//!  stream 0 ─ obs ─┐                                   ┌─ action 0
-//!  stream 1 ─ obs ─┤  per-slot tokens    one batched   ├─ action 1
-//!      ...         ├──[a_prev | state]──► backbone ────┤   ...
-//!  stream B ─ obs ─┘   (ragged rows)     step [N,d]    └─ action B
-//!                       slot KV caches ──┘ └── head on B closing rows
+//!  stream 0 ─ obs ─┐  per-slot tokens    one batched    ┌─ action 0
+//!  stream 1 ─ obs ─┤  plan_step(slot)    backbone       ├─ action 1
+//!      ...         ├─────[rows]────────► step [N,d] ────┤   ...
+//!  stream B ─ obs ─┘   (ragged rows)         │          └─ action B
+//!                       slot KV caches ──────┘   settle_step per slot
+//!                                                └─ rollback pass (CJS)
 //! ```
 //!
-//! ABR is served first (highest decision rate: every ~4 s chunk per
-//! viewer); the same slot/stack/step pattern extends to the CJS and VP
-//! adapters. Join/leave never disturbs other slots: a slot owns its KV
-//! session and episode state, and the batch is just "whichever slots got
-//! an observation this tick".
+//! What used to be hard-coded ABR logic is now the [`ServedTask`] trait:
+//! an adapter describes how an observation becomes token rows
+//! ([`ServedTask::plan_step`] — including its re-anchor policy) and how
+//! the new hidden rows become a decision ([`ServedTask::settle_step`] —
+//! including an optional candidate rollback, the CJS pattern where
+//! per-decision candidate tokens are `truncate`d out of the persistent
+//! history and replaced by the chosen action token). ABR serves
+//! incremental decision-transformer steps, CJS adds the rollback hook,
+//! and VP runs one-shot eval slots that join, answer, and leave. A
+//! heterogeneous fleet ([`crate::NetLlmFleet`]) serves all three in the
+//! same tick; slots on different backbones never share a stacked GEMM
+//! (separate weights), but every same-backbone run in the batch does.
+//!
+//! Join/leave never disturbs other slots: a slot owns its KV session and
+//! episode state, and the batch is just "whichever slots got an
+//! observation this tick". [`SessionId`]s are generation-versioned, so a
+//! stale handle held across a leave/join recycle can never read another
+//! stream's slot. Sharding across engines lives in
+//! [`crate::ShardedServer`].
 
-use crate::adapters::abr::{AbrEpisode, NetLlmAbr, TOK_PER_STEP};
 use crate::backbone::{append_batched, InferenceSession};
-use nt_abr::AbrObservation;
-use nt_llm::SlotMap;
+use nt_llm::{SlotMap, TinyLm};
+use nt_nn::ParamStore;
 use nt_tensor::Tensor;
 
-/// One live stream inside the engine.
-struct AbrSlot {
-    ep: AbrEpisode,
-    session: InferenceSession,
-    last_logits: Vec<f32>,
+/// Token rows one slot contributes to a tick (built by
+/// [`ServedTask::plan_step`]).
+pub struct StepPlan {
+    /// Embedded rows `[n, d_model]` to append to the slot's KV session.
+    pub tokens: Tensor,
+    /// Clear the KV session before appending (episode start or
+    /// re-anchor rebuild).
+    pub reanchor: bool,
 }
 
-/// Stable handle for a stream served by a [`ServingEngine`].
-pub type SessionId = usize;
+/// Candidate rollback requested by [`ServedTask::settle_step`]: the final
+/// `drop_rows` rows of the slot's session are not part of the persistent
+/// history (e.g. CJS candidate tokens) — the engine truncates them away
+/// and appends `post_tokens` (e.g. the chosen action token) in a second
+/// batched backbone pass.
+pub struct RollbackPlan {
+    /// Rows to drop from the end of the slot's KV session.
+    pub drop_rows: usize,
+    /// Rows `[m, d_model]` appended after the rollback.
+    pub post_tokens: Tensor,
+}
 
-/// Multiplexes many concurrent ABR rollouts over one shared [`NetLlmAbr`]
-/// model. The engine owns only per-stream state; the model (weights,
-/// encoders, head) is borrowed per call, so one adapted checkpoint can
-/// back any number of engines.
-#[derive(Default)]
-pub struct ServingEngine {
-    slots: SlotMap<AbrSlot>,
-    /// Cumulative per-phase wall time (tokenise+backbone / unused / head),
-    /// for the profiling bin.
+/// What one slot's tick produced (built by [`ServedTask::settle_step`]).
+pub struct StepOutcome<A> {
+    /// The decision returned to the caller.
+    pub action: A,
+    /// Raw head outputs, kept readable via
+    /// [`ServingEngine::last_logits`] (the equivalence gates compare
+    /// these against the unbatched path).
+    pub logits: Vec<f32>,
+    /// Optional candidate rollback (see [`RollbackPlan`]).
+    pub rollback: Option<RollbackPlan>,
+}
+
+/// An adapter that can be served by the [`ServingEngine`]: how an
+/// observation becomes token rows, and how the resulting hidden rows
+/// become a decision. Implemented by [`crate::NetLlmAbr`] (incremental
+/// decision-transformer steps), [`crate::NetLlmCjs`] (adds candidate
+/// rollback), [`crate::NetLlmVp`] (one-shot eval) and
+/// [`crate::NetLlmFleet`] (all three behind one engine).
+pub trait ServedTask {
+    /// Per-tick observation a live session consumes.
+    type Obs;
+    /// The decision handed back to the caller.
+    type Action;
+    /// Per-session episode state: everything one live session carries
+    /// between ticks besides its KV session.
+    type Slot;
+
+    /// Number of distinct backbones this task serves (a heterogeneous
+    /// fleet has one per member task). Slots of different groups never
+    /// share a stacked GEMM — they may run different weights.
+    fn groups(&self) -> usize {
+        1
+    }
+
+    /// Backbone + weights for `group`.
+    fn backbone(&self, group: usize) -> (&TinyLm, &ParamStore);
+
+    /// The backbone group `slot` belongs to (stable for its lifetime).
+    fn group_of(&self, slot: &Self::Slot) -> usize {
+        let _ = slot;
+        0
+    }
+
+    /// Fresh episode state for a session joining `group`.
+    fn new_slot(&self, group: usize) -> Self::Slot;
+
+    /// Phase-1 hook: settle the previous tick's realised outcome into the
+    /// episode and build the token rows this tick appends. `session` is
+    /// read-only here — ask for a clear via [`StepPlan::reanchor`]; the
+    /// engine (or the unbatched caller) owns the append.
+    fn plan_step(
+        &self,
+        slot: &mut Self::Slot,
+        obs: &Self::Obs,
+        session: &InferenceSession,
+    ) -> StepPlan;
+
+    /// Phase-3 hook: read the task head over this slot's new hidden rows
+    /// `[n, d_model]` (exactly the rows planned this tick), commit the
+    /// decision to the episode, and optionally request a candidate
+    /// rollback.
+    fn settle_step(
+        &self,
+        slot: &mut Self::Slot,
+        obs: &Self::Obs,
+        hidden: &Tensor,
+    ) -> StepOutcome<Self::Action>;
+}
+
+/// One live session inside the engine.
+struct EngineSlot<T: ServedTask> {
+    state: T::Slot,
+    session: InferenceSession,
+    last_logits: Vec<f32>,
+    gen: u32,
+}
+
+/// Stable, generation-versioned handle for a session served by a
+/// [`ServingEngine`]. Slot indices are recycled after
+/// [`ServingEngine::leave`], but each admission bumps the generation, so
+/// a stale handle kept across a recycle panics instead of silently
+/// reading the new occupant's state (`last_logits`, `step`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SessionId {
+    idx: u32,
+    gen: u32,
+}
+
+impl SessionId {
+    /// The underlying slot index (recycled across generations).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+/// A session lifted out of an engine (KV cache + episode state), ready to
+/// be re-admitted elsewhere — the migration unit behind
+/// [`crate::ShardedServer`]'s steer/rebalance plumbing.
+pub struct ParkedSlot<T: ServedTask>(EngineSlot<T>);
+
+/// Multiplexes many concurrent rollouts of a [`ServedTask`] over shared
+/// model weights. The engine owns only per-session state; the model
+/// (weights, encoders, heads) is borrowed per call, so one adapted
+/// checkpoint can back any number of engines.
+pub struct ServingEngine<T: ServedTask> {
+    slots: SlotMap<EngineSlot<T>>,
+    next_gen: u32,
+    /// Cumulative per-phase wall time (plan+backbone / rollback pass /
+    /// head+settle), for the profiling bin.
     pub phase_times: [std::time::Duration; 3],
 }
 
-impl ServingEngine {
-    /// Engine with no live streams.
+impl<T: ServedTask> Default for ServingEngine<T> {
+    fn default() -> Self {
+        ServingEngine {
+            slots: SlotMap::new(),
+            next_gen: 0,
+            phase_times: [std::time::Duration::ZERO; 3],
+        }
+    }
+}
+
+impl<T: ServedTask> ServingEngine<T> {
+    /// Engine with no live sessions.
     pub fn new() -> Self {
         ServingEngine::default()
     }
 
-    /// Admit a new stream; returns its stable [`SessionId`] (smallest
-    /// free id, recycled after [`ServingEngine::leave`]).
-    pub fn join(&mut self, model: &NetLlmAbr) -> SessionId {
-        self.slots.insert(AbrSlot {
-            ep: AbrEpisode::fresh(model.target_return),
-            session: InferenceSession::new(&model.lm),
+    /// Admit a new session on backbone group 0 (the only group of a
+    /// homogeneous task); returns its stable [`SessionId`].
+    pub fn join(&mut self, task: &T) -> SessionId {
+        self.join_group(task, 0)
+    }
+
+    /// Admit a new session on backbone `group` (heterogeneous fleets pick
+    /// the member task here). The smallest free slot index is recycled,
+    /// under a fresh generation.
+    pub fn join_group(&mut self, task: &T, group: usize) -> SessionId {
+        assert!(group < task.groups(), "group {group} out of range ({})", task.groups());
+        self.admit(ParkedSlot(EngineSlot {
+            state: task.new_slot(group),
+            session: InferenceSession::new(task.backbone(group).0),
             last_logits: Vec::new(),
-        })
+            gen: 0,
+        }))
     }
 
-    /// Remove a stream, dropping its KV cache. Other slots are untouched.
+    /// Remove a session, dropping its KV cache. Other slots are
+    /// untouched; the freed index is recycled under a new generation.
     pub fn leave(&mut self, id: SessionId) {
-        let _ = self.slots.remove(id);
+        let _ = self.park(id);
     }
 
-    /// Live stream count.
+    /// Lift a session out of the engine without dropping it (KV cache and
+    /// episode state intact) — re-admit it here or in another engine with
+    /// [`ServingEngine::admit`].
+    pub fn park(&mut self, id: SessionId) -> ParkedSlot<T> {
+        self.check(id);
+        ParkedSlot(self.slots.remove(id.index()))
+    }
+
+    /// Re-admit a parked session; returns its new id (the old one is
+    /// dead: admission always bumps the generation).
+    pub fn admit(&mut self, parked: ParkedSlot<T>) -> SessionId {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        let mut slot = parked.0;
+        slot.gen = gen;
+        let idx = self.slots.insert(slot);
+        SessionId { idx: idx as u32, gen }
+    }
+
+    /// Live session count.
     pub fn active(&self) -> usize {
         self.slots.active()
     }
 
-    /// Action logits of `id`'s most recent step (equivalence tests
-    /// compare these against the sequential path).
+    /// Head outputs of `id`'s most recent step (equivalence tests compare
+    /// these against the unbatched path). Panics on a stale id whose slot
+    /// index was recycled — versioning guarantees these are never another
+    /// stream's logits.
     pub fn last_logits(&self, id: SessionId) -> &[f32] {
-        &self.slots.get(id).last_logits
+        self.check(id);
+        &self.slots.get(id.index()).last_logits
     }
 
-    /// Bytes held by every live slot's KV cache.
+    /// Bytes held by every live session's KV cache.
     pub fn cache_bytes(&self) -> usize {
         self.slots.iter().map(|s| s.session.cache_bytes()).sum()
     }
 
-    /// Serve one tick: each `(id, observation)` pair advances that stream
-    /// by one chunk decision, all through a single batched backbone step.
-    /// Returns the chosen bitrate rung per request, in request order.
-    ///
-    /// Per-slot semantics are identical to [`nt_abr::AbrPolicy::select`]
-    /// on a dedicated `NetLlmAbr`: the previous chunk's QoE is settled
-    /// into the return-to-go prompt, the new state is tokenized, and the
-    /// slot re-anchors to its training window when its context fills or
-    /// its visible history reaches twice the window — each on its own
-    /// schedule.
-    pub fn step(
-        &mut self,
-        model: &NetLlmAbr,
-        requests: &[(SessionId, &AbrObservation)],
-    ) -> Vec<usize> {
-        assert!(!requests.is_empty(), "empty serving batch");
-        // Pull a distinct &mut slot per request, in request order.
-        let mut picked = self.slots.get_distinct_mut(requests.iter().map(|&(id, _)| id));
+    fn check(&self, id: SessionId) {
+        assert_eq!(
+            self.slots.get(id.index()).gen,
+            id.gen,
+            "stale session id: slot {} was recycled since this handle was issued",
+            id.index()
+        );
+    }
 
-        // Phases 1+2 (per band): settle rewards, build this tick's token
-        // rows, then run one batched backbone step over the band's rows.
-        // Bands are contiguous request ranges; with NT_THREADS > 1 they
-        // run on scoped worker threads — each band is an independent
-        // slice of slots (own KV caches, own episode state), and band
-        // splits never change any per-element accumulation order, so
-        // threaded and serial serving are bit-identical.
+    /// Serve one tick: each `(id, observation)` pair advances that
+    /// session by one decision, all through batched backbone steps (one
+    /// stacked GEMM per contiguous same-backbone run in the batch).
+    /// Returns the decisions in request order.
+    ///
+    /// Per-slot semantics are identical to the adapter's unbatched path
+    /// (`AbrPolicy::select`, `NetLlmCjs::decide_obs`, `NetLlmVp`'s
+    /// one-shot eval): the trait hooks *are* that path, so the episode
+    /// bookkeeping, re-anchor schedule and candidate rollback run the
+    /// same code in both worlds.
+    pub fn step(&mut self, task: &T, requests: &[(SessionId, &T::Obs)]) -> Vec<T::Action>
+    where
+        T: Sync,
+        T::Obs: Sync,
+        T::Slot: Send,
+    {
+        assert!(!requests.is_empty(), "empty serving batch");
+        // Pull a distinct &mut slot per request, in request order, and
+        // reject stale generations before touching any state.
+        let mut picked = self.slots.get_distinct_mut(requests.iter().map(|&(id, _)| id.index()));
+        for (slot, &(id, _)) in picked.iter().zip(requests) {
+            assert_eq!(
+                slot.gen,
+                id.gen,
+                "stale session id: slot {} was recycled since this handle was issued",
+                id.index()
+            );
+        }
+
+        // Phases 1+2 (per band): plan each slot's token rows, then run
+        // batched backbone steps over the band. Bands are contiguous
+        // request ranges; with NT_THREADS > 1 they run on scoped worker
+        // threads — each band is an independent slice of slots (own KV
+        // caches, own episode state), and band splits never change any
+        // per-element accumulation order, so threaded and serial serving
+        // are bit-identical. Band workers register with the kernel pool
+        // (no second layer of per-matmul threads), and an engine that is
+        // *itself* inside a pool worker (a shard thread) stays serial.
         let t0 = std::time::Instant::now();
-        // Band gate: each spawned band must carry at least two slots so
-        // tiny batches never pay a thread spawn per tick, and band
-        // workers register with the kernel pool so per-matmul
-        // parallelism cannot stack a second layer of threads on top.
-        let threads = nt_tensor::pool::num_threads().min(requests.len() / 2).max(1);
-        let band_len = requests.len().div_ceil(threads);
-        let run_band = |slots: &mut [&mut AbrSlot],
-                        reqs: &[(SessionId, &AbrObservation)]|
-         -> (Tensor, Vec<usize>) {
-            let mut parts: Vec<Tensor> = Vec::with_capacity(reqs.len());
-            let mut rows = Vec::with_capacity(reqs.len());
-            for (slot, &(_, obs)) in slots.iter_mut().zip(reqs) {
-                model.settle_and_push(&mut slot.ep, obs);
-                let (tokens, reanchored) = model.step_tokens(
-                    &mut slot.ep,
-                    slot.session.len(),
-                    slot.session.fits(TOK_PER_STEP),
-                );
-                if reanchored {
-                    slot.session.clear();
-                }
-                rows.push(tokens.shape()[0]);
-                parts.push(tokens);
-            }
-            let refs: Vec<&Tensor> = parts.iter().collect();
-            let stacked = nt_tensor::concat(&refs, 0);
-            let mut sessions: Vec<&mut InferenceSession> =
-                slots.iter_mut().map(|s| &mut s.session).collect();
-            let hidden = append_batched(&model.lm, &model.store, &mut sessions, &stacked, &rows);
-            (hidden, rows)
+        let threads = if nt_tensor::pool::in_worker() {
+            1
+        } else {
+            // Each spawned band must carry at least two slots so tiny
+            // batches never pay a thread spawn per tick.
+            nt_tensor::pool::num_threads().min(requests.len() / 2).max(1)
         };
-        let bands: Vec<(Tensor, Vec<usize>)> = if threads <= 1 {
-            vec![run_band(&mut picked, requests)]
+        let band_len = requests.len().div_ceil(threads);
+        let run_band =
+            |slots: &mut [&mut EngineSlot<T>], reqs: &[(SessionId, &T::Obs)]| -> Vec<Tensor> {
+                let mut parts: Vec<Tensor> = Vec::with_capacity(reqs.len());
+                let mut rows = Vec::with_capacity(reqs.len());
+                for (slot, &(_, obs)) in slots.iter_mut().zip(reqs) {
+                    let plan = task.plan_step(&mut slot.state, obs, &slot.session);
+                    if plan.reanchor {
+                        slot.session.clear();
+                    }
+                    rows.push(plan.tokens.shape()[0]);
+                    parts.push(plan.tokens);
+                }
+                // One batched backbone step per contiguous same-group
+                // run (different groups may run different weights).
+                let mut hidden_per_slot: Vec<Tensor> = Vec::with_capacity(reqs.len());
+                let mut i = 0usize;
+                while i < slots.len() {
+                    let g = task.group_of(&slots[i].state);
+                    let mut j = i + 1;
+                    while j < slots.len() && task.group_of(&slots[j].state) == g {
+                        j += 1;
+                    }
+                    let (lm, store) = task.backbone(g);
+                    let refs: Vec<&Tensor> = parts[i..j].iter().collect();
+                    let stacked = nt_tensor::concat(&refs, 0);
+                    let mut sessions: Vec<&mut InferenceSession> =
+                        slots[i..j].iter_mut().map(|s| &mut s.session).collect();
+                    let hidden = append_batched(lm, store, &mut sessions, &stacked, &rows[i..j]);
+                    let mut row = 0usize;
+                    for &n in &rows[i..j] {
+                        hidden_per_slot.push(hidden.narrow(0, row, n));
+                        row += n;
+                    }
+                    i = j;
+                }
+                hidden_per_slot
+            };
+        let hidden: Vec<Tensor> = if threads <= 1 {
+            run_band(&mut picked, requests)
         } else {
             std::thread::scope(|sc| {
                 let handles: Vec<_> = picked
@@ -162,46 +365,55 @@ impl ServingEngine {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("serving band panicked")).collect()
+                handles.into_iter().flat_map(|h| h.join().expect("serving band panicked")).collect()
             })
-        };
-        let mut rows_per_slot = Vec::with_capacity(requests.len());
-        for (_, rows) in &bands {
-            rows_per_slot.extend_from_slice(rows);
-        }
-        let hidden = if bands.len() == 1 {
-            bands.into_iter().next().unwrap().0
-        } else {
-            let hiddens: Vec<&Tensor> = bands.iter().map(|(h, _)| h).collect();
-            nt_tensor::concat(&hiddens, 0)
         };
         self.phase_times[0] += t0.elapsed();
 
-        // Phase 3: every slot's final row is its state-closing token; one
-        // head GEMM scores all slots at once.
+        // Phase 3: task heads over each slot's new hidden rows.
         let t2 = std::time::Instant::now();
-        let mut closing_rows = Vec::with_capacity(requests.len());
-        let mut row = 0usize;
-        for &n in &rows_per_slot {
-            row += n;
-            closing_rows.push(row - 1);
-        }
-        let logits = model.head.eval(&model.store, &hidden.gather_rows(&closing_rows));
-        let rungs = logits.shape()[1];
         let mut actions = Vec::with_capacity(requests.len());
-        for (b, slot) in picked.iter_mut().enumerate() {
-            let lrow = &logits.data()[b * rungs..(b + 1) * rungs];
-            let best = lrow
-                .iter()
-                .enumerate()
-                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            slot.ep.episode.steps.last_mut().unwrap().action = best;
-            slot.last_logits = lrow.to_vec();
-            actions.push(best);
+        let mut rollbacks: Vec<Option<RollbackPlan>> = Vec::with_capacity(requests.len());
+        for ((slot, &(_, obs)), h) in picked.iter_mut().zip(requests).zip(&hidden) {
+            let out = task.settle_step(&mut slot.state, obs, h);
+            slot.last_logits = out.logits;
+            rollbacks.push(out.rollback);
+            actions.push(out.action);
         }
         self.phase_times[2] += t2.elapsed();
+
+        // Rollback pass: slots whose trailing rows are not persistent
+        // history (CJS candidates) truncate them away, then their post
+        // tokens (the chosen action) go through the backbone as one
+        // batched append per same-group run. Per-slot math is identical
+        // to the unbatched truncate-then-append — KV state is private to
+        // each slot.
+        let t1 = std::time::Instant::now();
+        let mut rb: Vec<(&mut EngineSlot<T>, Tensor)> = Vec::new();
+        for (slot, plan) in picked.iter_mut().zip(rollbacks) {
+            if let Some(RollbackPlan { drop_rows, post_tokens }) = plan {
+                let keep = slot.session.len() - drop_rows;
+                slot.session.truncate(keep);
+                rb.push((slot, post_tokens));
+            }
+        }
+        let mut i = 0usize;
+        while i < rb.len() {
+            let g = task.group_of(&rb[i].0.state);
+            let mut j = i + 1;
+            while j < rb.len() && task.group_of(&rb[j].0.state) == g {
+                j += 1;
+            }
+            let (lm, store) = task.backbone(g);
+            let refs: Vec<&Tensor> = rb[i..j].iter().map(|(_, t)| t).collect();
+            let stacked = nt_tensor::concat(&refs, 0);
+            let rows: Vec<usize> = rb[i..j].iter().map(|(_, t)| t.shape()[0]).collect();
+            let mut sessions: Vec<&mut InferenceSession> =
+                rb[i..j].iter_mut().map(|(s, _)| &mut s.session).collect();
+            let _ = append_batched(lm, store, &mut sessions, &stacked, &rows);
+            i = j;
+        }
+        self.phase_times[1] += t1.elapsed();
         actions
     }
 }
@@ -210,7 +422,8 @@ impl ServingEngine {
 mod tests {
     use super::*;
     use crate::adapt::{AdaptMode, LoraSpec};
-    use nt_abr::AbrPolicy;
+    use crate::NetLlmAbr;
+    use nt_abr::{AbrObservation, AbrPolicy};
     use nt_llm::{size_spec, Zoo};
 
     fn model(window: usize, seed: u64) -> NetLlmAbr {
@@ -287,7 +500,7 @@ mod tests {
         let a = engine.join(&m);
         let b = engine.join(&m);
         let c = engine.join(&m);
-        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!((a.index(), b.index(), c.index()), (0, 1, 2));
         let obs = obs_stream(7, 6);
 
         // Advance all three, then drop a and c mid-flight.
@@ -297,7 +510,8 @@ mod tests {
         engine.leave(c);
         assert_eq!(engine.active(), 1);
         let d = engine.join(&m);
-        assert_eq!(d, 0, "smallest freed id is recycled");
+        assert_eq!(d.index(), 0, "smallest freed index is recycled");
+        assert_ne!(d, a, "recycled index carries a fresh generation");
 
         // The survivor must continue exactly like a sequential rollout.
         let mut expected: Vec<usize> = Vec::new();
@@ -309,6 +523,22 @@ mod tests {
             let got = engine.step(&m, &[(b, o), (d, &obs[i - 2])]);
             assert_eq!(got[0], expected[i], "survivor diverged after leave/join at chunk {i}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session id")]
+    fn stale_id_cannot_read_recycled_slots_logits() {
+        // A handle kept across leave/join recycle must not silently read
+        // the new occupant's logits — the generation check rejects it.
+        let m = model(4, 44);
+        let mut engine = ServingEngine::new();
+        let a = engine.join(&m);
+        let obs = obs_stream(11, 2);
+        let _ = engine.step(&m, &[(a, &obs[0])]);
+        engine.leave(a);
+        let b = engine.join(&m); // recycles index 0 under a new generation
+        let _ = engine.step(&m, &[(b, &obs[1])]);
+        let _ = engine.last_logits(a); // must panic, not alias b's slot
     }
 
     #[test]

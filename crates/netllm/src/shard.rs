@@ -1,0 +1,364 @@
+//! Sharded serving: one logical fleet over K independent engines.
+//!
+//! A [`ShardedServer`] fronts K [`ServingEngine`] shards with a
+//! session-hash router: every admission draws a global session id, whose
+//! FNV-1a hash picks the home shard, so the fleet spreads uniformly
+//! without coordination and a session's shard is computable from its id
+//! alone. Each shard is a complete engine — own slots, own KV caches, own
+//! batched steps — so the shard boundary is clean: nothing is shared
+//! between shards but the (read-only) model weights.
+//!
+//! ```text
+//!              ┌─ hash(id) ─► shard 0: ServingEngine ── slots ──┐
+//!  requests ──►│             shard 1: ServingEngine ── slots ──┼─► actions
+//!   (id, obs)  └─ router  ─► shard K: ServingEngine ── slots ──┘
+//!                             (NT_THREADS: one worker per shard)
+//! ```
+//!
+//! Today shards are per-core: [`ShardedServer::step`] fans each tick's
+//! requests out to their home shards on scoped worker threads
+//! (`NT_THREADS`-capped, pool-registered so per-matmul and band
+//! parallelism never stack a second thread layer underneath). The same
+//! router/route-table design extends to per-process and per-host shards
+//! later — the route table already treats a shard as just an index.
+//!
+//! Sessions can be *steered*: [`ShardedServer::steer`] parks a session
+//! (KV cache + episode state travel wholesale) and re-admits it on
+//! another shard, updating the route table — per-session math is
+//! untouched, so served answers stay bit-identical across migrations.
+//! [`ShardedServer::leave`] applies a rebalance-on-leave policy: when
+//! departures skew the fleet (max−min active sessions ≥ 2), the
+//! lowest-id session of the fullest shard is steered to the emptiest, so
+//! long-lived fleets stay balanced without a background rebalancer.
+
+use crate::serving::{ServedTask, ServingEngine, SessionId};
+use std::collections::BTreeMap;
+
+/// Fleet-wide session handle issued by [`ShardedServer::join`].
+pub type GlobalSessionId = u64;
+
+/// FNV-1a over the id bytes: cheap, deterministic, and uncorrelated with
+/// sequential id assignment (so consecutive joins spread across shards).
+fn fnv1a(id: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in id.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// K independent [`ServingEngine`] shards behind a session-hash router.
+pub struct ShardedServer<T: ServedTask> {
+    shards: Vec<ServingEngine<T>>,
+    /// Global id -> (shard, local id). A `BTreeMap` keeps every fleet
+    /// walk (rebalance victim selection, accounting) deterministic.
+    routes: BTreeMap<GlobalSessionId, (usize, SessionId)>,
+    next_id: GlobalSessionId,
+}
+
+impl<T: ServedTask> ShardedServer<T> {
+    /// A fleet of `num_shards` empty engines.
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "a fleet needs at least one shard");
+        ShardedServer {
+            shards: (0..num_shards).map(|_| ServingEngine::new()).collect(),
+            routes: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Shard count.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard the router assigns to `id`.
+    pub fn home_shard(&self, id: GlobalSessionId) -> usize {
+        (fnv1a(id) % self.shards.len() as u64) as usize
+    }
+
+    /// Admit a session on backbone group 0 (homogeneous tasks).
+    pub fn join(&mut self, task: &T) -> GlobalSessionId {
+        self.join_group(task, 0)
+    }
+
+    /// Admit a session on backbone `group`; the router hashes the new
+    /// global id to pick its shard.
+    pub fn join_group(&mut self, task: &T, group: usize) -> GlobalSessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let shard = self.home_shard(id);
+        let local = self.shards[shard].join_group(task, group);
+        self.routes.insert(id, (shard, local));
+        id
+    }
+
+    /// Remove a session, then rebalance: while departures leave the
+    /// fullest shard ≥ 2 sessions above the emptiest, steer the fullest
+    /// shard's lowest-id session over.
+    pub fn leave(&mut self, id: GlobalSessionId) {
+        let (shard, local) = self.routes.remove(&id).expect("unknown session id");
+        self.shards[shard].leave(local);
+        while self.rebalance_once() {}
+    }
+
+    /// One rebalance move, if the fleet is skewed. Returns whether a
+    /// session moved.
+    fn rebalance_once(&mut self) -> bool {
+        let (mut min_s, mut min_a) = (0usize, usize::MAX);
+        let (mut max_s, mut max_a) = (0usize, 0usize);
+        for (s, e) in self.shards.iter().enumerate() {
+            let a = e.active();
+            if a < min_a {
+                (min_s, min_a) = (s, a);
+            }
+            if a > max_a {
+                (max_s, max_a) = (s, a);
+            }
+        }
+        if max_a < min_a + 2 {
+            return false;
+        }
+        let victim = self
+            .routes
+            .iter()
+            .find(|(_, &(s, _))| s == max_s)
+            .map(|(&id, _)| id)
+            .expect("fullest shard has routed sessions");
+        self.steer(victim, min_s);
+        true
+    }
+
+    /// Migrate a session to `dest` shard: its KV cache and episode state
+    /// move wholesale, so subsequent answers are bit-identical to never
+    /// having moved. No-op when already home.
+    pub fn steer(&mut self, id: GlobalSessionId, dest: usize) {
+        assert!(dest < self.shards.len(), "shard {dest} out of range");
+        let &(src, local) = self.routes.get(&id).expect("unknown session id");
+        if src == dest {
+            return;
+        }
+        let parked = self.shards[src].park(local);
+        let new_local = self.shards[dest].admit(parked);
+        self.routes.insert(id, (dest, new_local));
+    }
+
+    /// Live sessions across the fleet.
+    pub fn active(&self) -> usize {
+        self.shards.iter().map(ServingEngine::active).sum()
+    }
+
+    /// Live sessions per shard (the rebalance policy's balance view).
+    pub fn active_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(ServingEngine::active).collect()
+    }
+
+    /// KV bytes held across the fleet.
+    pub fn cache_bytes(&self) -> usize {
+        self.shards.iter().map(ServingEngine::cache_bytes).sum()
+    }
+
+    /// KV bytes per shard — the accounting a cache-aware admission policy
+    /// (ROADMAP) will steer on.
+    pub fn cache_bytes_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(ServingEngine::cache_bytes).collect()
+    }
+
+    /// Head outputs of `id`'s most recent step.
+    pub fn last_logits(&self, id: GlobalSessionId) -> &[f32] {
+        let &(shard, local) = self.routes.get(&id).expect("unknown session id");
+        self.shards[shard].last_logits(local)
+    }
+
+    /// Serve one tick across the fleet: requests are routed to their home
+    /// shards, each shard runs one batched [`ServingEngine::step`], and
+    /// the answers come back in request order. With `NT_THREADS > 1` the
+    /// shards step on scoped worker threads — shard state is fully
+    /// disjoint and per-slot math is independent of the fan-out, so
+    /// sharded and single-shard serving produce identical logits.
+    pub fn step(&mut self, task: &T, requests: &[(GlobalSessionId, &T::Obs)]) -> Vec<T::Action>
+    where
+        T: Sync,
+        T::Obs: Sync,
+        T::Slot: Send,
+        T::Action: Send,
+    {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Partition into per-shard batches, remembering each request's
+        // (shard, position) so answers reassemble in request order.
+        let k = self.shards.len();
+        let mut per: Vec<Vec<(SessionId, &T::Obs)>> = (0..k).map(|_| Vec::new()).collect();
+        let mut placement = Vec::with_capacity(requests.len());
+        for &(id, obs) in requests {
+            let &(shard, local) = self.routes.get(&id).expect("unknown session id");
+            placement.push(shard);
+            per[shard].push((local, obs));
+        }
+
+        // Only shards with requests do work this tick; NT_THREADS caps the
+        // spawned workers, with contiguous bands of shards per worker (a
+        // fleet of 16 shards on 2 workers spawns 2 threads, not 16).
+        #[allow(clippy::type_complexity)]
+        let mut busy: Vec<(usize, &mut ServingEngine<T>, &[(SessionId, &T::Obs)])> = self
+            .shards
+            .iter_mut()
+            .zip(&per)
+            .enumerate()
+            .filter(|(_, (_, b))| !b.is_empty())
+            .map(|(s, (e, b))| (s, e, b.as_slice()))
+            .collect();
+        let threads = if nt_tensor::pool::in_worker() {
+            1
+        } else {
+            nt_tensor::pool::num_threads().min(busy.len())
+        };
+        let mut results: Vec<Option<Vec<T::Action>>> = (0..k).map(|_| None).collect();
+        if threads <= 1 {
+            for (s, e, b) in busy {
+                results[s] = Some(e.step(task, b));
+            }
+        } else {
+            let band_len = busy.len().div_ceil(threads);
+            std::thread::scope(|sc| {
+                let handles: Vec<_> = busy
+                    .chunks_mut(band_len)
+                    .map(|band| {
+                        sc.spawn(move || {
+                            let _guard = nt_tensor::pool::enter_worker();
+                            band.iter_mut()
+                                .map(|(s, e, b)| (*s, e.step(task, b)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (s, r) in h.join().expect("shard step panicked") {
+                        results[s] = Some(r);
+                    }
+                }
+            });
+        }
+
+        // Reassemble: within a shard, answers are in that shard's request
+        // order, which preserves the caller's relative order.
+        let mut cursors: Vec<std::vec::IntoIter<T::Action>> =
+            results.into_iter().map(|r| r.unwrap_or_default().into_iter()).collect();
+        placement
+            .into_iter()
+            .map(|shard| cursors[shard].next().expect("shard returned too few actions"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::{AdaptMode, LoraSpec};
+    use crate::NetLlmAbr;
+    use nt_abr::{AbrObservation, AbrPolicy};
+    use nt_llm::{size_spec, Zoo};
+
+    fn model(window: usize, seed: u64) -> NetLlmAbr {
+        let loaded = Zoo::new(std::env::temp_dir().join("netllm-shard-test"))
+            .build_random(&size_spec("0.35b-sim"));
+        let mut m = NetLlmAbr::new(loaded, AdaptMode::NoDomain, LoraSpec::default(), window, seed);
+        m.target_return = 2.0;
+        m
+    }
+
+    #[test]
+    fn router_spreads_sessions_and_accounts_per_shard() {
+        let m = model(4, 1);
+        let mut server = ShardedServer::new(3);
+        let ids: Vec<_> = (0..9).map(|_| server.join(&m)).collect();
+        assert_eq!(server.active(), 9);
+        // The hash router must touch every shard with 9 sequential ids.
+        let per = server.active_per_shard();
+        assert_eq!(per.iter().sum::<usize>(), 9);
+        assert!(per.iter().all(|&a| a > 0), "router left a shard empty: {per:?}");
+        // Sessions land where the hash says they do.
+        for &id in &ids {
+            assert_eq!(server.routes[&id].0, server.home_shard(id));
+        }
+        // Cache accounting is per shard and starts empty.
+        assert_eq!(server.cache_bytes(), 0);
+        let obs = AbrObservation::synthetic_stream(3, 1);
+        let reqs: Vec<_> = ids.iter().map(|&id| (id, &obs[0])).collect();
+        let _ = server.step(&m, &reqs);
+        let bytes = server.cache_bytes_per_shard();
+        assert_eq!(bytes.iter().sum::<usize>(), server.cache_bytes());
+        assert!(bytes.iter().all(|&b| b > 0), "every busy shard holds KV bytes: {bytes:?}");
+    }
+
+    #[test]
+    fn ticks_with_idle_shards_only_step_busy_engines() {
+        // A fleet larger than the request set must serve correctly (and
+        // answer in request order) when most shards have nothing to do.
+        let mut m = model(3, 7);
+        let mut server = ShardedServer::new(8);
+        let a = server.join(&m);
+        let b = server.join(&m);
+        let obs = AbrObservation::synthetic_stream(5, 4);
+
+        let mut expected: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..2 {
+            m.reset();
+            expected.push(obs.iter().map(|o| m.select(o)).collect());
+        }
+        for (t, o) in obs.iter().enumerate() {
+            let got = server.step(&m, &[(a, o), (b, o)]);
+            assert_eq!(got, vec![expected[0][t], expected[1][t]], "tick {t} diverged");
+        }
+    }
+
+    #[test]
+    fn steer_and_rebalance_preserve_session_answers() {
+        // A session's decisions must be identical whether it stays home,
+        // is steered mid-stream, or is dragged along by rebalance-on-leave.
+        let mut m = model(3, 2);
+        let streams: Vec<Vec<AbrObservation>> =
+            (0..5).map(|s| AbrObservation::synthetic_stream(40 + s as u64, 8)).collect();
+
+        // Reference: each stream alone through the unbatched path.
+        let mut expected: Vec<Vec<(usize, Vec<f32>)>> = Vec::new();
+        for obs in &streams {
+            m.reset();
+            expected.push(obs.iter().map(|o| (m.select(o), m.last_logits().to_vec())).collect());
+        }
+
+        let mut server = ShardedServer::new(2);
+        let ids: Vec<_> = (0..streams.len()).map(|_| server.join(&m)).collect();
+        for chunk in 0..streams[0].len() {
+            // Mid-stream churn: steer stream 0 back and forth, and drop
+            // stream 4 so rebalance-on-leave has something to fix.
+            if chunk == 2 {
+                server.steer(ids[0], 1 - server.home_shard(ids[0]));
+            }
+            if chunk == 4 {
+                server.leave(ids[4]);
+                let per = server.active_per_shard();
+                assert!(
+                    per.iter().max().unwrap() - per.iter().min().unwrap() <= 1,
+                    "rebalance-on-leave left the fleet skewed: {per:?}"
+                );
+            }
+            let live = if chunk >= 4 { &ids[..4] } else { &ids[..] };
+            let reqs: Vec<_> =
+                live.iter().enumerate().map(|(s, &id)| (id, &streams[s][chunk])).collect();
+            let actions = server.step(&m, &reqs);
+            for (s, (&id, act)) in live.iter().zip(actions).enumerate() {
+                let (eact, elogits) = &expected[s][chunk];
+                assert_eq!(act, *eact, "stream {s} chunk {chunk}: sharded action diverged");
+                for (x, y) in server.last_logits(id).iter().zip(elogits) {
+                    assert!(
+                        (x - y).abs() < 1e-5,
+                        "stream {s} chunk {chunk}: sharded {x} vs unbatched {y}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -29,7 +29,7 @@ fn threaded_bands_match_sequential_rollouts() {
     let ids: Vec<_> = (0..batch).map(|_| engine.join(&m)).collect();
     let mut batched: Vec<Vec<(usize, Vec<f32>)>> = vec![Vec::new(); batch];
     for c in 0..chunks {
-        let reqs: Vec<_> = ids.iter().map(|&id| (id, &streams[id][c])).collect();
+        let reqs: Vec<_> = ids.iter().enumerate().map(|(s, &id)| (id, &streams[s][c])).collect();
         let actions = engine.step(&m, &reqs);
         for (s, act) in actions.into_iter().enumerate() {
             batched[s].push((act, engine.last_logits(ids[s]).to_vec()));

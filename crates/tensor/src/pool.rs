@@ -58,6 +58,14 @@ pub fn num_threads() -> usize {
     })
 }
 
+/// True on a pool worker thread (spawned by this pool or registered via
+/// [`enter_worker`]). Higher-level scoped parallelism — serving bands,
+/// shard fan-out — checks this before spawning its own workers, so nested
+/// parallel layers never oversubscribe the machine.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
 /// Whether a kernel of roughly `flops` multiply-accumulates is worth a
 /// scoped spawn. Thread startup costs tens of microseconds; anything under
 /// a few million MACs finishes faster serially. Always false on a pool
