@@ -1,7 +1,7 @@
 //! Regenerate every evaluation figure of the NetLLM paper.
 //!
 //! ```text
-//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3]
+//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4]
 //!                                                  [--fidelity smoke|default|paper]
 //! ```
 //!
@@ -13,7 +13,10 @@
 //! throughput snapshot (single-stream vs batched decode, speedup vs the
 //! PR 1 kernels); `--fig bench3` regenerates `reports/BENCH_3.json`, the
 //! PR 3 sharded-serving snapshot (ABR and CJS fleets across shard
-//! counts, with per-shard KV accounting). Together they track the perf
+//! counts, with per-shard KV accounting); `--fig bench4` regenerates
+//! `reports/BENCH_4.json`, the PR 4 continuous-batching snapshot (queued
+//! submit/tick/poll vs lockstep aggregate throughput at batch 16/64, with
+//! `CacheAware` per-shard KV budgets). Together they track the perf
 //! trajectory across PRs.
 
 use netllm::{
@@ -82,6 +85,9 @@ fn main() {
     }
     if fig == "bench3" {
         bench3();
+    }
+    if fig == "bench4" {
+        bench4();
     }
     println!("\nall requested figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -1100,6 +1106,140 @@ fn bench3() {
         ),
     );
     let path = write_report("BENCH_3", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_4: continuous-batching snapshot (PR 4 — queued vs lockstep serving)
+// ---------------------------------------------------------------------------
+
+/// Queued (`submit`/`tick`/`poll` under `CacheAware`) vs lockstep
+/// (`step`) aggregate throughput over the same ABR fleet at batch 16 and
+/// 64, plus the per-shard KV accounting the budget steering maintains.
+/// The enforced gate lives in `tests/continuous_batching.rs`; this bin
+/// snapshots the trajectory.
+#[allow(clippy::needless_range_loop)]
+fn bench4() {
+    use netllm::{AdaptMode, AdmissionPolicy, LoraSpec, NetLlmAbr, ShardedServer};
+    use nt_abr::AbrObservation;
+    use nt_llm::Zoo;
+
+    println!("\n[bench4] continuous batching snapshot");
+    let zoo = Zoo::new(std::env::temp_dir().join("bench4-zoo"));
+    let shards = 4usize;
+    let ticks = 12usize;
+    let tok_per_decision = 6.0; // rtg/thr/delay/sizes/buffer + action
+    let workers = nt_tensor::pool::num_threads();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut m = NetLlmAbr::new(
+        zoo.build_random(&size_spec("7b-sim")),
+        AdaptMode::NoDomain,
+        LoraSpec::default(),
+        8,
+        7,
+    );
+    m.target_return = 2.0;
+
+    let mut rows = Vec::new();
+    let mut report = serde_json::Map::new();
+    report.insert("environment".into(), json!({"hardware_threads": hw, "pool_workers": workers}));
+    for &batch in &[16usize, 64] {
+        let streams: Vec<Vec<AbrObservation>> =
+            (0..batch).map(|s| AbrObservation::synthetic_stream(4000 + s as u64, ticks)).collect();
+
+        // Lockstep reference (PR 3 path) — also sizes the KV budget.
+        let mut lockstep = f64::MAX;
+        let mut total_bytes = 0usize;
+        for _ in 0..3 {
+            let mut server = ShardedServer::new(shards);
+            let ids: Vec<_> = (0..batch).map(|_| server.join(&m)).collect();
+            let t = Instant::now();
+            for c in 0..ticks {
+                let reqs: Vec<_> =
+                    ids.iter().enumerate().map(|(s, &id)| (id, &streams[s][c])).collect();
+                let _ = server.step(&m, &reqs);
+            }
+            lockstep = lockstep.min(t.elapsed().as_secs_f64());
+            total_bytes = server.cache_bytes();
+        }
+        // 1.5x a perfectly balanced shard at end-of-run size (the gate's
+        // sizing): feasible throughout, tight enough to keep steering live.
+        let budget = total_bytes / shards * 3 / 2;
+
+        // Queued path under CacheAware.
+        let mut queued = f64::MAX;
+        let mut cache = (Vec::new(), 0usize);
+        let mut steers = 0usize;
+        for _ in 0..3 {
+            let mut server = ShardedServer::with_policy(
+                shards,
+                AdmissionPolicy::CacheAware { budget_bytes: budget },
+            );
+            let ids: Vec<_> = (0..batch).map(|_| server.join(&m)).collect();
+            steers = 0;
+            let t = Instant::now();
+            for c in 0..ticks {
+                let tickets: Vec<_> = ids
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &id)| server.submit(id, streams[s][c].clone()).unwrap())
+                    .collect();
+                let rep = server.tick(&m);
+                steers += rep.steered.len();
+                for ticket in tickets {
+                    let _ = server.poll(ticket).expect("ticket resolves after its tick");
+                }
+            }
+            queued = queued.min(t.elapsed().as_secs_f64());
+            cache = (server.cache_bytes_per_shard(), server.cache_bytes());
+        }
+
+        let decisions = (batch * ticks) as f64;
+        let l_dps = decisions / lockstep;
+        let q_dps = decisions / queued;
+        let over = cache.0.iter().filter(|&&b| b > budget).count();
+        rows.push(vec![
+            format!("B={batch}"),
+            format!("{:.0} ({:.0} tok/s)", l_dps, l_dps * tok_per_decision),
+            format!("{:.0} ({:.0} tok/s)", q_dps, q_dps * tok_per_decision),
+            format!("{:.2}x", q_dps / l_dps),
+            format!("{}", steers),
+            format!("{:?} <= {} ({} over)", cache.0, budget, over),
+        ]);
+        report.insert(
+            format!("batch_{batch}"),
+            json!({
+                "lockstep_decisions_per_s": l_dps,
+                "lockstep_tokens_per_s": l_dps * tok_per_decision,
+                "queued_decisions_per_s": q_dps,
+                "queued_tokens_per_s": q_dps * tok_per_decision,
+                "queued_vs_lockstep": q_dps / l_dps,
+                "kv_budget_bytes_per_shard": budget,
+                "cache_bytes_per_shard": cache.0,
+                "cache_bytes_total": cache.1,
+                "shards_over_budget": over,
+                "steers": steers,
+                "shards": shards,
+                "ticks": ticks,
+            }),
+        );
+    }
+    print_table(
+        "BENCH_4: queued vs lockstep ABR serving (7b-sim, K=4, CacheAware)",
+        &["batch", "lockstep dec/s", "queued dec/s", "ratio", "steers", "per-shard KV B"],
+        &rows,
+    );
+    report.insert(
+        "note".into(),
+        json!(
+            "queued (submit/tick/poll, CacheAware budget steering) and lockstep \
+             (step) serving run identical per-slot math — gated at 1e-5 in \
+             tests/continuous_batching.rs; the ratio measures scheduler overhead \
+             plus any placement effect on band/shard parallelism"
+        ),
+    );
+    let path = write_report("BENCH_4", &serde_json::Value::Object(report)).unwrap();
     println!("wrote {}", path.display());
 }
 

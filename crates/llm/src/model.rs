@@ -185,6 +185,12 @@ impl<T> SlotMap<T> {
         self.slots.iter().flatten()
     }
 
+    /// Iterate over live slots with their stable ids — the enumeration an
+    /// eviction policy walks to pick a victim (coldest, heaviest, …).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+    }
+
     /// Distinct `&mut` per requested id, in request order. Panics when an
     /// id is not live or appears twice — the invariant a batched step
     /// relies on.
@@ -270,6 +276,21 @@ impl BatchedDecodeSession {
     /// Bytes held by every active slot's KV cache.
     pub fn bytes(&self) -> usize {
         self.slots.iter().map(|s| s.cache.bytes()).sum()
+    }
+
+    /// Bytes held by one slot's KV cache — the per-slot accounting a
+    /// cache-aware admission/eviction policy steers on.
+    pub fn bytes_of(&self, slot: usize) -> usize {
+        self.slots.get(slot).cache.bytes()
+    }
+
+    /// The slot holding the most KV bytes, `(slot, bytes)` — the victim a
+    /// memory-pressure eviction hook picks when a budget is crossed.
+    pub fn heaviest(&self) -> Option<(usize, usize)> {
+        self.slots
+            .iter_entries()
+            .map(|(i, s)| (i, s.cache.bytes()))
+            .max_by_key(|&(i, b)| (b, usize::MAX - i))
     }
 }
 
@@ -661,6 +682,35 @@ mod tests {
         for (a, b) in v1.data().iter().zip(v2.data()) {
             assert!((a - b).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn eviction_hooks_enumerate_slots_and_pick_the_heaviest() {
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let mut batched = BatchedDecodeSession::new();
+        let a = batched.join(&lm);
+        let b = batched.join(&lm);
+        let c = batched.join(&lm);
+        assert_eq!(batched.heaviest(), Some((0, 0)), "byte ties resolve to the lowest slot id");
+        // Grow b's cache past a's; leave c empty.
+        let _ = lm.next_token_logits_batched(
+            &s,
+            &[(a, &[1usize, 2][..]), (b, &[3, 4, 5, 6][..])],
+            &mut batched,
+        );
+        assert_eq!(batched.bytes_of(c), 0);
+        assert!(batched.bytes_of(b) > batched.bytes_of(a));
+        let (slot, bytes) = batched.heaviest().expect("three live slots");
+        assert_eq!((slot, bytes), (b, batched.bytes_of(b)));
+        assert_eq!(
+            batched.bytes_of(a) + batched.bytes_of(b) + batched.bytes_of(c),
+            batched.bytes()
+        );
+        // iter_entries walks live slots with their stable ids.
+        batched.leave(a);
+        let ids: Vec<usize> = batched.slots.iter_entries().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![b, c]);
     }
 
     #[test]

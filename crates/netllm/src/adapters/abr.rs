@@ -453,6 +453,10 @@ impl ServedTask for NetLlmAbr {
         (&self.lm, &self.store)
     }
 
+    fn task_label(&self, _group: usize) -> &'static str {
+        "abr"
+    }
+
     fn new_slot(&self, _group: usize) -> AbrEpisode {
         AbrEpisode::fresh(self.target_return)
     }

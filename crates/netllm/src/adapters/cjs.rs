@@ -368,6 +368,10 @@ impl ServedTask for NetLlmCjs {
         (&self.lm, &self.store)
     }
 
+    fn task_label(&self, _group: usize) -> &'static str {
+        "cjs"
+    }
+
     fn new_slot(&self, _group: usize) -> CjsEpisode {
         CjsEpisode::fresh(self.target_return)
     }

@@ -234,6 +234,10 @@ impl ServedTask for NetLlmVp {
         (&self.lm, &self.store)
     }
 
+    fn task_label(&self, _group: usize) -> &'static str {
+        "vp"
+    }
+
     fn new_slot(&self, _group: usize) -> VpSlot {
         VpSlot
     }

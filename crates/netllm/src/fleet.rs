@@ -47,6 +47,24 @@ pub enum FleetObs {
     Vp(VpQuery),
 }
 
+impl From<nt_abr::AbrObservation> for FleetObs {
+    fn from(o: nt_abr::AbrObservation) -> Self {
+        FleetObs::Abr(o)
+    }
+}
+
+impl From<CjsObs> for FleetObs {
+    fn from(o: CjsObs) -> Self {
+        FleetObs::Cjs(o)
+    }
+}
+
+impl From<VpQuery> for FleetObs {
+    fn from(o: VpQuery) -> Self {
+        FleetObs::Vp(o)
+    }
+}
+
 /// Per-session state of one fleet member.
 pub enum FleetSlot {
     Abr(AbrEpisode),
@@ -102,6 +120,15 @@ impl ServedTask for NetLlmFleet<'_> {
             FLEET_ABR => ServedTask::backbone(self.abr, 0),
             FLEET_CJS => ServedTask::backbone(self.cjs, 0),
             FLEET_VP => ServedTask::backbone(self.vp, 0),
+            other => panic!("fleet has no group {other}"),
+        }
+    }
+
+    fn task_label(&self, group: usize) -> &'static str {
+        match group {
+            FLEET_ABR => self.abr.task_label(0),
+            FLEET_CJS => self.cjs.task_label(0),
+            FLEET_VP => self.vp.task_label(0),
             other => panic!("fleet has no group {other}"),
         }
     }

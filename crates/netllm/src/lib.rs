@@ -16,10 +16,13 @@
 //! [`prompt`] implements the *alternatives* the paper measures against
 //! (prompt learning + token decoding, Fig 2). [`api`] exposes the Fig 9
 //! `RL_Collect`/`Adapt`/`Test` integration surface. [`settings`] encodes
-//! Tables 2–4 and the fidelity ladder. [`serving`], [`shard`] and
-//! [`fleet`] are the serving stack: an adapter-generic batched engine
-//! ([`ServedTask`]), a session-hash-sharded fleet ([`ShardedServer`]),
-//! and the heterogeneous ABR+CJS+VP mix ([`NetLlmFleet`]).
+//! Tables 2–4 and the fidelity ladder. [`serving`], [`sched`], [`shard`]
+//! and [`fleet`] are the serving stack: an adapter-generic batched engine
+//! ([`ServedTask`]), an async admission queue with pluggable placement
+//! policies ([`AdmissionQueue`], [`AdmissionPolicy`]), a sharded fleet
+//! with lockstep and continuous (submit/tick/poll) front ends
+//! ([`ShardedServer`]), and the heterogeneous ABR+CJS+VP mix
+//! ([`NetLlmFleet`]).
 //!
 //! The backbone is the in-repo pre-trained [`nt_llm::TinyLm`] — see
 //! `DESIGN.md` for the substitution argument (repro band: candle/burn are
@@ -36,6 +39,7 @@ pub mod fleet;
 pub mod heads;
 pub mod multimodal;
 pub mod prompt;
+pub mod sched;
 pub mod serving;
 pub mod settings;
 pub mod shard;
@@ -54,6 +58,7 @@ pub use heads::{AbrHead, CjsHeads, VpHead};
 pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
 };
+pub use sched::{AdmissionPolicy, AdmissionQueue, Arrival, TickReport, Ticket};
 pub use serving::{
     ParkedSlot, RollbackPlan, ServedTask, ServingEngine, SessionId, StepOutcome, StepPlan,
 };

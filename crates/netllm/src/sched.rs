@@ -1,0 +1,360 @@
+//! Async admission queue + tick scheduling policies for continuous
+//! batching.
+//!
+//! PR 3's fleet was lockstep: callers orchestrated every tick, handing
+//! [`crate::ShardedServer::step`] a fully-formed batch, so an observation
+//! arriving mid-tick waited a whole batch cycle and every session had to
+//! be joined before stepping. This module is the queuing discipline that
+//! removes the lockstep: arrivals enqueue *asynchronously* into per-shard
+//! [`AdmissionQueue`]s (stamped with a logical arrival clock and tagged
+//! with their adapter group), and each shard drains its queue at tick
+//! boundaries — at most one arrival per session per tick, FIFO within a
+//! session — so sessions join, answer and leave mid-stream while the
+//! engine still gets dense batched steps.
+//!
+//! ```text
+//!  submit(obs) ──► Ticket ─┐   per-shard queues     tick boundary
+//!  submit(obs) ──► Ticket ─┤  ┌────────────────┐  drain ≤1/session
+//!      ...                 ├─►│ q0 │ q1 │ … │qK ├──────► ServingEngine::step
+//!  poll(Ticket) ◄─ actions ┘  └────────────────┘        per busy shard
+//! ```
+//!
+//! Placement is pluggable via [`AdmissionPolicy`]: `HashRoute` keeps the
+//! PR 3 FNV-1a session-hash behaviour, `LeastLoaded` admits to the shard
+//! with the fewest live slots, and `CacheAware` admits to the shard
+//! holding the fewest KV bytes *and* steers load off any shard whose KV
+//! bytes cross a configurable budget (the tick scheduler migrates the
+//! coldest — least-recently-served — session to the lightest shard).
+//! Every policy is a pure function of the fleet view, so placement is
+//! deterministic and unit-testable without a model.
+//!
+//! The scheduler lives in [`crate::ShardedServer`] (`submit`/`tick`/
+//! `poll`); this module owns the data structures and the placement math.
+
+use std::collections::VecDeque;
+
+/// Fleet-wide session handle (mirrors `shard::GlobalSessionId`; duplicated
+/// here as a plain alias so the queue stays free of engine types).
+pub type SessionKey = u64;
+
+/// Handle for one submitted observation: redeem it with
+/// [`crate::ShardedServer::poll`] once the scheduler has served the tick
+/// that answered it. Tickets are issued in submission order and are never
+/// reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Ticket(pub u64);
+
+/// One queued observation: who asked, when it arrived (logical clock),
+/// which backbone group (adapter tag) will serve it, and the observation
+/// itself.
+#[derive(Debug)]
+pub struct Arrival<O> {
+    /// The ticket the submitter holds.
+    pub ticket: Ticket,
+    /// The session this observation advances.
+    pub session: SessionKey,
+    /// Backbone group of the session — the adapter tag
+    /// ([`crate::ServedTask::task_label`] renders it for reports).
+    pub group: usize,
+    /// The observation to serve.
+    pub obs: O,
+}
+
+impl<O> Arrival<O> {
+    /// Logical arrival stamp: tickets are issued in submission order, so
+    /// the ticket sequence *is* the fleet-wide monotonic arrival clock.
+    pub fn stamp(&self) -> u64 {
+        self.ticket.0
+    }
+}
+
+/// Bounded FIFO of pending observations for one shard.
+///
+/// Invariants (property-tested in `tests/admission_queue.rs`):
+/// - no ticket is lost or double-served: every pushed arrival leaves the
+///   queue exactly once, via [`AdmissionQueue::drain_tick`] or
+///   [`AdmissionQueue::remove_session`];
+/// - FIFO within a session: a session's arrivals drain in push order
+///   (drains take at most one arrival per session, so a backlogged
+///   session advances one decision per tick, in order);
+/// - backpressure on admission: [`AdmissionQueue::push`] refuses
+///   (returning the arrival to the caller) instead of growing past the
+///   cap, so submissions never push `len()` beyond `capacity()`. The one
+///   sanctioned exception is [`AdmissionQueue::requeue`] — a steering
+///   migration must never drop an already-ticketed arrival, so a move
+///   onto a full queue may transiently exceed the cap (drained back down
+///   at the following ticks; new `push`es stay refused meanwhile).
+pub struct AdmissionQueue<O> {
+    entries: VecDeque<Arrival<O>>,
+    cap: usize,
+}
+
+impl<O> AdmissionQueue<O> {
+    /// Empty queue refusing pushes beyond `cap` pending arrivals.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1, "a queue needs capacity for at least one arrival");
+        AdmissionQueue { entries: VecDeque::new(), cap }
+    }
+
+    /// Pending arrivals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Backpressure cap.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Enqueue an arrival; at the cap the arrival comes back as `Err` so
+    /// the caller can retry after a tick (backpressure, not silent drop).
+    pub fn push(&mut self, arrival: Arrival<O>) -> Result<(), Arrival<O>> {
+        if self.entries.len() >= self.cap {
+            return Err(arrival);
+        }
+        self.entries.push_back(arrival);
+        Ok(())
+    }
+
+    /// Re-enqueue an arrival that already holds a ticket (steering moves
+    /// queued arrivals between shards; a move must never drop a ticket,
+    /// so it bypasses the cap).
+    pub fn requeue(&mut self, arrival: Arrival<O>) {
+        self.entries.push_back(arrival);
+    }
+
+    /// Drain one tick's batch: arrivals in FIFO order, skipping (keeping
+    /// queued) any session already taken this drain — a session advances
+    /// at most one decision per tick, so within-session order is
+    /// preserved and a batched engine step never sees a duplicate slot.
+    pub fn drain_tick(&mut self) -> Vec<Arrival<O>> {
+        let mut taken: std::collections::BTreeSet<SessionKey> = std::collections::BTreeSet::new();
+        let mut batch = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.entries.len());
+        for a in self.entries.drain(..) {
+            if taken.insert(a.session) {
+                batch.push(a);
+            } else {
+                kept.push_back(a);
+            }
+        }
+        self.entries = kept;
+        batch
+    }
+
+    /// Remove (and return) every pending arrival of `session`, in FIFO
+    /// order — steering moves them to the destination shard's queue;
+    /// leave drops them (their tickets never resolve).
+    pub fn remove_session(&mut self, session: SessionKey) -> Vec<Arrival<O>> {
+        let mut removed = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.entries.len());
+        for a in self.entries.drain(..) {
+            if a.session == session {
+                removed.push(a);
+            } else {
+                kept.push_back(a);
+            }
+        }
+        self.entries = kept;
+        removed
+    }
+
+    /// Pending arrivals of one session (FIFO-depth view for tests and
+    /// backpressure diagnostics).
+    pub fn pending_of(&self, session: SessionKey) -> usize {
+        self.entries.iter().filter(|a| a.session == session).count()
+    }
+}
+
+/// FNV-1a over the id bytes: cheap, deterministic, and uncorrelated with
+/// sequential id assignment (so consecutive joins spread across shards).
+pub(crate) fn fnv1a(id: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in id.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Where a joining session lands, and whether the tick scheduler steers
+/// load between shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdmissionPolicy {
+    /// PR 3 behaviour: the session id's FNV-1a hash picks the shard —
+    /// stateless, uniform in expectation, but blind to load and KV bytes.
+    HashRoute,
+    /// Admit to the shard with the fewest live slots; ties break to the
+    /// lowest shard index (deterministic).
+    LeastLoaded,
+    /// Admit to the shard holding the fewest KV bytes (ties to the lowest
+    /// index), and steer: whenever a shard's KV bytes cross
+    /// `budget_bytes` at a tick boundary, the scheduler migrates the
+    /// coldest session off it to the lightest shard, one session per tick
+    /// per victim, until every shard fits or no eligible victim remains.
+    /// A per-shard budget is only maintainable while fleet-wide bytes
+    /// stay under `shards * budget_bytes`; past that the pass is
+    /// best-effort (it still levels the skew).
+    CacheAware {
+        /// Per-shard KV-byte budget the steering pass enforces.
+        budget_bytes: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Pick the shard a new session joins. Pure in the fleet view:
+    /// `id` is the new global session id, `active` the live-slot count
+    /// per shard, `cache_bytes` the KV bytes per shard. `active` and
+    /// `cache_bytes` must have one entry per shard.
+    pub fn place(&self, id: u64, active: &[usize], cache_bytes: &[usize]) -> usize {
+        let k = active.len();
+        assert!(k >= 1 && cache_bytes.len() == k, "malformed fleet view");
+        match self {
+            AdmissionPolicy::HashRoute => (fnv1a(id) % k as u64) as usize,
+            AdmissionPolicy::LeastLoaded => {
+                (0..k).min_by_key(|&s| (active[s], s)).expect("non-empty fleet")
+            }
+            // KV-byte ties (e.g. a fleet that has not served yet) fall
+            // back to live-slot count, then index — so cold joins still
+            // spread instead of piling onto shard 0.
+            AdmissionPolicy::CacheAware { .. } => {
+                (0..k).min_by_key(|&s| (cache_bytes[s], active[s], s)).expect("non-empty fleet")
+            }
+        }
+    }
+
+    /// The per-shard KV budget this policy enforces, if any.
+    pub fn kv_budget(&self) -> Option<usize> {
+        match self {
+            AdmissionPolicy::CacheAware { budget_bytes } => Some(*budget_bytes),
+            _ => None,
+        }
+    }
+}
+
+/// What one [`crate::ShardedServer::tick`] did — the observable record of
+/// a tick cycle (the leaves since the previous tick plus this tick's
+/// drain, step and steering pass).
+#[derive(Debug, Default)]
+pub struct TickReport {
+    /// Tick number (monotonic, starts at 1).
+    pub tick: u64,
+    /// Arrivals served (tickets now redeemable via `poll`).
+    pub served: usize,
+    /// Sessions steered during this tick cycle — by rebalance-on-leave
+    /// since the previous tick or by the cache-aware pass of this one.
+    /// Never contains duplicates: a session is steered at most once per
+    /// tick cycle (double-migration is the regression `tests/admission.rs`
+    /// pins down).
+    pub steered: Vec<u64>,
+    /// Arrivals still queued after the drain (backlogged sessions).
+    pub pending: usize,
+    /// Served counts per adapter tag ([`crate::ServedTask::task_label`]).
+    pub served_by_label: Vec<(&'static str, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(ticket: u64, session: u64) -> Arrival<u32> {
+        Arrival { ticket: Ticket(ticket), session, group: 0, obs: ticket as u32 }
+    }
+
+    #[test]
+    fn drain_takes_at_most_one_arrival_per_session_in_fifo_order() {
+        let mut q = AdmissionQueue::with_capacity(16);
+        for (t, s) in [(0u64, 7u64), (1, 7), (2, 3), (3, 7), (4, 3)] {
+            q.push(arrival(t, s)).unwrap();
+        }
+        let batch: Vec<u64> = q.drain_tick().iter().map(|a| a.ticket.0).collect();
+        assert_eq!(batch, vec![0, 2], "first arrival of each session, arrival order");
+        let batch: Vec<u64> = q.drain_tick().iter().map(|a| a.ticket.0).collect();
+        assert_eq!(batch, vec![1, 4]);
+        let batch: Vec<u64> = q.drain_tick().iter().map(|a| a.ticket.0).collect();
+        assert_eq!(batch, vec![3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_refuses_at_capacity_and_returns_the_arrival() {
+        let mut q = AdmissionQueue::with_capacity(2);
+        q.push(arrival(0, 1)).unwrap();
+        q.push(arrival(1, 2)).unwrap();
+        let back = q.push(arrival(2, 3)).unwrap_err();
+        assert_eq!(back.ticket, Ticket(2), "refused arrival comes back intact");
+        assert_eq!(q.len(), 2);
+        // Draining frees capacity again.
+        let _ = q.drain_tick();
+        q.push(arrival(3, 4)).unwrap();
+    }
+
+    #[test]
+    fn requeue_bypasses_the_cap_without_unblocking_push() {
+        // A steering migration must never drop a ticketed arrival, so
+        // `requeue` may transiently exceed the cap — while fresh `push`es
+        // stay refused until drains bring the queue back down.
+        let mut q = AdmissionQueue::with_capacity(2);
+        q.push(arrival(0, 1)).unwrap();
+        q.push(arrival(1, 2)).unwrap();
+        q.requeue(arrival(2, 3)); // migrated in from another shard
+        assert_eq!(q.len(), 3, "requeue lands above the cap");
+        assert!(q.push(arrival(3, 4)).is_err(), "push stays refused while over the cap");
+        assert_eq!(q.drain_tick().len(), 3, "distinct sessions all drain");
+        assert!(q.is_empty());
+        q.push(arrival(4, 5)).unwrap();
+    }
+
+    #[test]
+    fn remove_session_extracts_only_that_sessions_arrivals() {
+        let mut q = AdmissionQueue::with_capacity(8);
+        for (t, s) in [(0u64, 1u64), (1, 2), (2, 1), (3, 2)] {
+            q.push(arrival(t, s)).unwrap();
+        }
+        let moved: Vec<u64> = q.remove_session(2).iter().map(|a| a.ticket.0).collect();
+        assert_eq!(moved, vec![1, 3], "session 2's arrivals, FIFO");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pending_of(1), 2);
+        assert_eq!(q.pending_of(2), 0);
+    }
+
+    #[test]
+    fn hash_route_matches_fnv_and_spreads() {
+        let p = AdmissionPolicy::HashRoute;
+        let active = [0usize; 3];
+        let bytes = [0usize; 3];
+        let mut seen = [false; 3];
+        for id in 0..16u64 {
+            let s = p.place(id, &active, &bytes);
+            assert_eq!(s, (fnv1a(id) % 3) as usize);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "16 sequential ids must touch every shard");
+    }
+
+    #[test]
+    fn least_loaded_picks_fewest_slots_with_deterministic_ties() {
+        let p = AdmissionPolicy::LeastLoaded;
+        assert_eq!(p.place(9, &[3, 1, 2], &[0, 0, 0]), 1);
+        // Ties break to the lowest shard index, independent of the id.
+        assert_eq!(p.place(0, &[2, 2, 2], &[0, 0, 0]), 0);
+        assert_eq!(p.place(77, &[2, 2, 2], &[0, 0, 0]), 0);
+        assert_eq!(p.place(5, &[2, 1, 1], &[0, 0, 0]), 1);
+    }
+
+    #[test]
+    fn cache_aware_places_on_lightest_shard() {
+        let p = AdmissionPolicy::CacheAware { budget_bytes: 1 << 20 };
+        assert_eq!(p.place(3, &[1, 1, 1], &[500, 100, 300]), 1);
+        // Byte ties fall back to live-slot count (cold joins spread),
+        // then to the lowest index.
+        assert_eq!(p.place(3, &[9, 0, 0], &[200, 200, 400]), 1);
+        assert_eq!(p.place(3, &[2, 2, 9], &[200, 200, 400]), 0);
+        assert_eq!(p.kv_budget(), Some(1 << 20));
+        assert_eq!(AdmissionPolicy::LeastLoaded.kv_budget(), None);
+    }
+}

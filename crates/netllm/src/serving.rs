@@ -104,6 +104,14 @@ pub trait ServedTask {
     /// Backbone + weights for `group`.
     fn backbone(&self, group: usize) -> (&TinyLm, &ParamStore);
 
+    /// Human-readable adapter tag for `group` — stamps queued arrivals
+    /// and the per-label serving counts in
+    /// [`crate::sched::TickReport::served_by_label`].
+    fn task_label(&self, group: usize) -> &'static str {
+        let _ = group;
+        "task"
+    }
+
     /// The backbone group `slot` belongs to (stable for its lifetime).
     fn group_of(&self, slot: &Self::Slot) -> usize {
         let _ = slot;
@@ -256,6 +264,21 @@ impl<T: ServedTask> ServingEngine<T> {
     /// Bytes held by every live session's KV cache.
     pub fn cache_bytes(&self) -> usize {
         self.slots.iter().map(|s| s.session.cache_bytes()).sum()
+    }
+
+    /// Bytes held by one session's KV cache (per-victim accounting for a
+    /// cache-aware steering/eviction policy).
+    pub fn cache_bytes_of(&self, id: SessionId) -> usize {
+        self.check(id);
+        self.slots.get(id.index()).session.cache_bytes()
+    }
+
+    /// Live sessions with their KV bytes — the enumeration an eviction or
+    /// steering policy walks to pick a victim.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, usize)> + '_ {
+        self.slots
+            .iter_entries()
+            .map(|(idx, s)| (SessionId { idx: idx as u32, gen: s.gen }, s.session.cache_bytes()))
     }
 
     fn check(&self, id: SessionId) {
@@ -523,6 +546,33 @@ mod tests {
             let got = engine.step(&m, &[(b, o), (d, &obs[i - 2])]);
             assert_eq!(got[0], expected[i], "survivor diverged after leave/join at chunk {i}");
         }
+    }
+
+    #[test]
+    fn session_enumeration_matches_per_session_cache_accounting() {
+        // The eviction/steering hooks: `sessions()` walks live sessions
+        // with their KV bytes, consistent with `cache_bytes_of` and the
+        // engine total.
+        let m = model(4, 45);
+        let mut engine = ServingEngine::new();
+        let a = engine.join(&m);
+        let b = engine.join(&m);
+        assert_eq!(engine.cache_bytes_of(a), 0, "fresh sessions hold no KV");
+        let obs = obs_stream(13, 2);
+        // Advance only `a`: its bytes grow, `b`'s stay zero.
+        let _ = engine.step(&m, &[(a, &obs[0])]);
+        assert!(engine.cache_bytes_of(a) > 0);
+        assert_eq!(engine.cache_bytes_of(b), 0);
+        let listed: Vec<(SessionId, usize)> = engine.sessions().collect();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed.iter().map(|&(_, bytes)| bytes).sum::<usize>(), engine.cache_bytes());
+        for &(id, bytes) in &listed {
+            assert_eq!(bytes, engine.cache_bytes_of(id));
+        }
+        // Ids from the enumeration carry the live generation (usable
+        // handles, not stale ones).
+        assert!(listed.iter().any(|&(id, _)| id == a));
+        assert!(listed.iter().any(|&(id, _)| id == b));
     }
 
     #[test]

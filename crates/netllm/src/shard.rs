@@ -1,71 +1,141 @@
 //! Sharded serving: one logical fleet over K independent engines.
 //!
-//! A [`ShardedServer`] fronts K [`ServingEngine`] shards with a
-//! session-hash router: every admission draws a global session id, whose
-//! FNV-1a hash picks the home shard, so the fleet spreads uniformly
-//! without coordination and a session's shard is computable from its id
-//! alone. Each shard is a complete engine — own slots, own KV caches, own
+//! A [`ShardedServer`] fronts K [`ServingEngine`] shards behind a route
+//! table. Each shard is a complete engine — own slots, own KV caches, own
 //! batched steps — so the shard boundary is clean: nothing is shared
 //! between shards but the (read-only) model weights.
 //!
+//! Two front ends drive the fleet:
+//!
+//! - **Lockstep** ([`ShardedServer::step`], PR 3): the caller hands over a
+//!   fully-formed `(session, obs)` batch and receives the actions in
+//!   request order — the reference path the equivalence gates replay.
+//! - **Continuous** ([`ShardedServer::submit`] → [`ShardedServer::tick`] →
+//!   [`ShardedServer::poll`]): observation arrivals enqueue asynchronously
+//!   into per-shard [`AdmissionQueue`]s (stamped by a logical arrival
+//!   clock, tagged with their adapter group) and come back as [`Ticket`]s;
+//!   each `tick` drains every shard's queue at the tick boundary — at most
+//!   one arrival per session, FIFO within a session — steps the busy
+//!   shards, and banks the actions for `poll`. Sessions join, answer and
+//!   leave mid-stream; nobody orchestrates a lockstep batch.
+//!
 //! ```text
-//!              ┌─ hash(id) ─► shard 0: ServingEngine ── slots ──┐
-//!  requests ──►│             shard 1: ServingEngine ── slots ──┼─► actions
-//!   (id, obs)  └─ router  ─► shard K: ServingEngine ── slots ──┘
-//!                             (NT_THREADS: one worker per shard)
+//!  submit(id,obs) ─► Ticket     ┌ q0 ─ drain ─► shard 0: ServingEngine ┐
+//!    (arrival clock, adapter ──►│ q1 ─ drain ─► shard 1: ServingEngine ├─ tick ─► poll(Ticket)
+//!     tag, backpressure cap)    └ qK ─ drain ─► shard K: ServingEngine ┘      ─► actions
+//!                join ─► AdmissionPolicy: HashRoute | LeastLoaded | CacheAware
+//!                                 (NT_THREADS: one worker per busy shard)
 //! ```
 //!
-//! Today shards are per-core: [`ShardedServer::step`] fans each tick's
-//! requests out to their home shards on scoped worker threads
-//! (`NT_THREADS`-capped, pool-registered so per-matmul and band
-//! parallelism never stack a second thread layer underneath). The same
-//! router/route-table design extends to per-process and per-host shards
-//! later — the route table already treats a shard as just an index.
+//! Placement is pluggable ([`AdmissionPolicy`]): `HashRoute` keeps PR 3's
+//! FNV-1a session-hash router, `LeastLoaded` admits to the shard with the
+//! fewest live slots, `CacheAware` admits to the lightest shard by KV
+//! bytes and *steers*: at every tick boundary, while a shard's KV bytes
+//! exceed the policy's budget, the coldest (least-recently-served) session
+//! is migrated to the lightest shard. Steering and rebalance-on-leave
+//! ([`ShardedServer::leave`]) share one guard: a session is steered at
+//! most once per tick cycle, so the two mechanisms can both fire in a tick
+//! without double-migrating anyone (regression-tested in
+//! `tests/admission.rs`).
 //!
-//! Sessions can be *steered*: [`ShardedServer::steer`] parks a session
-//! (KV cache + episode state travel wholesale) and re-admits it on
-//! another shard, updating the route table — per-session math is
-//! untouched, so served answers stay bit-identical across migrations.
-//! [`ShardedServer::leave`] applies a rebalance-on-leave policy: when
-//! departures skew the fleet (max−min active sessions ≥ 2), the
-//! lowest-id session of the fullest shard is steered to the emptiest, so
-//! long-lived fleets stay balanced without a background rebalancer.
+//! Migration ([`ShardedServer::steer`]) parks a session (KV cache +
+//! episode state travel wholesale, queued arrivals follow) and re-admits
+//! it on another shard — per-session math is untouched, so served answers
+//! stay bit-identical across migrations. Today shards are per-core
+//! (`NT_THREADS`-capped scoped workers, pool-registered so per-matmul and
+//! band parallelism never stack a second thread layer underneath); the
+//! same route-table design extends to per-process and per-host shards
+//! later — a shard is just an index.
 
+use crate::sched::{fnv1a, AdmissionPolicy, AdmissionQueue, Arrival, TickReport, Ticket};
 use crate::serving::{ServedTask, ServingEngine, SessionId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Fleet-wide session handle issued by [`ShardedServer::join`].
 pub type GlobalSessionId = u64;
 
-/// FNV-1a over the id bytes: cheap, deterministic, and uncorrelated with
-/// sequential id assignment (so consecutive joins spread across shards).
-fn fnv1a(id: u64) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in id.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+/// Pending arrivals a shard's queue accepts before `submit` pushes back.
+const DEFAULT_QUEUE_CAP: usize = 1024;
 
-/// K independent [`ServingEngine`] shards behind a session-hash router.
+/// K independent [`ServingEngine`] shards behind a route table, with a
+/// lockstep and a continuous (queue/tick/poll) front end.
 pub struct ShardedServer<T: ServedTask> {
     shards: Vec<ServingEngine<T>>,
     /// Global id -> (shard, local id). A `BTreeMap` keeps every fleet
-    /// walk (rebalance victim selection, accounting) deterministic.
+    /// walk (rebalance victim selection, steering) deterministic.
     routes: BTreeMap<GlobalSessionId, (usize, SessionId)>,
+    /// Backbone group per session — the adapter tag queued arrivals carry.
+    groups: BTreeMap<GlobalSessionId, usize>,
     next_id: GlobalSessionId,
+    /// Placement (and, for `CacheAware`, steering) policy.
+    policy: AdmissionPolicy,
+    /// One pending-arrival queue per shard.
+    queues: Vec<AdmissionQueue<T::Obs>>,
+    /// Served-but-unpolled actions, by ticket (tagged with their
+    /// session so `leave` can reclaim a departing session's answers).
+    completed: BTreeMap<Ticket, (GlobalSessionId, T::Action)>,
+    /// Tickets are issued in submission order, so the next ticket number
+    /// doubles as the logical arrival clock stamped onto queued
+    /// observations.
+    next_ticket: u64,
+    /// Tick counter (drives the coldest-session bookkeeping).
+    tick_no: u64,
+    /// Tick each session last produced an answer (coldest = smallest).
+    last_served: BTreeMap<GlobalSessionId, u64>,
+    /// Sessions already steered in the current tick cycle — rebalance and
+    /// cache-aware steering both consult and feed this, so no session is
+    /// migrated twice between consecutive tick boundaries.
+    steered_this_tick: BTreeSet<GlobalSessionId>,
 }
 
 impl<T: ServedTask> ShardedServer<T> {
-    /// A fleet of `num_shards` empty engines.
+    /// A fleet of `num_shards` empty engines with PR 3's hash router.
     pub fn new(num_shards: usize) -> Self {
+        Self::with_policy(num_shards, AdmissionPolicy::HashRoute)
+    }
+
+    /// A fleet of `num_shards` empty engines admitting under `policy`.
+    pub fn with_policy(num_shards: usize, policy: AdmissionPolicy) -> Self {
         assert!(num_shards >= 1, "a fleet needs at least one shard");
         ShardedServer {
             shards: (0..num_shards).map(|_| ServingEngine::new()).collect(),
             routes: BTreeMap::new(),
+            groups: BTreeMap::new(),
             next_id: 0,
+            policy,
+            queues: (0..num_shards)
+                .map(|_| AdmissionQueue::with_capacity(DEFAULT_QUEUE_CAP))
+                .collect(),
+            completed: BTreeMap::new(),
+            next_ticket: 0,
+            tick_no: 0,
+            last_served: BTreeMap::new(),
+            steered_this_tick: BTreeSet::new(),
         }
+    }
+
+    /// Replace the per-shard backpressure cap (only while no arrival is
+    /// pending, so no ticket can be dropped by the swap).
+    pub fn set_queue_capacity(&mut self, cap: usize) {
+        assert!(self.pending() == 0, "cannot resize queues with arrivals pending");
+        self.queues = (0..self.shards.len()).map(|_| AdmissionQueue::with_capacity(cap)).collect();
+    }
+
+    /// The active admission policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Swap the admission policy at runtime (placement applies to future
+    /// joins; a new `CacheAware` budget applies from the next tick's
+    /// steering pass). Live sessions and queues are untouched.
+    pub fn set_policy(&mut self, policy: AdmissionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The shard currently serving `id`.
+    pub fn shard_of(&self, id: GlobalSessionId) -> usize {
+        self.routes.get(&id).expect("unknown session id").0
     }
 
     /// Shard count.
@@ -73,7 +143,8 @@ impl<T: ServedTask> ShardedServer<T> {
         self.shards.len()
     }
 
-    /// The home shard the router assigns to `id`.
+    /// The shard the FNV-1a hash router would assign to `id` (the
+    /// [`AdmissionPolicy::HashRoute`] placement).
     pub fn home_shard(&self, id: GlobalSessionId) -> usize {
         (fnv1a(id) % self.shards.len() as u64) as usize
     }
@@ -83,28 +154,39 @@ impl<T: ServedTask> ShardedServer<T> {
         self.join_group(task, 0)
     }
 
-    /// Admit a session on backbone `group`; the router hashes the new
-    /// global id to pick its shard.
+    /// Admit a session on backbone `group`; the admission policy places it
+    /// from the current fleet view (live slots + KV bytes per shard).
     pub fn join_group(&mut self, task: &T, group: usize) -> GlobalSessionId {
         let id = self.next_id;
         self.next_id += 1;
-        let shard = self.home_shard(id);
+        let shard = self.policy.place(id, &self.active_per_shard(), &self.cache_bytes_per_shard());
         let local = self.shards[shard].join_group(task, group);
         self.routes.insert(id, (shard, local));
+        self.groups.insert(id, group);
         id
     }
 
-    /// Remove a session, then rebalance: while departures leave the
-    /// fullest shard ≥ 2 sessions above the emptiest, steer the fullest
-    /// shard's lowest-id session over.
+    /// Remove a session, dropping its KV cache, any still-queued arrivals
+    /// and any served-but-unpolled actions (its tickets never resolve
+    /// after this — poll outstanding tickets before leaving; nothing of a
+    /// departed session lingers in the server). Then rebalance: while
+    /// departures leave the fullest shard ≥ 2 sessions above the
+    /// emptiest, steer the fullest shard's lowest-id session over (at
+    /// most once per session per tick cycle).
     pub fn leave(&mut self, id: GlobalSessionId) {
         let (shard, local) = self.routes.remove(&id).expect("unknown session id");
+        let _ = self.queues[shard].remove_session(id);
+        self.completed.retain(|_, &mut (session, _)| session != id);
+        self.groups.remove(&id);
+        self.last_served.remove(&id);
+        self.steered_this_tick.remove(&id);
         self.shards[shard].leave(local);
         while self.rebalance_once() {}
     }
 
     /// One rebalance move, if the fleet is skewed. Returns whether a
-    /// session moved.
+    /// session moved. Sessions already steered this tick cycle are not
+    /// eligible victims (no double-migration).
     fn rebalance_once(&mut self) -> bool {
         let (mut min_s, mut min_a) = (0usize, usize::MAX);
         let (mut max_s, mut max_a) = (0usize, 0usize);
@@ -123,16 +205,22 @@ impl<T: ServedTask> ShardedServer<T> {
         let victim = self
             .routes
             .iter()
-            .find(|(_, &(s, _))| s == max_s)
-            .map(|(&id, _)| id)
-            .expect("fullest shard has routed sessions");
-        self.steer(victim, min_s);
-        true
+            .find(|(id, &(s, _))| s == max_s && !self.steered_this_tick.contains(id))
+            .map(|(&id, _)| id);
+        match victim {
+            Some(v) => {
+                self.steer(v, min_s);
+                true
+            }
+            // Every candidate was already steered this tick cycle; leave
+            // the skew for the next tick rather than double-migrate.
+            None => false,
+        }
     }
 
-    /// Migrate a session to `dest` shard: its KV cache and episode state
-    /// move wholesale, so subsequent answers are bit-identical to never
-    /// having moved. No-op when already home.
+    /// Migrate a session to `dest` shard: its KV cache, episode state and
+    /// queued arrivals move wholesale, so subsequent answers are
+    /// bit-identical to never having moved. No-op when already home.
     pub fn steer(&mut self, id: GlobalSessionId, dest: usize) {
         assert!(dest < self.shards.len(), "shard {dest} out of range");
         let &(src, local) = self.routes.get(&id).expect("unknown session id");
@@ -142,6 +230,12 @@ impl<T: ServedTask> ShardedServer<T> {
         let parked = self.shards[src].park(local);
         let new_local = self.shards[dest].admit(parked);
         self.routes.insert(id, (dest, new_local));
+        // Pending arrivals follow their session (bypassing the cap: a
+        // move must never drop a ticket).
+        for a in self.queues[src].remove_session(id) {
+            self.queues[dest].requeue(a);
+        }
+        self.steered_this_tick.insert(id);
     }
 
     /// Live sessions across the fleet.
@@ -159,8 +253,8 @@ impl<T: ServedTask> ShardedServer<T> {
         self.shards.iter().map(ServingEngine::cache_bytes).sum()
     }
 
-    /// KV bytes per shard — the accounting a cache-aware admission policy
-    /// (ROADMAP) will steer on.
+    /// KV bytes per shard — the accounting `CacheAware` admission and
+    /// steering run on.
     pub fn cache_bytes_per_shard(&self) -> Vec<usize> {
         self.shards.iter().map(ServingEngine::cache_bytes).collect()
     }
@@ -171,12 +265,187 @@ impl<T: ServedTask> ShardedServer<T> {
         self.shards[shard].last_logits(local)
     }
 
-    /// Serve one tick across the fleet: requests are routed to their home
-    /// shards, each shard runs one batched [`ServingEngine::step`], and
-    /// the answers come back in request order. With `NT_THREADS > 1` the
-    /// shards step on scoped worker threads — shard state is fully
-    /// disjoint and per-slot math is independent of the fan-out, so
-    /// sharded and single-shard serving produce identical logits.
+    // ---- continuous front end ------------------------------------------
+
+    /// Enqueue an observation for `id`'s next decision. Returns the
+    /// [`Ticket`] to redeem via [`ShardedServer::poll`] after a future
+    /// [`ShardedServer::tick`] serves it — or the observation back when
+    /// the session's shard queue is at its backpressure cap (retry after
+    /// a tick). Arrivals are stamped with a fleet-wide logical arrival
+    /// clock (the ticket sequence — tickets are issued in submission
+    /// order) and
+    /// the session's adapter group; a session may hold any number of
+    /// queued arrivals, served one per tick in FIFO order.
+    pub fn submit(&mut self, id: GlobalSessionId, obs: T::Obs) -> Result<Ticket, T::Obs> {
+        let &(shard, _) = self.routes.get(&id).expect("unknown session id");
+        let group = self.groups[&id];
+        let seq = self.next_ticket;
+        let arrival = Arrival { ticket: Ticket(seq), session: id, group, obs };
+        match self.queues[shard].push(arrival) {
+            Ok(()) => {
+                self.next_ticket += 1;
+                Ok(Ticket(seq))
+            }
+            Err(refused) => Err(refused.obs),
+        }
+    }
+
+    /// Arrivals queued across the fleet.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(AdmissionQueue::len).sum()
+    }
+
+    /// Arrivals queued for one session.
+    pub fn pending_of(&self, id: GlobalSessionId) -> usize {
+        let &(shard, _) = self.routes.get(&id).expect("unknown session id");
+        self.queues[shard].pending_of(id)
+    }
+
+    /// Served-but-unpolled actions.
+    pub fn ready(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Redeem a ticket: `Some(action)` exactly once after the tick that
+    /// served it, `None` while it is still queued (or after it was
+    /// already polled, or after its session left).
+    pub fn poll(&mut self, ticket: Ticket) -> Option<T::Action> {
+        self.completed.remove(&ticket).map(|(_, action)| action)
+    }
+
+    /// Serve one scheduled tick: every shard drains its queue at this
+    /// tick boundary (at most one arrival per session, FIFO within a
+    /// session), busy shards run one batched [`ServingEngine::step`] each
+    /// (on `NT_THREADS` scoped workers, as in lockstep serving), served
+    /// actions are banked for [`ShardedServer::poll`], and — under
+    /// [`AdmissionPolicy::CacheAware`] — the steering pass migrates the
+    /// coldest sessions off any shard whose KV bytes crossed the budget.
+    /// Per-slot math is identical to the lockstep path, so scheduled and
+    /// lockstep serving produce identical logits (gated at 1e-5 in
+    /// `nt-bench/tests/continuous_batching.rs`).
+    pub fn tick(&mut self, task: &T) -> TickReport
+    where
+        T: Sync,
+        T::Obs: Sync,
+        T::Slot: Send,
+        T::Action: Send,
+    {
+        self.tick_no += 1;
+        let tick = self.tick_no;
+
+        // Drain every shard's queue at the boundary.
+        let drained: Vec<Vec<Arrival<T::Obs>>> =
+            self.queues.iter_mut().map(AdmissionQueue::drain_tick).collect();
+        let per: Vec<Vec<(SessionId, &T::Obs)>> = drained
+            .iter()
+            .enumerate()
+            .map(|(s, batch)| {
+                batch
+                    .iter()
+                    .map(|a| {
+                        let &(shard, local) =
+                            self.routes.get(&a.session).expect("queued session left the fleet");
+                        debug_assert_eq!(shard, s, "queued arrival on the wrong shard");
+                        (local, &a.obs)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Step the busy shards (same fan-out as lockstep `step`).
+        let results = self.step_partitioned(task, &per);
+
+        // Bank the actions under their tickets.
+        let mut served = 0usize;
+        let mut by_label: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for (batch, actions) in drained.into_iter().zip(results) {
+            debug_assert_eq!(batch.len(), actions.len(), "shard returned a ragged tick");
+            for (a, action) in batch.into_iter().zip(actions) {
+                self.completed.insert(a.ticket, (a.session, action));
+                self.last_served.insert(a.session, tick);
+                *by_label.entry(task.task_label(a.group)).or_default() += 1;
+                served += 1;
+            }
+        }
+
+        // Cache-aware steering at the tick boundary.
+        self.cache_steer_pass();
+
+        // Close the tick cycle: report every steer since the previous
+        // boundary (rebalance-on-leave + the pass above) and reset the
+        // double-migration guard.
+        let steered: Vec<GlobalSessionId> =
+            std::mem::take(&mut self.steered_this_tick).into_iter().collect();
+        TickReport {
+            tick,
+            served,
+            steered,
+            pending: self.pending(),
+            served_by_label: by_label.into_iter().collect(),
+        }
+    }
+
+    /// While any shard's KV bytes exceed the `CacheAware` budget, steer
+    /// its coldest not-yet-steered session to the lightest shard —
+    /// provided the move strictly improves the pair (the destination plus
+    /// the victim stays below the source), so a session whose cache alone
+    /// exceeds the budget is never bounced shard-to-shard tick after tick,
+    /// and equal-height shards never ping-pong. Bounded by the
+    /// once-per-tick guard (each session moves at most once), so the pass
+    /// terminates even when the budget is infeasible fleet-wide.
+    fn cache_steer_pass(&mut self) {
+        let Some(budget) = self.policy.kv_budget() else { return };
+        let k = self.shards.len();
+        if k < 2 {
+            return;
+        }
+        loop {
+            let bytes = self.cache_bytes_per_shard();
+            let dest_for =
+                |src: usize| (0..k).filter(|&s| s != src).min_by_key(|&s| (bytes[s], s)).unwrap();
+            // An eligible victim holds KV bytes (steering an empty session
+            // frees nothing), was not steered this tick cycle, and moving
+            // it strictly shrinks the source/destination imbalance.
+            let eligible = |server: &Self, id: &GlobalSessionId, shard: usize, local: SessionId| {
+                if server.steered_this_tick.contains(id) {
+                    return false;
+                }
+                let b = server.shards[shard].cache_bytes_of(local);
+                b > 0 && bytes[dest_for(shard)] + b < bytes[shard]
+            };
+            // Hottest over-budget shard that still holds an eligible
+            // victim — shards whose sessions were all steered already (or
+            // whose moves would not improve anything) are passed over, not
+            // a reason to abandon cooler over-budget shards that can
+            // still be fixed.
+            let src = (0..k)
+                .filter(|&s| bytes[s] > budget)
+                .filter(|&s| {
+                    self.routes.iter().any(|(id, &(ss, l))| ss == s && eligible(self, id, ss, l))
+                })
+                .max_by_key(|&s| (bytes[s], s));
+            let Some(src) = src else { break };
+            // Coldest eligible session on the hot shard (ties: lowest id —
+            // deterministic).
+            let victim = self
+                .routes
+                .iter()
+                .filter(|(id, &(s, l))| s == src && eligible(self, id, s, l))
+                .min_by_key(|(&id, _)| (self.last_served.get(&id).copied().unwrap_or(0), id))
+                .map(|(&id, _)| id)
+                .expect("src was filtered on having an eligible victim");
+            self.steer(victim, dest_for(src));
+        }
+    }
+
+    /// Serve one lockstep tick across the fleet: requests are routed to
+    /// their home shards, each busy shard runs one batched
+    /// [`ServingEngine::step`], and the answers come back in request
+    /// order. With `NT_THREADS > 1` the shards step on scoped worker
+    /// threads — shard state is fully disjoint and per-slot math is
+    /// independent of the fan-out, so sharded and single-shard serving
+    /// produce identical logits. Each call is a tick boundary: it closes
+    /// the steering cycle (see [`ShardedServer::tick`]).
     pub fn step(&mut self, task: &T, requests: &[(GlobalSessionId, &T::Obs)]) -> Vec<T::Action>
     where
         T: Sync,
@@ -197,15 +466,49 @@ impl<T: ServedTask> ShardedServer<T> {
             placement.push(shard);
             per[shard].push((local, obs));
         }
+        let results = self.step_partitioned(task, &per);
+        self.tick_no += 1;
+        for &(id, _) in requests {
+            self.last_served.insert(id, self.tick_no);
+        }
+        // A lockstep step is a full tick boundary: the CacheAware
+        // steering pass runs here too (no-op under other policies), and
+        // the once-per-cycle steering guard resets.
+        self.cache_steer_pass();
+        self.steered_this_tick.clear();
 
-        // Only shards with requests do work this tick; NT_THREADS caps the
-        // spawned workers, with contiguous bands of shards per worker (a
-        // fleet of 16 shards on 2 workers spawns 2 threads, not 16).
+        // Reassemble: within a shard, answers are in that shard's request
+        // order, which preserves the caller's relative order.
+        let mut cursors: Vec<std::vec::IntoIter<T::Action>> =
+            results.into_iter().map(Vec::into_iter).collect();
+        placement
+            .into_iter()
+            .map(|shard| cursors[shard].next().expect("shard returned too few actions"))
+            .collect()
+    }
+
+    /// Step every shard with a non-empty batch, fanning the busy shards
+    /// out over `NT_THREADS` scoped workers (contiguous bands of shards
+    /// per worker). Returns one action vector per shard, in that shard's
+    /// batch order (empty for idle shards). Shared by the lockstep and
+    /// the scheduled front ends.
+    fn step_partitioned(
+        &mut self,
+        task: &T,
+        per: &[Vec<(SessionId, &T::Obs)>],
+    ) -> Vec<Vec<T::Action>>
+    where
+        T: Sync,
+        T::Obs: Sync,
+        T::Slot: Send,
+        T::Action: Send,
+    {
+        let k = self.shards.len();
         #[allow(clippy::type_complexity)]
         let mut busy: Vec<(usize, &mut ServingEngine<T>, &[(SessionId, &T::Obs)])> = self
             .shards
             .iter_mut()
-            .zip(&per)
+            .zip(per)
             .enumerate()
             .filter(|(_, (_, b))| !b.is_empty())
             .map(|(s, (e, b))| (s, e, b.as_slice()))
@@ -241,15 +544,7 @@ impl<T: ServedTask> ShardedServer<T> {
                 }
             });
         }
-
-        // Reassemble: within a shard, answers are in that shard's request
-        // order, which preserves the caller's relative order.
-        let mut cursors: Vec<std::vec::IntoIter<T::Action>> =
-            results.into_iter().map(|r| r.unwrap_or_default().into_iter()).collect();
-        placement
-            .into_iter()
-            .map(|shard| cursors[shard].next().expect("shard returned too few actions"))
-            .collect()
+        results.into_iter().map(Option::unwrap_or_default).collect()
     }
 }
 
@@ -360,5 +655,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scheduled_ticks_serve_queued_arrivals_in_session_order() {
+        // The continuous front end must serve a backlogged session one
+        // decision per tick, FIFO, with logits equal to the unbatched
+        // path — and tickets must resolve exactly once.
+        let mut m = model(3, 11);
+        let obs = AbrObservation::synthetic_stream(21, 4);
+        let mut expected: Vec<(usize, Vec<f32>)> = Vec::new();
+        m.reset();
+        for o in &obs {
+            expected.push((m.select(o), m.last_logits().to_vec()));
+        }
+
+        let mut server = ShardedServer::with_policy(2, AdmissionPolicy::LeastLoaded);
+        let id = server.join(&m);
+        // Backlog all four observations before any tick fires.
+        let tickets: Vec<Ticket> =
+            obs.iter().map(|o| server.submit(id, o.clone()).unwrap()).collect();
+        assert_eq!(server.pending(), 4);
+        for (t, ticket) in tickets.iter().enumerate() {
+            assert_eq!(server.poll(*ticket), None, "ticket {t} must not resolve before its tick");
+            let report = server.tick(&m);
+            assert_eq!(report.served, 1, "one decision per session per tick");
+            assert_eq!(report.pending, obs.len() - t - 1);
+            let action = server.poll(*ticket).expect("served ticket must resolve");
+            assert_eq!(action, expected[t].0, "tick {t}: scheduled action diverged");
+            for (x, y) in server.last_logits(id).iter().zip(&expected[t].1) {
+                assert!((x - y).abs() < 1e-5, "tick {t}: scheduled {x} vs unbatched {y}");
+            }
+            assert_eq!(server.poll(*ticket), None, "a ticket resolves exactly once");
+        }
+        // An empty tick is a no-op, not a panic.
+        let report = server.tick(&m);
+        assert_eq!((report.served, report.pending), (0, 0));
+    }
+
+    #[test]
+    fn leave_reclaims_unpolled_actions_and_queued_arrivals() {
+        // A session that departs without polling must leave no residue:
+        // its queued arrivals are dropped and its served-but-unpolled
+        // actions are reclaimed (long-running fleets otherwise leak one
+        // banked action per crashed client).
+        let m = model(3, 13);
+        let obs = AbrObservation::synthetic_stream(23, 3);
+        let mut server = ShardedServer::with_policy(1, AdmissionPolicy::LeastLoaded);
+        let id = server.join(&m);
+        let t0 = server.submit(id, obs[0].clone()).unwrap();
+        let t1 = server.submit(id, obs[1].clone()).unwrap();
+        let _ = server.tick(&m); // serves obs[0]; obs[1] stays queued
+        assert_eq!((server.ready(), server.pending()), (1, 1));
+        server.leave(id);
+        assert_eq!((server.ready(), server.pending()), (0, 0), "no residue after leave");
+        assert_eq!(server.poll(t0), None, "a departed session's banked action is reclaimed");
+        assert_eq!(server.poll(t1), None, "a dropped arrival's ticket never resolves");
+    }
+
+    #[test]
+    fn submit_pushes_back_at_the_queue_cap() {
+        let m = model(3, 12);
+        let mut server = ShardedServer::with_policy(1, AdmissionPolicy::LeastLoaded);
+        let id = server.join(&m);
+        server.set_queue_capacity(2);
+        let obs = AbrObservation::synthetic_stream(22, 3);
+        assert!(server.submit(id, obs[0].clone()).is_ok());
+        assert!(server.submit(id, obs[1].clone()).is_ok());
+        let refused = server.submit(id, obs[2].clone());
+        assert!(refused.is_err(), "third submit must hit the backpressure cap");
+        let _ = server.tick(&m);
+        assert!(server.submit(id, refused.unwrap_err()).is_ok(), "a tick frees queue space");
     }
 }

@@ -1,0 +1,104 @@
+//! Property tests for the [`AdmissionQueue`] invariants behind continuous
+//! batching: under arbitrary interleavings of submits, tick drains and
+//! session removals,
+//!
+//! - **no ticket is lost or double-served** — every accepted arrival
+//!   leaves the queue exactly once;
+//! - **FIFO within a session** — a session's arrivals leave in push order
+//!   (drains take at most one arrival per session per tick);
+//! - **backpressure** — a push fails exactly when the queue is full
+//!   (returning the arrival intact), so admissions never grow the queue
+//!   past its cap. (`requeue` — steering's move-don't-drop path — is the
+//!   documented exception and has its own unit test in `sched.rs`.)
+
+use netllm::sched::SessionKey;
+use netllm::{AdmissionQueue, Arrival, Ticket};
+use proptest::prelude::*;
+
+fn arrival(ticket: u64, session: SessionKey) -> Arrival<u64> {
+    Arrival { ticket: Ticket(ticket), session, group: 0, obs: ticket }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn no_ticket_lost_or_double_served_under_any_interleaving(
+        ops in proptest::collection::vec((0u8..6, 0u64..4), 1..160),
+        cap in 1usize..9,
+    ) {
+        let mut q: AdmissionQueue<u64> = AdmissionQueue::with_capacity(cap);
+        let mut next_ticket = 0u64;
+        // (ticket, session) accepted into the queue / having left it, in
+        // temporal order.
+        let mut accepted: Vec<(u64, SessionKey)> = Vec::new();
+        let mut left: Vec<(u64, SessionKey)> = Vec::new();
+        for (op, session) in ops {
+            match op {
+                // Weight pushes heavier than drains so backpressure binds.
+                0..=3 => {
+                    let a = arrival(next_ticket, session);
+                    match q.push(a) {
+                        Ok(()) => {
+                            accepted.push((next_ticket, session));
+                            next_ticket += 1;
+                        }
+                        Err(back) => {
+                            // Push fails exactly at the cap, and the
+                            // refused arrival comes back intact.
+                            prop_assert_eq!(q.len(), cap);
+                            prop_assert_eq!(back.ticket, Ticket(next_ticket));
+                            prop_assert_eq!(back.obs, next_ticket);
+                        }
+                    }
+                }
+                4 => {
+                    let batch = q.drain_tick();
+                    // At most one arrival per session per tick.
+                    let mut sessions: Vec<SessionKey> =
+                        batch.iter().map(|a| a.session).collect();
+                    let n = sessions.len();
+                    sessions.sort_unstable();
+                    sessions.dedup();
+                    prop_assert!(sessions.len() == n, "tick drained a session twice");
+                    left.extend(batch.iter().map(|a| (a.ticket.0, a.session)));
+                }
+                _ => {
+                    let removed = q.remove_session(session);
+                    prop_assert!(removed.iter().all(|a| a.session == session));
+                    left.extend(removed.iter().map(|a| (a.ticket.0, a.session)));
+                }
+            }
+            prop_assert!(q.len() <= cap, "queue grew past its backpressure cap");
+        }
+        // Flush whatever is still queued.
+        loop {
+            let batch = q.drain_tick();
+            if batch.is_empty() {
+                break;
+            }
+            left.extend(batch.iter().map(|a| (a.ticket.0, a.session)));
+        }
+        prop_assert!(q.is_empty());
+
+        // Conservation: the multiset of arrivals that left the queue is
+        // exactly the multiset accepted — nothing lost, nothing served
+        // twice.
+        let mut a_sorted = accepted.clone();
+        let mut l_sorted = left.clone();
+        a_sorted.sort_unstable();
+        l_sorted.sort_unstable();
+        prop_assert!(a_sorted == l_sorted, "tickets lost or double-served");
+
+        // FIFO within a session: each session's tickets leave in the
+        // order they were pushed (tickets are issued monotonically).
+        for s in 0..4u64 {
+            let seq: Vec<u64> =
+                left.iter().filter(|&&(_, ss)| ss == s).map(|&(t, _)| t).collect();
+            prop_assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "session {} served out of order: {:?}", s, seq
+            );
+        }
+    }
+}
