@@ -1,7 +1,7 @@
 //! Regenerate every evaluation figure of the NetLLM paper.
 //!
 //! ```text
-//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4]
+//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4|bench5]
 //!                                                  [--fidelity smoke|default|paper]
 //! ```
 //!
@@ -16,7 +16,10 @@
 //! counts, with per-shard KV accounting); `--fig bench4` regenerates
 //! `reports/BENCH_4.json`, the PR 4 continuous-batching snapshot (queued
 //! submit/tick/poll vs lockstep aggregate throughput at batch 16/64, with
-//! `CacheAware` per-shard KV budgets). Together they track the perf
+//! `CacheAware` per-shard KV budgets); `--fig bench5` regenerates
+//! `reports/BENCH_5.json`, the PR 5 paged KV-cache snapshot (paged vs
+//! contiguous dec/s at batch 16/64, peak pool occupancy and eviction /
+//! deferral counts under a tight budget). Together they track the perf
 //! trajectory across PRs.
 
 use netllm::{
@@ -88,6 +91,9 @@ fn main() {
     }
     if fig == "bench4" {
         bench4();
+    }
+    if fig == "bench5" {
+        bench5();
     }
     println!("\nall requested figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -1177,7 +1183,7 @@ fn bench4() {
                 AdmissionPolicy::CacheAware { budget_bytes: budget },
             );
             let ids: Vec<_> = (0..batch).map(|_| server.join(&m)).collect();
-            steers = 0;
+            let mut rep_steers = 0usize;
             let t = Instant::now();
             for c in 0..ticks {
                 let tickets: Vec<_> = ids
@@ -1186,13 +1192,19 @@ fn bench4() {
                     .map(|(s, &id)| server.submit(id, streams[s][c].clone()).unwrap())
                     .collect();
                 let rep = server.tick(&m);
-                steers += rep.steered.len();
+                rep_steers += rep.steered.len();
                 for ticket in tickets {
                     let _ = server.poll(ticket).expect("ticket resolves after its tick");
                 }
             }
-            queued = queued.min(t.elapsed().as_secs_f64());
-            cache = (server.cache_bytes_per_shard(), server.cache_bytes());
+            // Pair the published stats with the best-timed rep so the
+            // JSON row is one coherent run, not a mix of reps.
+            let elapsed = t.elapsed().as_secs_f64();
+            if elapsed < queued {
+                queued = elapsed;
+                steers = rep_steers;
+                cache = (server.cache_bytes_per_shard(), server.cache_bytes());
+            }
         }
 
         let decisions = (batch * ticks) as f64;
@@ -1240,6 +1252,172 @@ fn bench4() {
         ),
     );
     let path = write_report("BENCH_4", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_5: paged KV-cache snapshot (PR 5 — memory-bounded vs contiguous)
+// ---------------------------------------------------------------------------
+
+/// Paged vs contiguous serving through the queued front end at batch
+/// 16/64: throughput ratio under an ample budget (pure data-path
+/// overhead), and behaviour under a tight ~40% budget (peak pool
+/// occupancy vs budget, eviction and deferral counts). The enforced gates
+/// live in `tests/paged_memory.rs`; this bin snapshots the trajectory.
+#[allow(clippy::needless_range_loop)]
+fn bench5() {
+    use netllm::{AdaptMode, AdmissionPolicy, EvictionPolicy, LoraSpec, NetLlmAbr, ShardedServer};
+    use nt_abr::AbrObservation;
+    use nt_llm::{PageConfig, PagePool, Zoo};
+
+    println!("\n[bench5] paged KV-cache snapshot");
+    let zoo = Zoo::new(std::env::temp_dir().join("bench5-zoo"));
+    let shards = 4usize;
+    let ticks = 12usize;
+    let workers = nt_tensor::pool::num_threads();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut m = NetLlmAbr::new(
+        zoo.build_random(&size_spec("7b-sim")),
+        AdaptMode::NoDomain,
+        LoraSpec::default(),
+        8,
+        9,
+    );
+    m.target_return = 2.0;
+
+    let mut rows = Vec::new();
+    let mut report = serde_json::Map::new();
+    report.insert("environment".into(), json!({"hardware_threads": hw, "pool_workers": workers}));
+    for &batch in &[16usize, 64] {
+        let streams: Vec<Vec<AbrObservation>> =
+            (0..batch).map(|s| AbrObservation::synthetic_stream(5000 + s as u64, ticks)).collect();
+
+        // One queued pass: submit all, tick, poll; returns (best secs,
+        // end bytes, peak pool bytes, evictions, deferrals). All stats
+        // come from the best-timed rep, so the published row is one
+        // coherent run, not a mix of reps.
+        let run = |pool: Option<PagePool>| -> (f64, usize, usize, usize, usize) {
+            let mut best = f64::MAX;
+            let (mut end_bytes, mut peak, mut evictions, mut deferrals) = (0usize, 0, 0, 0);
+            for _ in 0..3 {
+                let mut server = match &pool {
+                    Some(p) => ShardedServer::with_memory(
+                        shards,
+                        AdmissionPolicy::LeastLoaded,
+                        p.clone(),
+                        EvictionPolicy::ColdestReanchor,
+                    ),
+                    None => ShardedServer::with_policy(shards, AdmissionPolicy::LeastLoaded),
+                };
+                let ids: Vec<_> = (0..batch).map(|_| server.join(&m)).collect();
+                let mut pending: Vec<std::collections::VecDeque<netllm::Ticket>> =
+                    vec![Default::default(); batch];
+                let (mut rep_peak, mut rep_evictions, mut rep_deferrals) = (0usize, 0, 0);
+                let mut outstanding = 0usize;
+                let t0 = Instant::now();
+                let mut tick_once =
+                    |server: &mut ShardedServer<NetLlmAbr>,
+                     pending: &mut Vec<std::collections::VecDeque<netllm::Ticket>>,
+                     outstanding: &mut usize| {
+                        let rep = server.tick(&m);
+                        rep_peak = rep_peak.max(rep.memory.used_bytes);
+                        rep_evictions += rep.memory.evicted.len();
+                        rep_deferrals += rep.memory.deferred;
+                        for q in pending.iter_mut() {
+                            if let Some(&front) = q.front() {
+                                if server.poll(front).is_some() {
+                                    q.pop_front();
+                                    *outstanding -= 1;
+                                }
+                            }
+                        }
+                    };
+                for c in 0..ticks {
+                    for (s, &id) in ids.iter().enumerate() {
+                        let t = server.submit(id, streams[s][c].clone()).unwrap();
+                        pending[s].push_back(t);
+                        outstanding += 1;
+                    }
+                    tick_once(&mut server, &mut pending, &mut outstanding);
+                }
+                // Drain deferrals so every run serves the same decisions.
+                while outstanding > 0 {
+                    tick_once(&mut server, &mut pending, &mut outstanding);
+                }
+                let elapsed = t0.elapsed().as_secs_f64();
+                if elapsed < best {
+                    best = elapsed;
+                    end_bytes = server.cache_bytes();
+                    (peak, evictions, deferrals) = (rep_peak, rep_evictions, rep_deferrals);
+                }
+            }
+            (best, end_bytes, peak, evictions, deferrals)
+        };
+
+        let (contig_best, contig_bytes, ..) = run(None);
+        let ample = PagePool::for_model(
+            &m.lm,
+            PageConfig { page_tokens: 16, budget_bytes: 3 * contig_bytes + (1 << 20) },
+        );
+        let (paged_best, ..) = run(Some(ample));
+        let tight_budget = (contig_bytes * 2 / 5).max(nt_llm::session_floor_bytes(&m.lm, 16));
+        let tight =
+            PagePool::for_model(&m.lm, PageConfig { page_tokens: 16, budget_bytes: tight_budget });
+        let (tight_best, _, peak, evictions, deferrals) = run(Some(tight));
+
+        let decisions = (batch * ticks) as f64;
+        let (c_dps, p_dps, t_dps) =
+            (decisions / contig_best, decisions / paged_best, decisions / tight_best);
+        rows.push(vec![
+            format!("B={batch}"),
+            format!("{c_dps:.0}"),
+            format!("{p_dps:.0} ({:.2}x)", p_dps / c_dps),
+            format!("{t_dps:.0} ({:.2}x)", t_dps / c_dps),
+            format!("{}/{}", peak / 1000, tight_budget / 1000),
+            format!("{evictions}/{deferrals}"),
+        ]);
+        report.insert(
+            format!("batch_{batch}"),
+            json!({
+                "contiguous_decisions_per_s": c_dps,
+                "paged_ample_decisions_per_s": p_dps,
+                "paged_vs_contiguous": p_dps / c_dps,
+                "paged_tight_decisions_per_s": t_dps,
+                "tight_vs_contiguous": t_dps / c_dps,
+                "tight_budget_bytes": tight_budget,
+                "contiguous_end_bytes": contig_bytes,
+                "peak_pool_bytes": peak,
+                "evictions": evictions,
+                "deferrals": deferrals,
+                "shards": shards,
+                "ticks": ticks,
+            }),
+        );
+    }
+    print_table(
+        "BENCH_5: paged vs contiguous ABR serving (7b-sim, K=4, queued)",
+        &[
+            "batch",
+            "contig dec/s",
+            "paged dec/s",
+            "tight-budget dec/s",
+            "peak/budget KB",
+            "evict/defer",
+        ],
+        &rows,
+    );
+    report.insert(
+        "note".into(),
+        json!(
+            "paged and contiguous serving run identical math (bit-compatible kernels, \
+             gated at 1e-5 in tests/paged_memory.rs); the ample-budget ratio measures \
+             page-table indirection + reservation overhead, the tight-budget run \
+             (~40% of the contiguous footprint) shows the eviction/deferral cost of a \
+             hard memory bound — peak pool bytes never exceed the budget"
+        ),
+    );
+    let path = write_report("BENCH_5", &serde_json::Value::Object(report)).unwrap();
     println!("wrote {}", path.display());
 }
 

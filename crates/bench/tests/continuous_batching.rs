@@ -270,7 +270,7 @@ fn run_trace(models: &mut Models, policy: AdmissionPolicy, bursty: bool, seed: u
             for (id, t, sample) in std::mem::take(&mut vp_in_flight) {
                 let _ = server.poll(t).expect("one-shot VP must answer within its tick");
                 vp_served.push((sample, server.last_logits(id).to_vec()));
-                server.leave(id);
+                assert!(server.leave(id).is_clean(), "a polled one-shot leaves nothing behind");
             }
 
             // Departures: only sessions with no outstanding work may
@@ -285,7 +285,8 @@ fn run_trace(models: &mut Models, policy: AdmissionPolicy, bursty: bool, seed: u
                 // Keep at least two persistent sessions live.
                 if idle.len() >= 3 {
                     let victim = idle[rng.below(idle.len())];
-                    server.leave(sessions[victim].id);
+                    let report = server.leave(sessions[victim].id);
+                    assert!(report.is_clean(), "idle departures leave nothing behind");
                     sessions[victim].alive = false;
                     events += 1;
                 }

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod model;
+pub mod paged;
 pub mod pretrain;
 pub mod tokenizer;
 pub mod zoo;
@@ -34,6 +35,7 @@ pub mod zoo;
 pub use model::{
     sample_logits, BatchedDecodeSession, DecodeSession, KvCache, LmConfig, SlotMap, TinyLm,
 };
+pub use paged::{session_floor_bytes, PageConfig, PagePool, PoolStats};
 pub use pretrain::{eval_loss, pretrain, Corpus, CorpusMix, PretrainReport};
 pub use tokenizer::{Tokenizer, BOS, EOS, PAD, UNK};
 pub use zoo::{profile_spec, size_spec, LoadedLm, ModelSpec, Profile, Zoo, SIZE_LADDER};

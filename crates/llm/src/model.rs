@@ -20,8 +20,12 @@
 //! `nt-bench`'s `latency` bench and the logits-equivalence tests compare
 //! the two.
 
+use crate::paged::PagePool;
 use crate::tokenizer::EOS;
-use nt_nn::{AttnKv, Embedding, Fwd, Init, LayerNorm, Linear, ParamStore, TransformerBlock};
+use nt_nn::{
+    AttnKv, Embedding, Fwd, Init, KvStorage, LayerNorm, Linear, PagedAttnKv, ParamStore,
+    TransformerBlock,
+};
 use nt_tensor::{NodeId, Rng, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -65,47 +69,263 @@ pub struct TinyLm {
     pub lm_head: Linear,
 }
 
+/// Where a [`KvCache`]'s rows live: one contiguous buffer per layer (the
+/// reference layout) or page tables over a shared [`PagePool`] (the
+/// memory-bounded layout). The attention kernels are generic over
+/// [`KvStorage`], so the two backings are bit-identical — only allocation
+/// granularity differs.
+enum KvBacking {
+    Contig(Vec<AttnKv>),
+    Paged { layers: Vec<PagedAttnKv>, pool: PagePool },
+}
+
 /// Per-layer key/value cache for incremental decoding. Filling position `t`
 /// costs `O(t)` attention instead of the `O(t^2)` of a full re-forward, and
 /// the cache is the *only* state the incremental path carries — weights stay
 /// in the [`ParamStore`] untouched.
+///
+/// Two backings share every code path: the default contiguous buffers grow
+/// unboundedly (until a re-anchor clears them), while [`KvCache::new_paged`]
+/// draws fixed-size pages from a [`PagePool`] — appends reserve pages,
+/// truncate/clear/drop return them, so total KV across every paged session
+/// is hard-bounded by the pool budget.
 pub struct KvCache {
-    layers: Vec<AttnKv>,
+    backing: KvBacking,
+    dim: usize,
 }
 
 impl KvCache {
-    /// Empty cache shaped for `lm`.
+    /// Empty cache shaped for `lm` (contiguous per-layer buffers).
     pub fn new(lm: &TinyLm) -> Self {
-        KvCache { layers: (0..lm.cfg.n_layers).map(|_| AttnKv::empty(lm.cfg.d_model)).collect() }
+        KvCache {
+            backing: KvBacking::Contig(
+                (0..lm.cfg.n_layers).map(|_| AttnKv::empty(lm.cfg.d_model)).collect(),
+            ),
+            dim: lm.cfg.d_model,
+        }
+    }
+
+    /// Empty cache shaped for `lm`, backed by pages from `pool`. Appends
+    /// allocate pages ([`KvCache::reserve`] runs inside the forward
+    /// paths); truncate, clear and drop return them.
+    pub fn new_paged(lm: &TinyLm, pool: &PagePool) -> Self {
+        assert_eq!(
+            pool.dim(),
+            lm.cfg.d_model,
+            "page pool sized for dim {} cannot back a dim-{} model",
+            pool.dim(),
+            lm.cfg.d_model
+        );
+        KvCache {
+            backing: KvBacking::Paged {
+                layers: (0..lm.cfg.n_layers)
+                    .map(|_| PagedAttnKv::new(pool.page_tokens(), lm.cfg.d_model))
+                    .collect(),
+                pool: pool.clone(),
+            },
+            dim: lm.cfg.d_model,
+        }
+    }
+
+    /// Whether this cache draws from a [`PagePool`].
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backing, KvBacking::Paged { .. })
+    }
+
+    /// The pool a paged cache draws from.
+    pub fn pool(&self) -> Option<&PagePool> {
+        match &self.backing {
+            KvBacking::Paged { pool, .. } => Some(pool),
+            KvBacking::Contig(_) => None,
+        }
     }
 
     /// Number of cached positions.
     pub fn len(&self) -> usize {
-        self.layers.first().map_or(0, AttnKv::len)
+        match &self.backing {
+            KvBacking::Contig(layers) => layers.first().map_or(0, AttnKv::len),
+            KvBacking::Paged { layers, .. } => layers.first().map_or(0, KvStorage::len),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Forget everything.
+    /// Forget everything (a paged cache returns every page to the pool).
     pub fn clear(&mut self) {
-        for kv in &mut self.layers {
-            kv.truncate(0);
-        }
+        self.truncate(0);
     }
 
     /// Roll back to the first `len` positions (prefix reuse after a
-    /// divergence or a speculative suffix).
+    /// divergence or a speculative suffix). Pages the shorter prefix no
+    /// longer touches go straight back to the pool.
     pub fn truncate(&mut self, len: usize) {
-        for kv in &mut self.layers {
-            kv.truncate(len);
+        match &mut self.backing {
+            KvBacking::Contig(layers) => {
+                for kv in layers {
+                    kv.truncate(len);
+                }
+            }
+            KvBacking::Paged { layers, pool } => {
+                for kv in layers {
+                    kv.truncate(len);
+                    pool.release_pages(kv.release_unused());
+                }
+            }
         }
     }
 
-    /// Bytes held by cached keys/values across all layers.
+    /// Bytes held by cached keys/values across all layers. Paged caches
+    /// charge whole pages (including a partially-filled tail page) — the
+    /// honest number a memory budget accounts for.
     pub fn bytes(&self) -> usize {
-        self.layers.iter().map(AttnKv::bytes).sum()
+        match &self.backing {
+            KvBacking::Contig(layers) => layers.iter().map(AttnKv::bytes).sum(),
+            KvBacking::Paged { layers, .. } => layers.iter().map(PagedAttnKv::bytes).sum(),
+        }
+    }
+
+    /// Pages held across all layers (0 for a contiguous cache).
+    pub fn pages_held(&self) -> usize {
+        match &self.backing {
+            KvBacking::Contig(_) => 0,
+            KvBacking::Paged { layers, .. } => layers.iter().map(PagedAttnKv::pages_held).sum(),
+        }
+    }
+
+    /// Pages a paged cache would have to allocate to append `rows` more
+    /// positions (0 for contiguous caches).
+    pub fn pages_needed(&self, rows: usize) -> usize {
+        match &self.backing {
+            KvBacking::Contig(_) => 0,
+            KvBacking::Paged { layers, pool } => {
+                let want = pool.pages_for(self.len() + rows);
+                layers.iter().map(|l| want.saturating_sub(l.pages_held())).sum()
+            }
+        }
+    }
+
+    /// Ensure capacity for `rows` more positions, allocating pages from
+    /// the pool for a paged cache (all layers, all-or-nothing). Returns
+    /// `false` — taking nothing — when the pool cannot supply them; the
+    /// caller must evict, defer, or fail. Contiguous caches always
+    /// succeed (they grow their buffers lazily).
+    pub fn try_reserve(&mut self, rows: usize) -> bool {
+        let need = self.pages_needed(rows);
+        if need == 0 {
+            return true;
+        }
+        let KvBacking::Paged { layers, pool } = &mut self.backing else { return true };
+        let want = pool.pages_for(KvStorage::len(&layers[0]) + rows);
+        let Some(mut pages) = pool.alloc_pages(need) else { return false };
+        for layer in layers {
+            while layer.pages_held() < want {
+                layer.push_page(pages.pop().expect("allocation covered every layer"));
+            }
+        }
+        true
+    }
+
+    /// [`KvCache::try_reserve`] that panics when the pool is exhausted —
+    /// the forward paths call this; serving layers keep it from firing by
+    /// evicting or deferring ahead of the step.
+    pub fn reserve(&mut self, rows: usize) {
+        if !self.try_reserve(rows) {
+            let pool = self.pool().expect("only paged caches can exhaust");
+            panic!(
+                "KV page pool exhausted: need {} pages for {rows} more rows, {} free of {} \
+                 (raise the budget, evict sessions, or defer admission)",
+                self.pages_needed(rows),
+                pool.free_pages(),
+                pool.capacity_pages()
+            );
+        }
+    }
+
+    /// Re-home this cache onto `target` (`None` = contiguous): a no-op
+    /// when the backing already matches, otherwise the filled rows are
+    /// copied into the new layout and the old pages (if any) go back to
+    /// their pool. Values are preserved exactly, so a migrated session's
+    /// subsequent answers are bit-identical — this is what lets a
+    /// parked serving slot move between engines regardless of their
+    /// memory mode. Panics when `target` cannot supply the pages.
+    pub fn adopt(&mut self, target: Option<&PagePool>) {
+        match (&self.backing, target) {
+            (KvBacking::Contig(_), None) => return,
+            (KvBacking::Paged { pool, .. }, Some(p)) if pool.same_pool(p) => return,
+            _ => {}
+        }
+        let len = self.len();
+        fn snapshot<S: KvStorage>(kv: &S, len: usize) -> (Vec<f32>, Vec<f32>) {
+            let mut k = Vec::new();
+            let mut v = Vec::new();
+            for j in 0..len {
+                k.extend_from_slice(kv.k_row(j));
+                v.extend_from_slice(kv.v_row(j));
+            }
+            (k, v)
+        }
+        let rows: Vec<(Vec<f32>, Vec<f32>)> = match &self.backing {
+            KvBacking::Contig(layers) => layers.iter().map(|l| snapshot(l, len)).collect(),
+            KvBacking::Paged { layers, .. } => layers.iter().map(|l| snapshot(l, len)).collect(),
+        };
+        let new_backing = match target {
+            None => KvBacking::Contig(
+                rows.iter()
+                    .map(|(k, v)| {
+                        let mut kv = AttnKv::empty(self.dim);
+                        kv.extend_rows(k, v);
+                        kv
+                    })
+                    .collect(),
+            ),
+            Some(pool) => {
+                assert_eq!(pool.dim(), self.dim, "adopting pool sized for another model width");
+                let per_layer = pool.pages_for(len);
+                let mut pages = pool.alloc_pages(per_layer * rows.len()).unwrap_or_else(|| {
+                    panic!(
+                        "cannot adopt session of {len} positions: needs {} pages, {} free",
+                        per_layer * rows.len(),
+                        pool.free_pages()
+                    )
+                });
+                KvBacking::Paged {
+                    layers: rows
+                        .iter()
+                        .map(|(k, v)| {
+                            let mut kv = PagedAttnKv::new(pool.page_tokens(), self.dim);
+                            for _ in 0..per_layer {
+                                kv.push_page(pages.pop().expect("allocation covered every layer"));
+                            }
+                            kv.extend_rows(k, v);
+                            kv
+                        })
+                        .collect(),
+                    pool: pool.clone(),
+                }
+            }
+        };
+        let old = std::mem::replace(&mut self.backing, new_backing);
+        if let KvBacking::Paged { mut layers, pool } = old {
+            for l in &mut layers {
+                l.truncate(0);
+                pool.release_pages(l.release_unused());
+            }
+        }
+    }
+}
+
+impl Drop for KvCache {
+    /// A dropped paged cache returns every page — leave/recycle can never
+    /// leak pool capacity.
+    fn drop(&mut self) {
+        if let KvBacking::Paged { layers, pool } = &mut self.backing {
+            for l in layers {
+                l.truncate(0);
+                pool.release_pages(l.release_unused());
+            }
+        }
     }
 }
 
@@ -236,6 +456,14 @@ impl BatchedDecodeSession {
         self.slots.insert(BatchSlot { cache: KvCache::new(lm), ids: Vec::new() })
     }
 
+    /// Add a fresh sequence whose KV cache draws pages from `pool`;
+    /// appends reserve pages, truncate and leave return them. Paged and
+    /// contiguous slots cannot share one batched call (the whole batch
+    /// must use one backing).
+    pub fn join_paged(&mut self, lm: &TinyLm, pool: &PagePool) -> usize {
+        self.slots.insert(BatchSlot { cache: KvCache::new_paged(lm, pool), ids: Vec::new() })
+    }
+
     /// Drop a sequence, freeing its cache and recycling its id. Other
     /// slots are untouched.
     pub fn leave(&mut self, slot: usize) {
@@ -291,6 +519,18 @@ impl BatchedDecodeSession {
             .iter_entries()
             .map(|(i, s)| (i, s.cache.bytes()))
             .max_by_key(|&(i, b)| (b, usize::MAX - i))
+    }
+
+    /// Pool pages held across every active slot (0 when the session is
+    /// contiguous) — the allocator-invariant view the paging proptests
+    /// reconcile against the pool's own accounting.
+    pub fn pages_held(&self) -> usize {
+        self.slots.iter().map(|s| s.cache.pages_held()).sum()
+    }
+
+    /// Pages held by one slot's cache.
+    pub fn pages_of(&self, slot: usize) -> usize {
+        self.slots.get(slot).cache.pages_held()
     }
 }
 
@@ -425,8 +665,18 @@ impl TinyLm {
         let pos: Vec<usize> = (start..start + t_new).collect();
         let p = self.pos_emb.eval(store, &pos);
         let mut x = emb_new.add(&p);
-        for (blk, kv) in self.blocks.iter().zip(&mut cache.layers) {
-            x = blk.eval_cached(store, &x, kv);
+        cache.reserve(t_new);
+        match &mut cache.backing {
+            KvBacking::Contig(layers) => {
+                for (blk, kv) in self.blocks.iter().zip(layers) {
+                    x = blk.eval_cached(store, &x, kv);
+                }
+            }
+            KvBacking::Paged { layers, .. } => {
+                for (blk, kv) in self.blocks.iter().zip(layers) {
+                    x = blk.eval_cached(store, &x, kv);
+                }
+            }
         }
         self.ln_f.eval(store, &x)
     }
@@ -467,9 +717,36 @@ impl TinyLm {
         }
         let p = self.pos_emb.eval(store, &pos);
         let mut x = emb_new.add(&p);
+        for (cache, &n) in caches.iter_mut().zip(rows_per_slot) {
+            cache.reserve(n);
+        }
+        // The backing must be uniform across the batch: the stacked
+        // attention pass runs one monomorphized kernel per layer.
+        let paged = caches.first().is_some_and(|c| c.is_paged());
+        assert!(
+            caches.iter().all(|c| c.is_paged() == paged),
+            "a batched step cannot mix paged and contiguous KV caches"
+        );
         for (l, blk) in self.blocks.iter().enumerate() {
-            let mut kvs: Vec<&mut AttnKv> = caches.iter_mut().map(|c| &mut c.layers[l]).collect();
-            x = blk.eval_cached_batched(store, &x, rows_per_slot, &mut kvs);
+            x = if paged {
+                let mut kvs: Vec<&mut PagedAttnKv> = caches
+                    .iter_mut()
+                    .map(|c| match &mut c.backing {
+                        KvBacking::Paged { layers, .. } => &mut layers[l],
+                        KvBacking::Contig(_) => unreachable!("uniform backing asserted above"),
+                    })
+                    .collect();
+                blk.eval_cached_batched(store, &x, rows_per_slot, &mut kvs)
+            } else {
+                let mut kvs: Vec<&mut AttnKv> = caches
+                    .iter_mut()
+                    .map(|c| match &mut c.backing {
+                        KvBacking::Contig(layers) => &mut layers[l],
+                        KvBacking::Paged { .. } => unreachable!("uniform backing asserted above"),
+                    })
+                    .collect();
+                blk.eval_cached_batched(store, &x, rows_per_slot, &mut kvs)
+            };
         }
         self.ln_f.eval(store, &x)
     }
@@ -711,6 +988,98 @@ mod tests {
         batched.leave(a);
         let ids: Vec<usize> = batched.slots.iter_entries().map(|(i, _)| i).collect();
         assert_eq!(ids, vec![b, c]);
+    }
+
+    #[test]
+    fn paged_batched_decode_is_bit_identical_to_contiguous() {
+        // The same ragged batched decode through pool-backed slots must be
+        // byte-for-byte the contiguous result, across appends, divergence
+        // rollbacks and page-boundary crossings — and every page must be
+        // back in the pool once the slots leave.
+        use crate::paged::{PageConfig, PagePool};
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let pool = PagePool::for_model(&lm, PageConfig { page_tokens: 4, budget_bytes: 1 << 16 });
+        let mut rng = Rng::seeded(41);
+        let prompts: Vec<Vec<usize>> = [3usize, 7, 1, 5]
+            .iter()
+            .map(|&len| (0..len).map(|_| rng.below(16)).collect())
+            .collect();
+
+        let mut flat = lm.start_batched_session();
+        let mut paged = lm.start_batched_session();
+        let flat_slots: Vec<usize> = prompts.iter().map(|_| flat.join(&lm)).collect();
+        let paged_slots: Vec<usize> =
+            prompts.iter().map(|_| paged.join_paged(&lm, &pool)).collect();
+        let mut seqs = prompts.clone();
+        for step in 0..5 {
+            let freqs: Vec<(usize, &[usize])> =
+                flat_slots.iter().zip(&seqs).map(|(&sid, ids)| (sid, ids.as_slice())).collect();
+            let preqs: Vec<(usize, &[usize])> =
+                paged_slots.iter().zip(&seqs).map(|(&sid, ids)| (sid, ids.as_slice())).collect();
+            let want = lm.next_token_logits_batched(&s, &freqs, &mut flat);
+            let got = lm.next_token_logits_batched(&s, &preqs, &mut paged);
+            assert_eq!(want.data(), got.data(), "step {step}: paged decode diverged");
+            for (b, seq) in seqs.iter_mut().enumerate() {
+                let next = want
+                    .row(b)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, c| a.1.partial_cmp(c.1).unwrap())
+                    .unwrap()
+                    .0;
+                seq.push((next + b) % 16);
+                if step == 2 && b == 1 {
+                    // Divergence: rewrite the suffix so prefix-reuse
+                    // truncates mid-page next step.
+                    let keep = seq.len() / 2;
+                    seq.truncate(keep.max(1));
+                    seq.push((next + 7) % 16);
+                }
+            }
+            // Pool accounting matches the slots' page tables at each step.
+            assert_eq!(pool.used_pages(), paged.pages_held());
+            assert!(pool.used_pages() + pool.free_pages() == pool.capacity_pages());
+        }
+        // Truncate releases whole pages; leave releases everything.
+        paged.truncate(paged_slots[0], 1);
+        assert_eq!(pool.used_pages(), paged.pages_held());
+        for &slot in &paged_slots {
+            paged.leave(slot);
+        }
+        assert_eq!(pool.used_pages(), 0, "leave must return every page");
+    }
+
+    #[test]
+    fn adopt_rehomes_kv_between_layouts_without_changing_values() {
+        use crate::paged::{PageConfig, PagePool};
+        let mut s = ParamStore::new();
+        let lm = tiny(&mut s);
+        let pool_a = PagePool::for_model(&lm, PageConfig { page_tokens: 4, budget_bytes: 1 << 15 });
+        let pool_b = PagePool::for_model(&lm, PageConfig { page_tokens: 8, budget_bytes: 1 << 15 });
+        let ids = [1usize, 4, 9, 2, 7];
+
+        let mut cache = KvCache::new_paged(&lm, &pool_a);
+        let _ = lm.forward_hidden_cached(&s, &ids, &mut cache);
+        let held_a = pool_a.used_pages();
+        assert!(held_a > 0);
+
+        // paged(A) -> paged(B) -> contiguous -> paged(A): the decode must
+        // continue bit-identically to a session that never moved.
+        cache.adopt(Some(&pool_b));
+        assert_eq!(pool_a.used_pages(), 0, "re-homing returns the old pool's pages");
+        assert!(pool_b.used_pages() > 0);
+        cache.adopt(None);
+        assert_eq!(pool_b.used_pages(), 0);
+        cache.adopt(Some(&pool_a));
+        let hidden = lm.forward_hidden_cached(&s, &[5, 3], &mut cache);
+
+        let mut fresh = KvCache::new(&lm);
+        let _ = lm.forward_hidden_cached(&s, &ids, &mut fresh);
+        let want = lm.forward_hidden_cached(&s, &[5, 3], &mut fresh);
+        assert_eq!(hidden.data(), want.data(), "adopt changed the cached values");
+        drop(cache);
+        assert_eq!(pool_a.used_pages(), 0, "drop must return every page");
     }
 
     #[test]

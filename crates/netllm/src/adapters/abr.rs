@@ -461,6 +461,28 @@ impl ServedTask for NetLlmAbr {
         AbrEpisode::fresh(self.target_return)
     }
 
+    fn plan_rows(
+        &self,
+        ep: &AbrEpisode,
+        _obs: &AbrObservation,
+        session: &InferenceSession,
+    ) -> (usize, bool) {
+        // Mirrors `settle_and_push` + `step_tokens` without mutating: the
+        // incoming observation becomes step index `n = steps.len()`, so
+        // the incremental append is a settled action token plus one state
+        // (TOK_PER_STEP rows) and the re-anchor rebuild is `w` states with
+        // `w - 1` action tokens between them. Exactness is pinned by
+        // `plan_rows_matches_actual_plan` below.
+        let n = ep.episode.steps.len();
+        let grown = n - ep.anchor >= 2 * self.window;
+        if !session.is_empty() && session.fits(TOK_PER_STEP) && !grown {
+            (TOK_PER_STEP, false)
+        } else {
+            let w = self.window.min(n + 1);
+            (w * TOK_PER_STEP - 1, true)
+        }
+    }
+
     fn plan_step(
         &self,
         ep: &mut AbrEpisode,

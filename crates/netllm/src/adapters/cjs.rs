@@ -376,6 +376,28 @@ impl ServedTask for NetLlmCjs {
         CjsEpisode::fresh(self.target_return)
     }
 
+    fn plan_rows(
+        &self,
+        ep: &CjsEpisode,
+        obs: &CjsObs,
+        session: &InferenceSession,
+    ) -> (usize, bool) {
+        // Mirrors `plan_step`'s re-anchor rule without mutating: a
+        // decision appends `[rtg, graph, cand_1..c]` (2 + c rows), with
+        // `3 x` history triples in front on a rebuild. The rollback pass
+        // later shrinks the suffix (drops `c`, appends 1), so the plan
+        // rows are the step's peak. Exactness is pinned by
+        // `plan_rows_matches_actual_plan` below.
+        let c = obs.snap.candidates.len().clamp(1, MAX_CANDS);
+        let grown = ep.steps.len() - ep.anchor >= 2 * self.window;
+        if session.is_empty() || !session.fits(2 + c + 1) || grown {
+            let anchor = ep.steps.len().saturating_sub(self.window - 1);
+            (3 * (ep.steps.len() - anchor) + 2 + c, true)
+        } else {
+            (2 + c, false)
+        }
+    }
+
     fn plan_step(&self, ep: &mut CjsEpisode, obs: &CjsObs, session: &InferenceSession) -> StepPlan {
         let c = obs.snap.candidates.len().min(MAX_CANDS);
         assert!(c > 0, "CJS decision needs at least one candidate");

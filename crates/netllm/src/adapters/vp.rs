@@ -242,6 +242,19 @@ impl ServedTask for NetLlmVp {
         VpSlot
     }
 
+    fn plan_rows(
+        &self,
+        _slot: &VpSlot,
+        obs: &VpQuery,
+        _session: &InferenceSession,
+    ) -> (usize, bool) {
+        // `[saliency patches | history-delta tokens | pw query tokens]`,
+        // always on a cleared session — countable without encoding.
+        let pw = obs.pw.min(self.max_pw);
+        let hist = obs.sample.history.len().saturating_sub(1);
+        (self.img_enc.num_patches() + hist + pw, true)
+    }
+
     fn plan_step(
         &self,
         _slot: &mut VpSlot,

@@ -19,7 +19,7 @@
 //! full re-encode every step, because sliding the window shifts every
 //! token's absolute position).
 
-use nt_llm::{KvCache, TinyLm};
+use nt_llm::{KvCache, PagePool, TinyLm};
 use nt_nn::ParamStore;
 use nt_tensor::Tensor;
 
@@ -33,6 +33,36 @@ impl InferenceSession {
     /// Fresh session shaped for `lm`, capped at the backbone's context.
     pub fn new(lm: &TinyLm) -> Self {
         InferenceSession { cache: KvCache::new(lm), max_tokens: lm.cfg.max_seq }
+    }
+
+    /// Fresh session whose KV cache draws fixed-size pages from `pool`:
+    /// appends reserve pages, truncate/clear/drop return them, so the
+    /// session can never grow past what the pool budget affords.
+    pub fn paged(lm: &TinyLm, pool: &PagePool) -> Self {
+        InferenceSession { cache: KvCache::new_paged(lm, pool), max_tokens: lm.cfg.max_seq }
+    }
+
+    /// Whether this session's KV cache is page-backed.
+    pub fn is_paged(&self) -> bool {
+        self.cache.is_paged()
+    }
+
+    /// Re-home the KV cache onto `pool` (`None` = contiguous) — values are
+    /// preserved exactly, so answers stay bit-identical across the move.
+    /// No-op when the backing already matches; see `KvCache::adopt`.
+    pub fn adopt(&mut self, pool: Option<&PagePool>) {
+        self.cache.adopt(pool);
+    }
+
+    /// Pool pages held by this session's cache (0 when contiguous).
+    pub fn pages_held(&self) -> usize {
+        self.cache.pages_held()
+    }
+
+    /// Pages this session would have to allocate to append `rows` more
+    /// token positions (0 when contiguous).
+    pub fn pages_needed(&self, rows: usize) -> usize {
+        self.cache.pages_needed(rows)
     }
 
     /// Number of token positions currently cached.

@@ -150,6 +150,20 @@ impl ServedTask for NetLlmFleet<'_> {
         }
     }
 
+    fn plan_rows(
+        &self,
+        slot: &FleetSlot,
+        obs: &FleetObs,
+        session: &InferenceSession,
+    ) -> (usize, bool) {
+        match (slot, obs) {
+            (FleetSlot::Abr(ep), FleetObs::Abr(o)) => self.abr.plan_rows(ep, o, session),
+            (FleetSlot::Cjs(ep), FleetObs::Cjs(o)) => self.cjs.plan_rows(ep, o, session),
+            (FleetSlot::Vp(sl), FleetObs::Vp(o)) => self.vp.plan_rows(sl, o, session),
+            _ => panic!("fleet observation does not match the session's task"),
+        }
+    }
+
     fn plan_step(
         &self,
         slot: &mut FleetSlot,

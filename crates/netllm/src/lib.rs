@@ -58,7 +58,9 @@ pub use heads::{AbrHead, CjsHeads, VpHead};
 pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
 };
-pub use sched::{AdmissionPolicy, AdmissionQueue, Arrival, TickReport, Ticket};
+pub use sched::{
+    AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, TickReport, Ticket,
+};
 pub use serving::{
     ParkedSlot, RollbackPlan, ServedTask, ServingEngine, SessionId, StepOutcome, StepPlan,
 };
@@ -67,4 +69,4 @@ pub use settings::{
     ABR_UNSEEN3, CJS_DEFAULT, CJS_UNSEEN1, CJS_UNSEEN2, CJS_UNSEEN3, VP_DEFAULT, VP_UNSEEN1,
     VP_UNSEEN2, VP_UNSEEN3,
 };
-pub use shard::{GlobalSessionId, ShardedServer};
+pub use shard::{GlobalSessionId, LeaveReport, ShardedServer};

@@ -37,6 +37,13 @@ impl ImageEncoder {
         ImageEncoder { patch, grid, patch_size, feat_dim }
     }
 
+    /// Patch tokens one image expands into (`(grid / patch_size)^2`) —
+    /// lets the memory scheduler size a query without encoding it.
+    pub fn num_patches(&self) -> usize {
+        let per_side = self.grid / self.patch_size;
+        per_side * per_side
+    }
+
     fn patchify(&self, img: &Tensor) -> Tensor {
         assert_eq!(img.shape(), &[self.grid, self.grid], "image shape");
         let p = self.patch_size;

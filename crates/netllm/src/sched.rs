@@ -127,6 +127,18 @@ impl<O> AdmissionQueue<O> {
         self.entries.push_back(arrival);
     }
 
+    /// Put already-drained arrivals back at the *head* of the queue, in
+    /// the given order — the memory scheduler's deferral path: when the
+    /// page pool cannot cover a tick's demand even after eviction, the
+    /// youngest drained arrivals go back here so the next drain serves
+    /// them first and FIFO-per-session is preserved. Bypasses the cap
+    /// (the arrivals hold tickets already).
+    pub fn requeue_front(&mut self, arrivals: Vec<Arrival<O>>) {
+        for a in arrivals.into_iter().rev() {
+            self.entries.push_front(a);
+        }
+    }
+
     /// Drain one tick's batch: arrivals in FIFO order, skipping (keeping
     /// queued) any session already taken this drain — a session advances
     /// at most one decision per tick, so within-session order is
@@ -236,6 +248,43 @@ impl AdmissionPolicy {
     }
 }
 
+/// How a memory-backed fleet reclaims KV pages when a tick's page demand
+/// exceeds the pool's free list. Orthogonal to [`AdmissionPolicy`]: the
+/// admission policy decides *where* sessions live, the eviction policy
+/// decides *whose cache dies* under pressure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EvictionPolicy {
+    /// Never reclaim: under pressure the scheduler only defers drained
+    /// arrivals back to the queues (and a lockstep `step` over demand
+    /// panics). For operators who size the pool for the worst case and
+    /// want deferral-only backpressure.
+    None,
+    /// Clear the coldest (least-recently-served) idle session's pages; it
+    /// re-anchors from its episode log on its next step, exactly like a
+    /// context-full re-anchor. Ties break to the session holding the most
+    /// pages (biggest reclaim), then the lowest id (determinism) — the
+    /// `last_served` + `heaviest` ordering.
+    #[default]
+    ColdestReanchor,
+}
+
+/// What the memory guard did at one tick boundary (pool occupancy,
+/// reclaims, deferrals) — `None`-pool fleets report an empty guard.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryReport {
+    /// Sessions whose KV pages were reclaimed this tick (they re-anchor
+    /// on their next step).
+    pub evicted: Vec<u64>,
+    /// Drained arrivals pushed back to their queues because the pool
+    /// could not cover them even after eviction (served on later ticks —
+    /// their tickets stay pending, nothing is lost).
+    pub deferred: usize,
+    /// Pool bytes lent out at the end of the tick, after the step's
+    /// allocations (≤ the pool budget, by construction — the pool never
+    /// mints past it).
+    pub used_bytes: usize,
+}
+
 /// What one [`crate::ShardedServer::tick`] did — the observable record of
 /// a tick cycle (the leaves since the previous tick plus this tick's
 /// drain, step and steering pass).
@@ -255,6 +304,8 @@ pub struct TickReport {
     pub pending: usize,
     /// Served counts per adapter tag ([`crate::ServedTask::task_label`]).
     pub served_by_label: Vec<(&'static str, usize)>,
+    /// What the paged-memory guard did this tick (empty without a pool).
+    pub memory: MemoryReport,
 }
 
 #[cfg(test)]
@@ -307,6 +358,23 @@ mod tests {
         assert_eq!(q.drain_tick().len(), 3, "distinct sessions all drain");
         assert!(q.is_empty());
         q.push(arrival(4, 5)).unwrap();
+    }
+
+    #[test]
+    fn requeue_front_preserves_fifo_for_the_next_drain() {
+        // Deferral pushes drained arrivals back to the head: the next
+        // drain must serve them before anything that queued behind them,
+        // in their original order.
+        let mut q = AdmissionQueue::with_capacity(2);
+        q.push(arrival(0, 1)).unwrap();
+        q.push(arrival(1, 2)).unwrap();
+        let drained = q.drain_tick();
+        assert_eq!(drained.len(), 2);
+        q.push(arrival(2, 3)).unwrap();
+        q.requeue_front(drained); // both deferred, original order
+        assert_eq!(q.len(), 3, "requeue_front bypasses the cap");
+        let next: Vec<u64> = q.drain_tick().iter().map(|a| a.ticket.0).collect();
+        assert_eq!(next, vec![0, 1, 2], "deferred arrivals drain first, FIFO preserved");
     }
 
     #[test]

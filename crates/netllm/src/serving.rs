@@ -41,7 +41,7 @@
 //! [`crate::ShardedServer`].
 
 use crate::backbone::{append_batched, InferenceSession};
-use nt_llm::{SlotMap, TinyLm};
+use nt_llm::{PagePool, SlotMap, TinyLm};
 use nt_nn::ParamStore;
 use nt_tensor::Tensor;
 
@@ -132,6 +132,24 @@ pub trait ServedTask {
         session: &InferenceSession,
     ) -> StepPlan;
 
+    /// Token rows the next [`ServedTask::plan_step`] for `(slot, obs)`
+    /// will append, and whether it will clear the session first — computed
+    /// *without* running the encoders and without mutating the slot, so
+    /// the paged-memory scheduler can reserve pages (and evict or defer)
+    /// ahead of the step. An upper bound is acceptable (over-estimates
+    /// only cost deferrals); the adapters in this crate return the exact
+    /// count (unit-tested against the actual plan). The default is the
+    /// conservative worst case: fill the remaining context, no clear.
+    fn plan_rows(
+        &self,
+        slot: &Self::Slot,
+        obs: &Self::Obs,
+        session: &InferenceSession,
+    ) -> (usize, bool) {
+        let _ = (slot, obs);
+        (session.max_tokens() - session.len(), false)
+    }
+
     /// Phase-3 hook: read the task head over this slot's new hidden rows
     /// `[n, d_model]` (exactly the rows planned this tick), commit the
     /// decision to the episode, and optionally request a candidate
@@ -179,9 +197,19 @@ pub struct ParkedSlot<T: ServedTask>(EngineSlot<T>);
 /// model weights. The engine owns only per-session state; the model
 /// (weights, encoders, heads) is borrowed per call, so one adapted
 /// checkpoint can back any number of engines.
+///
+/// With a page pool attached ([`ServingEngine::with_page_pool`]) every
+/// admitted session's KV cache is page-backed: total KV across the pool's
+/// engines is hard-bounded by the pool budget, and the engine exposes the
+/// memory-pressure mechanisms ([`ServingEngine::page_demand`],
+/// [`ServingEngine::evict`], [`ServingEngine::pool_stats`]) that
+/// `ShardedServer`'s eviction policy drives.
 pub struct ServingEngine<T: ServedTask> {
     slots: SlotMap<EngineSlot<T>>,
     next_gen: u32,
+    /// KV pages for admitted sessions come from here when set (possibly
+    /// shared with other engines — the budget is global to the pool).
+    pool: Option<PagePool>,
     /// Cumulative per-phase wall time (plan+backbone / rollback pass /
     /// head+settle), for the profiling bin.
     pub phase_times: [std::time::Duration; 3],
@@ -192,15 +220,102 @@ impl<T: ServedTask> Default for ServingEngine<T> {
         ServingEngine {
             slots: SlotMap::new(),
             next_gen: 0,
+            pool: None,
             phase_times: [std::time::Duration::ZERO; 3],
         }
     }
 }
 
 impl<T: ServedTask> ServingEngine<T> {
-    /// Engine with no live sessions.
+    /// Engine with no live sessions (contiguous, unbounded KV caches).
     pub fn new() -> Self {
         ServingEngine::default()
+    }
+
+    /// Engine whose sessions draw KV pages from `pool`. Clones of one
+    /// pool handle share one budget — a sharded fleet passes the same
+    /// pool to every shard for a fleet-wide bound.
+    pub fn with_page_pool(pool: PagePool) -> Self {
+        ServingEngine { pool: Some(pool), ..ServingEngine::default() }
+    }
+
+    /// The pool this engine's sessions draw pages from, if any.
+    pub fn page_pool(&self) -> Option<&PagePool> {
+        self.pool.as_ref()
+    }
+
+    /// Occupancy of the attached pool (`None` for contiguous engines).
+    pub fn pool_stats(&self) -> Option<nt_llm::PoolStats> {
+        self.pool.as_ref().map(PagePool::stats)
+    }
+
+    /// Pages the batch `requests` could allocate this tick, assuming the
+    /// worst case the task declares via [`ServedTask::plan_rows`]. Clears
+    /// (re-anchors) are charged their full new size rather than netted
+    /// against the pages they free, so the estimate is safe under any
+    /// band/thread interleaving of frees and allocations inside the step.
+    pub fn page_demand(&self, task: &T, requests: &[(SessionId, &T::Obs)]) -> usize {
+        let Some(pool) = &self.pool else { return 0 };
+        requests
+            .iter()
+            .map(|&(id, obs)| {
+                self.check(id);
+                let slot = self.slots.get(id.index());
+                let (rows, clears) = task.plan_rows(&slot.state, obs, &slot.session);
+                if clears {
+                    // Counted from empty: the freed pages are not assumed
+                    // reusable within this tick.
+                    task.backbone(task.group_of(&slot.state)).0.cfg.n_layers * pool.pages_for(rows)
+                } else {
+                    slot.session.pages_needed(rows)
+                }
+            })
+            .sum()
+    }
+
+    /// Return the pages of every batch session whose next plan clears
+    /// (re-anchors) anyway: the rebuild never reads the old cache, so
+    /// clearing it *before* the step is semantically free — the step's
+    /// `plan_step` sees an empty session and takes the same rebuild
+    /// branch with the same tokens. Doing it up front lets the memory
+    /// guard count those pages as available under any thread
+    /// interleaving, so a re-anchoring giant session can never wedge the
+    /// pool against its own rebuild. Returns the pages freed. Not an
+    /// eviction: answers are unchanged, so it is never reported as one.
+    pub fn release_reanchor_pages(&mut self, task: &T, requests: &[(SessionId, &T::Obs)]) -> usize {
+        if self.pool.is_none() {
+            return 0;
+        }
+        let mut freed = 0usize;
+        for &(id, obs) in requests {
+            self.check(id);
+            let slot = self.slots.get_mut(id.index());
+            let (_, clears) = task.plan_rows(&slot.state, obs, &slot.session);
+            if clears && slot.session.pages_held() > 0 {
+                freed += slot.session.pages_held();
+                slot.session.clear();
+            }
+        }
+        freed
+    }
+
+    /// Reclaim a session's pages by dropping its KV cache (the episode
+    /// state survives). The session re-anchors from its episode log on
+    /// its next step — every adapter's `plan_step` rebuilds from an empty
+    /// session — so subsequent answers equal a session that re-anchored
+    /// at this tick. Returns the pages freed.
+    pub fn evict(&mut self, id: SessionId) -> usize {
+        self.check(id);
+        let slot = self.slots.get_mut(id.index());
+        let pages = slot.session.pages_held();
+        slot.session.clear();
+        pages
+    }
+
+    /// Pool pages held by one session (0 for contiguous sessions).
+    pub fn pages_of(&self, id: SessionId) -> usize {
+        self.check(id);
+        self.slots.get(id.index()).session.pages_held()
     }
 
     /// Admit a new session on backbone group 0 (the only group of a
@@ -214,9 +329,28 @@ impl<T: ServedTask> ServingEngine<T> {
     /// under a fresh generation.
     pub fn join_group(&mut self, task: &T, group: usize) -> SessionId {
         assert!(group < task.groups(), "group {group} out of range ({})", task.groups());
+        let lm = task.backbone(group).0;
+        let session = match &self.pool {
+            Some(pool) => {
+                // Below this floor a single session's re-anchor rebuild can
+                // exceed the whole pool with nothing left to evict — the
+                // queued front end would defer its arrival forever.
+                // `PagePool::for_model` checks one backbone; this covers
+                // every backbone actually admitted (heterogeneous fleets).
+                let floor = lm.cfg.n_layers * pool.pages_for(lm.cfg.max_seq);
+                assert!(
+                    pool.capacity_pages() >= floor,
+                    "page pool too small for group {group}'s backbone: one full-context \
+                     session needs {floor} pages, capacity {} — raise budget_bytes",
+                    pool.capacity_pages()
+                );
+                InferenceSession::paged(lm, pool)
+            }
+            None => InferenceSession::new(lm),
+        };
         self.admit(ParkedSlot(EngineSlot {
             state: task.new_slot(group),
-            session: InferenceSession::new(task.backbone(group).0),
+            session,
             last_logits: Vec::new(),
             gen: 0,
         }))
@@ -237,11 +371,15 @@ impl<T: ServedTask> ServingEngine<T> {
     }
 
     /// Re-admit a parked session; returns its new id (the old one is
-    /// dead: admission always bumps the generation).
+    /// dead: admission always bumps the generation). The session's KV
+    /// cache is re-homed onto this engine's memory mode (same pool: no-op;
+    /// different pool or contiguous: values copied exactly), so a parked
+    /// slot moves between engines without changing any answer.
     pub fn admit(&mut self, parked: ParkedSlot<T>) -> SessionId {
         self.next_gen += 1;
         let gen = self.next_gen;
         let mut slot = parked.0;
+        slot.session.adopt(self.pool.as_ref());
         slot.gen = gen;
         let idx = self.slots.insert(slot);
         SessionId { idx: idx as u32, gen }

@@ -47,8 +47,12 @@
 //! same route-table design extends to per-process and per-host shards
 //! later — a shard is just an index.
 
-use crate::sched::{fnv1a, AdmissionPolicy, AdmissionQueue, Arrival, TickReport, Ticket};
+use crate::sched::{
+    fnv1a, AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, TickReport,
+    Ticket,
+};
 use crate::serving::{ServedTask, ServingEngine, SessionId};
+use nt_llm::{PagePool, PoolStats};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Fleet-wide session handle issued by [`ShardedServer::join`].
@@ -56,6 +60,26 @@ pub type GlobalSessionId = u64;
 
 /// Pending arrivals a shard's queue accepts before `submit` pushes back.
 const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// What [`ShardedServer::leave`] hands back: nothing of a departing
+/// session is silently dropped — served-but-unpolled actions and
+/// still-queued arrivals (whose tickets will now never resolve) come back
+/// to the caller, oldest first.
+#[must_use = "a departing session's unpolled actions and queued arrivals are returned, not dropped"]
+#[derive(Debug)]
+pub struct LeaveReport<A, O> {
+    /// Served actions the session never polled, by ticket, oldest first.
+    pub unpolled: Vec<(Ticket, A)>,
+    /// Arrivals still queued at departure, by ticket, oldest first.
+    pub dropped_arrivals: Vec<(Ticket, O)>,
+}
+
+impl<A, O> LeaveReport<A, O> {
+    /// True when the session left nothing behind.
+    pub fn is_clean(&self) -> bool {
+        self.unpolled.is_empty() && self.dropped_arrivals.is_empty()
+    }
+}
 
 /// K independent [`ServingEngine`] shards behind a route table, with a
 /// lockstep and a continuous (queue/tick/poll) front end.
@@ -86,6 +110,12 @@ pub struct ShardedServer<T: ServedTask> {
     /// cache-aware steering both consult and feed this, so no session is
     /// migrated twice between consecutive tick boundaries.
     steered_this_tick: BTreeSet<GlobalSessionId>,
+    /// Fleet-wide KV page pool (every shard's sessions draw from it); the
+    /// global hard bound on KV memory when set.
+    pool: Option<PagePool>,
+    /// How the memory guard reclaims pages when a tick's demand exceeds
+    /// the pool's free list.
+    eviction: EvictionPolicy,
 }
 
 impl<T: ServedTask> ShardedServer<T> {
@@ -96,9 +126,39 @@ impl<T: ServedTask> ShardedServer<T> {
 
     /// A fleet of `num_shards` empty engines admitting under `policy`.
     pub fn with_policy(num_shards: usize, policy: AdmissionPolicy) -> Self {
+        Self::build(num_shards, policy, None, EvictionPolicy::None)
+    }
+
+    /// A fleet whose sessions draw KV pages from one fleet-wide `pool`:
+    /// total KV bytes are hard-bounded by the pool budget at every
+    /// instant. Each tick boundary runs the memory guard — reserve pages
+    /// for the tick's exact demand ([`ServedTask::plan_rows`]), reclaim
+    /// under pressure per `eviction`, and defer drained arrivals back to
+    /// their admission queues when even eviction cannot cover the tick
+    /// (backpressure instead of OOM growth).
+    pub fn with_memory(
+        num_shards: usize,
+        policy: AdmissionPolicy,
+        pool: PagePool,
+        eviction: EvictionPolicy,
+    ) -> Self {
+        Self::build(num_shards, policy, Some(pool), eviction)
+    }
+
+    fn build(
+        num_shards: usize,
+        policy: AdmissionPolicy,
+        pool: Option<PagePool>,
+        eviction: EvictionPolicy,
+    ) -> Self {
         assert!(num_shards >= 1, "a fleet needs at least one shard");
         ShardedServer {
-            shards: (0..num_shards).map(|_| ServingEngine::new()).collect(),
+            shards: (0..num_shards)
+                .map(|_| match &pool {
+                    Some(p) => ServingEngine::with_page_pool(p.clone()),
+                    None => ServingEngine::new(),
+                })
+                .collect(),
             routes: BTreeMap::new(),
             groups: BTreeMap::new(),
             next_id: 0,
@@ -111,7 +171,29 @@ impl<T: ServedTask> ShardedServer<T> {
             tick_no: 0,
             last_served: BTreeMap::new(),
             steered_this_tick: BTreeSet::new(),
+            pool,
+            eviction,
         }
+    }
+
+    /// The fleet-wide page pool, if the fleet is memory-bounded.
+    pub fn page_pool(&self) -> Option<&PagePool> {
+        self.pool.as_ref()
+    }
+
+    /// Occupancy of the fleet-wide pool (`None` for unbounded fleets).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(PagePool::stats)
+    }
+
+    /// The active eviction policy.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.eviction
+    }
+
+    /// Swap the eviction policy (applies from the next memory guard run).
+    pub fn set_eviction_policy(&mut self, eviction: EvictionPolicy) {
+        self.eviction = eviction;
     }
 
     /// Replace the per-shard backpressure cap (only while no arrival is
@@ -166,22 +248,38 @@ impl<T: ServedTask> ShardedServer<T> {
         id
     }
 
-    /// Remove a session, dropping its KV cache, any still-queued arrivals
-    /// and any served-but-unpolled actions (its tickets never resolve
-    /// after this — poll outstanding tickets before leaving; nothing of a
-    /// departed session lingers in the server). Then rebalance: while
-    /// departures leave the fullest shard ≥ 2 sessions above the
-    /// emptiest, steer the fullest shard's lowest-id session over (at
-    /// most once per session per tick cycle).
-    pub fn leave(&mut self, id: GlobalSessionId) {
+    /// Remove a session, dropping its KV cache (a paged cache returns
+    /// every page to the pool). Nothing of the session lingers in the
+    /// server — and nothing is silently dropped either: its
+    /// served-but-unpolled actions and still-queued arrivals (whose
+    /// tickets will now never resolve) come back in the [`LeaveReport`].
+    /// Then rebalance: while departures leave the fullest shard ≥ 2
+    /// sessions above the emptiest, steer the fullest shard's lowest-id
+    /// session over (at most once per session per tick cycle).
+    pub fn leave(&mut self, id: GlobalSessionId) -> LeaveReport<T::Action, T::Obs> {
         let (shard, local) = self.routes.remove(&id).expect("unknown session id");
-        let _ = self.queues[shard].remove_session(id);
-        self.completed.retain(|_, &mut (session, _)| session != id);
+        let dropped_arrivals: Vec<(Ticket, T::Obs)> =
+            self.queues[shard].remove_session(id).into_iter().map(|a| (a.ticket, a.obs)).collect();
+        // BTreeMap order: tickets ascending, i.e. oldest first.
+        let banked: Vec<Ticket> = self
+            .completed
+            .iter()
+            .filter(|(_, &(session, _))| session == id)
+            .map(|(&t, _)| t)
+            .collect();
+        let unpolled: Vec<(Ticket, T::Action)> = banked
+            .into_iter()
+            .map(|t| {
+                let (_, action) = self.completed.remove(&t).expect("ticket collected above");
+                (t, action)
+            })
+            .collect();
         self.groups.remove(&id);
         self.last_served.remove(&id);
         self.steered_this_tick.remove(&id);
         self.shards[shard].leave(local);
         while self.rebalance_once() {}
+        LeaveReport { unpolled, dropped_arrivals }
     }
 
     /// One rebalance move, if the fleet is skewed. Returns whether a
@@ -313,11 +411,161 @@ impl<T: ServedTask> ShardedServer<T> {
         self.completed.remove(&ticket).map(|(_, action)| action)
     }
 
+    /// Coldest idle session holding pool pages — the
+    /// [`EvictionPolicy::ColdestReanchor`] victim order: least recently
+    /// served first, ties to the most pages held (biggest reclaim), then
+    /// the lowest id. Sessions in `busy` (about to be served this tick)
+    /// are never victims.
+    fn coldest_idle_victim(&self, busy: &BTreeSet<GlobalSessionId>) -> Option<GlobalSessionId> {
+        self.routes
+            .iter()
+            .filter(|(id, &(s, l))| !busy.contains(id) && self.shards[s].pages_of(l) > 0)
+            .min_by_key(|(&id, &(s, l))| {
+                (
+                    self.last_served.get(&id).copied().unwrap_or(0),
+                    usize::MAX - self.shards[s].pages_of(l),
+                    id,
+                )
+            })
+            .map(|(&id, _)| id)
+    }
+
+    /// One shard's drained batch as `(local id, obs)` requests.
+    fn requests_of<'a>(
+        routes: &BTreeMap<GlobalSessionId, (usize, SessionId)>,
+        shard: usize,
+        batch: &'a [Arrival<T::Obs>],
+    ) -> Vec<(SessionId, &'a T::Obs)> {
+        batch
+            .iter()
+            .map(|a| {
+                let &(s, local) = routes.get(&a.session).expect("queued session left the fleet");
+                debug_assert_eq!(s, shard, "queued arrival on the wrong shard");
+                (local, &a.obs)
+            })
+            .collect()
+    }
+
+    /// Pages the drained batches could allocate this tick (exact
+    /// [`ServedTask::plan_rows`] counts; clears charged from empty so no
+    /// band interleaving can starve a reservation).
+    fn batch_demand(&self, task: &T, drained: &[Vec<Arrival<T::Obs>>]) -> usize {
+        drained
+            .iter()
+            .enumerate()
+            .map(|(s, batch)| {
+                self.shards[s].page_demand(task, &Self::requests_of(&self.routes, s, batch))
+            })
+            .sum()
+    }
+
+    /// Pre-release the pages of every drained session whose plan clears
+    /// (re-anchors) anyway — semantically free (the rebuild never reads
+    /// them; see [`ServingEngine::release_reanchor_pages`]) and the
+    /// reason a re-anchoring giant session can never wedge the pool
+    /// against its own rebuild.
+    fn release_reanchor_pages(&mut self, task: &T, drained: &[Vec<Arrival<T::Obs>>]) {
+        for (s, batch) in drained.iter().enumerate() {
+            let reqs = Self::requests_of(&self.routes, s, batch);
+            let _ = self.shards[s].release_reanchor_pages(task, &reqs);
+        }
+    }
+
+    /// The scheduled front end's memory guard, run between the drain and
+    /// the step: re-anchoring sessions return their pages up front, then
+    /// while the tick's page demand exceeds the pool's free list, reclaim
+    /// the coldest idle session's pages (it re-anchors on its next step);
+    /// when no victim remains, defer the youngest drained arrivals back
+    /// to the *front* of their queues — admission backpressure instead of
+    /// OOM growth, and their tickets stay pending, so nothing is lost.
+    /// After this guard every reservation inside the step succeeds under
+    /// any thread interleaving. (Evictions only grow the free list, so
+    /// demand is recomputed only when a deferral shrinks the batch.)
+    fn memory_guard(&mut self, task: &T, drained: &mut [Vec<Arrival<T::Obs>>]) -> MemoryReport {
+        let mut report = MemoryReport::default();
+        let Some(pool) = self.pool.clone() else { return report };
+        self.release_reanchor_pages(task, drained);
+        let mut demand = self.batch_demand(task, drained);
+        loop {
+            if demand <= pool.free_pages() {
+                break;
+            }
+            if self.eviction == EvictionPolicy::ColdestReanchor {
+                let busy: BTreeSet<GlobalSessionId> =
+                    drained.iter().flatten().map(|a| a.session).collect();
+                if let Some(victim) = self.coldest_idle_victim(&busy) {
+                    let &(s, l) = self.routes.get(&victim).expect("victim is routed");
+                    let _ = self.shards[s].evict(l);
+                    report.evicted.push(victim);
+                    continue;
+                }
+            }
+            // No reclaimable victim: defer the globally youngest drained
+            // arrival. Front-requeue preserves FIFO per session, and the
+            // loop converges — every deferral strictly shrinks the batch,
+            // and a batch of one always fits: its session either grows
+            // incrementally (held + delta ≤ one full-context session ≤
+            // capacity) or re-anchors (pages pre-released above, rebuild ≤
+            // one full-context session ≤ capacity — the `for_model`
+            // floor; regression-tested in tests/paged_serving.rs).
+            let youngest = drained
+                .iter()
+                .enumerate()
+                .filter_map(|(s, b)| b.last().map(|a| (a.ticket, s)))
+                .max_by_key(|&(ticket, _)| ticket);
+            let Some((_, s)) = youngest else { break };
+            let arrival = drained[s].pop().expect("shard batch has a last element");
+            self.queues[s].requeue_front(vec![arrival]);
+            report.deferred += 1;
+            demand = self.batch_demand(task, drained);
+        }
+        report
+    }
+
+    /// The lockstep front end's memory guard: same pre-release + eviction
+    /// pass, but a lockstep batch cannot be deferred — when even eviction
+    /// cannot cover the batch the server panics with the sizing instead
+    /// of letting a mid-step reservation fail opaquely.
+    fn memory_guard_lockstep(
+        &mut self,
+        task: &T,
+        per: &[Vec<(SessionId, &T::Obs)>],
+        busy: &BTreeSet<GlobalSessionId>,
+    ) {
+        let Some(pool) = self.pool.clone() else { return };
+        for (s, reqs) in per.iter().enumerate() {
+            let _ = self.shards[s].release_reanchor_pages(task, reqs);
+        }
+        let demand: usize =
+            self.shards.iter().zip(per).map(|(e, reqs)| e.page_demand(task, reqs)).sum();
+        while demand > pool.free_pages() {
+            let victim = (self.eviction == EvictionPolicy::ColdestReanchor)
+                .then(|| self.coldest_idle_victim(busy))
+                .flatten();
+            match victim {
+                Some(v) => {
+                    let &(s, l) = self.routes.get(&v).expect("victim is routed");
+                    let _ = self.shards[s].evict(l);
+                }
+                None => panic!(
+                    "page pool cannot cover this lockstep batch: demand {demand} pages, \
+                     {} free of {} — use the queued front end (submit/tick/poll) for \
+                     deferral, raise the budget, or shrink the batch",
+                    pool.free_pages(),
+                    pool.capacity_pages()
+                ),
+            }
+        }
+    }
+
     /// Serve one scheduled tick: every shard drains its queue at this
     /// tick boundary (at most one arrival per session, FIFO within a
-    /// session), busy shards run one batched [`ServingEngine::step`] each
-    /// (on `NT_THREADS` scoped workers, as in lockstep serving), served
-    /// actions are banked for [`ShardedServer::poll`], and — under
+    /// session), the memory guard reserves the tick's page demand
+    /// (evicting / deferring under pressure — see
+    /// [`ShardedServer::with_memory`]), busy shards run one batched
+    /// [`ServingEngine::step`] each (on `NT_THREADS` scoped workers, as in
+    /// lockstep serving), served actions are banked for
+    /// [`ShardedServer::poll`], and — under
     /// [`AdmissionPolicy::CacheAware`] — the steering pass migrates the
     /// coldest sessions off any shard whose KV bytes crossed the budget.
     /// Per-slot math is identical to the lockstep path, so scheduled and
@@ -333,23 +581,15 @@ impl<T: ServedTask> ShardedServer<T> {
         self.tick_no += 1;
         let tick = self.tick_no;
 
-        // Drain every shard's queue at the boundary.
-        let drained: Vec<Vec<Arrival<T::Obs>>> =
+        // Drain every shard's queue at the boundary, then reserve the
+        // tick's page demand (evicting / deferring under pressure).
+        let mut drained: Vec<Vec<Arrival<T::Obs>>> =
             self.queues.iter_mut().map(AdmissionQueue::drain_tick).collect();
+        let mut memory = self.memory_guard(task, &mut drained);
         let per: Vec<Vec<(SessionId, &T::Obs)>> = drained
             .iter()
             .enumerate()
-            .map(|(s, batch)| {
-                batch
-                    .iter()
-                    .map(|a| {
-                        let &(shard, local) =
-                            self.routes.get(&a.session).expect("queued session left the fleet");
-                        debug_assert_eq!(shard, s, "queued arrival on the wrong shard");
-                        (local, &a.obs)
-                    })
-                    .collect()
-            })
+            .map(|(s, batch)| Self::requests_of(&self.routes, s, batch))
             .collect();
 
         // Step the busy shards (same fan-out as lockstep `step`).
@@ -376,12 +616,16 @@ impl<T: ServedTask> ShardedServer<T> {
         // double-migration guard.
         let steered: Vec<GlobalSessionId> =
             std::mem::take(&mut self.steered_this_tick).into_iter().collect();
+        if let Some(pool) = &self.pool {
+            memory.used_bytes = pool.used_bytes();
+        }
         TickReport {
             tick,
             served,
             steered,
             pending: self.pending(),
             served_by_label: by_label.into_iter().collect(),
+            memory,
         }
     }
 
@@ -466,6 +710,8 @@ impl<T: ServedTask> ShardedServer<T> {
             placement.push(shard);
             per[shard].push((local, obs));
         }
+        let busy: BTreeSet<GlobalSessionId> = requests.iter().map(|&(id, _)| id).collect();
+        self.memory_guard_lockstep(task, &per, &busy);
         let results = self.step_partitioned(task, &per);
         self.tick_no += 1;
         for &(id, _) in requests {
@@ -633,7 +879,8 @@ mod tests {
                 server.steer(ids[0], 1 - server.home_shard(ids[0]));
             }
             if chunk == 4 {
-                server.leave(ids[4]);
+                let report = server.leave(ids[4]);
+                assert!(report.is_clean(), "lockstep sessions leave nothing behind");
                 let per = server.active_per_shard();
                 assert!(
                     per.iter().max().unwrap() - per.iter().min().unwrap() <= 1,
@@ -707,10 +954,16 @@ mod tests {
         let t1 = server.submit(id, obs[1].clone()).unwrap();
         let _ = server.tick(&m); // serves obs[0]; obs[1] stays queued
         assert_eq!((server.ready(), server.pending()), (1, 1));
-        server.leave(id);
+        let report = server.leave(id);
         assert_eq!((server.ready(), server.pending()), (0, 0), "no residue after leave");
         assert_eq!(server.poll(t0), None, "a departed session's banked action is reclaimed");
         assert_eq!(server.poll(t1), None, "a dropped arrival's ticket never resolves");
+        // ...but nothing was silently dropped: the report hands both back.
+        assert!(!report.is_clean());
+        let unpolled: Vec<Ticket> = report.unpolled.iter().map(|&(t, _)| t).collect();
+        assert_eq!(unpolled, vec![t0], "the banked action comes back to the caller");
+        let dropped: Vec<Ticket> = report.dropped_arrivals.iter().map(|&(t, _)| t).collect();
+        assert_eq!(dropped, vec![t1], "the queued arrival comes back to the caller");
     }
 
     #[test]

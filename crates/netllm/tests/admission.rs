@@ -188,7 +188,7 @@ fn rebalance_and_cache_steering_never_double_migrate_in_one_tick() {
     // Drop a shard-1 session: the 3/1/2 skew triggers rebalance-on-leave,
     // which steers the lowest-id shard-0 session (the victim) to shard 1.
     let victim = ids[0];
-    server.leave(ids[1]);
+    let _ = server.leave(ids[1]);
     assert_eq!(server.active_per_shard(), vec![2, 2, 2], "rebalance-on-leave must level");
     assert_eq!(server.shard_of(victim), 1, "rebalance steers the lowest-id victim");
 

@@ -95,7 +95,7 @@ fn mixed_fleet_matches_each_adapters_unbatched_path() {
         let d = it.next().unwrap().cjs();
         cjs_served.push((d.candidate, d.cap, server.last_logits(cjs_id).to_vec()));
         abr_served[1].push((it.next().unwrap().abr(), server.last_logits(abr_ids[1]).to_vec()));
-        server.leave(vp_id);
+        assert!(server.leave(vp_id).is_clean(), "a polled one-shot leaves nothing behind");
         assert_eq!(server.active(), 3, "one-shot VP slot must be gone after the tick");
     }
     // Release the fleet's borrows (the server's type carries the model

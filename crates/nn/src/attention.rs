@@ -20,6 +20,32 @@ use crate::store::{Fwd, ParamStore};
 use nt_tensor::tensor::softmax_in_place;
 use nt_tensor::{NodeId, Rng, Tensor};
 
+/// Storage backend for a per-layer KV cache. The attention kernels read
+/// keys/values row-by-row through this interface, so the contiguous
+/// ([`AttnKv`]) and paged ([`PagedAttnKv`]) layouts share one generic code
+/// path — iteration order over positions never changes, only where the
+/// rows live, which keeps the two layouts bit-identical (tested with `==`,
+/// not a tolerance).
+pub trait KvStorage {
+    /// Number of cached positions.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append raw key/value rows (`n * dim` floats each). Paged storage
+    /// requires the capacity to be reserved beforehand (pages pushed by
+    /// the owner) — the attention kernel never allocates.
+    fn extend_rows(&mut self, k_rows: &[f32], v_rows: &[f32]);
+
+    /// Key row `j` as a contiguous `[dim]` slice.
+    fn k_row(&self, j: usize) -> &[f32];
+
+    /// Value row `j` as a contiguous `[dim]` slice.
+    fn v_row(&self, j: usize) -> &[f32];
+}
+
 /// Per-layer key/value cache for incremental decoding: flat row-major
 /// `[t, dim]` buffers that grow by `extend` and shrink by `truncate`, so an
 /// append costs `O(new x dim)` and a rollback is `O(1)` — the cache itself
@@ -47,21 +73,6 @@ impl AttnKv {
         self.k.is_empty()
     }
 
-    /// Append `[n, dim]` key/value rows.
-    fn extend(&mut self, k_new: &Tensor, v_new: &Tensor) {
-        debug_assert_eq!(k_new.shape()[1], self.dim);
-        self.extend_rows(k_new.data(), v_new.data());
-    }
-
-    /// Append raw key/value rows (`n * dim` floats each) — the batched
-    /// path slices one slot's rows out of a stacked projection.
-    fn extend_rows(&mut self, k_rows: &[f32], v_rows: &[f32]) {
-        debug_assert_eq!(k_rows.len() % self.dim.max(1), 0);
-        debug_assert_eq!(k_rows.len(), v_rows.len());
-        self.k.extend_from_slice(k_rows);
-        self.v.extend_from_slice(v_rows);
-    }
-
     /// Drop every cached position from `len` on (prefix rollback).
     pub fn truncate(&mut self, len: usize) {
         if len < self.len() {
@@ -73,6 +84,179 @@ impl AttnKv {
     /// Bytes held by the cached buffers.
     pub fn bytes(&self) -> usize {
         (self.k.len() + self.v.len()) * 4
+    }
+}
+
+impl KvStorage for AttnKv {
+    fn len(&self) -> usize {
+        AttnKv::len(self)
+    }
+
+    fn extend_rows(&mut self, k_rows: &[f32], v_rows: &[f32]) {
+        debug_assert_eq!(k_rows.len() % self.dim.max(1), 0);
+        debug_assert_eq!(k_rows.len(), v_rows.len());
+        self.k.extend_from_slice(k_rows);
+        self.v.extend_from_slice(v_rows);
+    }
+
+    #[inline]
+    fn k_row(&self, j: usize) -> &[f32] {
+        &self.k[j * self.dim..(j + 1) * self.dim]
+    }
+
+    #[inline]
+    fn v_row(&self, j: usize) -> &[f32] {
+        &self.v[j * self.dim..(j + 1) * self.dim]
+    }
+}
+
+/// One fixed-size KV page: backing store for up to `page_tokens` cached
+/// positions of one layer (keys and values side by side). Pages are
+/// uniform, interchangeable buffers — a free-list allocator (`nt-llm`'s
+/// `PagePool`) hands them out and takes them back; which particular
+/// buffer a session receives never affects the math.
+#[derive(Clone, Debug)]
+pub struct KvPage {
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl KvPage {
+    /// A zeroed page holding `page_tokens` positions of a `dim`-wide layer.
+    pub fn new(page_tokens: usize, dim: usize) -> Self {
+        KvPage { k: vec![0.0; page_tokens * dim], v: vec![0.0; page_tokens * dim] }
+    }
+
+    /// Bytes held by the page buffers (keys + values).
+    pub fn bytes(&self) -> usize {
+        (self.k.len() + self.v.len()) * 4
+    }
+}
+
+/// Per-layer key/value cache backed by fixed-size [`KvPage`]s instead of
+/// one contiguous buffer: position `j` lives in page `j / page_tokens` at
+/// row `j % page_tokens`, so a session's cache grows page-granularly and a
+/// truncate can hand whole pages back to the pool. `page_tokens` is a
+/// power of two, so the row lookup in the attention inner loop is a
+/// shift + mask, and every row slice stays contiguous — dot/axpy stream
+/// page runs exactly like the flat layout, in the same position order.
+///
+/// The struct owns its page *table*; page *allocation* is the owner's job
+/// (`nt-llm`'s `KvCache` reserves pages from the `PagePool` before an
+/// append and releases them on truncate/drop). [`KvStorage::extend_rows`]
+/// therefore only writes into reserved capacity and panics on overflow.
+#[derive(Debug)]
+pub struct PagedAttnKv {
+    pages: Vec<KvPage>,
+    len: usize,
+    dim: usize,
+    /// `log2(page_tokens)` — row lookup is `j >> shift`, `j & mask`.
+    shift: u32,
+    mask: usize,
+}
+
+impl PagedAttnKv {
+    /// Empty paged cache for a `dim`-wide layer. `page_tokens` must be a
+    /// power of two (shift/mask row lookup in the attention hot loop).
+    pub fn new(page_tokens: usize, dim: usize) -> Self {
+        assert!(page_tokens.is_power_of_two(), "page_tokens {page_tokens} must be a power of two");
+        assert!(dim > 0, "paged KV needs a positive dim");
+        PagedAttnKv {
+            pages: Vec::new(),
+            len: 0,
+            dim,
+            shift: page_tokens.trailing_zeros(),
+            mask: page_tokens - 1,
+        }
+    }
+
+    /// Positions one page holds.
+    pub fn page_tokens(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Positions the current page table can hold without new pages.
+    pub fn capacity(&self) -> usize {
+        self.pages.len() * self.page_tokens()
+    }
+
+    /// Pages currently held (used + reserved-but-unfilled).
+    pub fn pages_held(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Hand a reserved page to this layer's table (capacity grows by
+    /// `page_tokens` positions).
+    pub fn push_page(&mut self, page: KvPage) {
+        debug_assert_eq!(
+            page.k.len(),
+            self.page_tokens() * self.dim,
+            "page sized for another pool"
+        );
+        self.pages.push(page);
+    }
+
+    /// Roll back to the first `len` positions. Pages are not released
+    /// here — call [`PagedAttnKv::release_unused`] to pop the pages the
+    /// shorter prefix no longer touches.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+        }
+    }
+
+    /// Pop every page wholly past the filled prefix (for return to the
+    /// pool). After this, `capacity()` is the tightest page-granular fit
+    /// of `len()`.
+    pub fn release_unused(&mut self) -> Vec<KvPage> {
+        let needed = self.len.div_ceil(self.page_tokens());
+        self.pages.split_off(needed)
+    }
+
+    /// Bytes held by the page table — whole pages, including the
+    /// partially-filled tail page (the honest accounting a memory budget
+    /// must charge for).
+    pub fn bytes(&self) -> usize {
+        self.pages.iter().map(KvPage::bytes).sum()
+    }
+}
+
+impl KvStorage for PagedAttnKv {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn extend_rows(&mut self, k_rows: &[f32], v_rows: &[f32]) {
+        let d = self.dim;
+        debug_assert_eq!(k_rows.len() % d, 0);
+        debug_assert_eq!(k_rows.len(), v_rows.len());
+        let n = k_rows.len() / d;
+        assert!(
+            self.len + n <= self.capacity(),
+            "paged KV overflow: {} + {n} positions exceed {} reserved (reserve pages first)",
+            self.len,
+            self.capacity()
+        );
+        for r in 0..n {
+            let j = self.len + r;
+            let (p, row) = (j >> self.shift, j & self.mask);
+            let dst = row * d;
+            self.pages[p].k[dst..dst + d].copy_from_slice(&k_rows[r * d..(r + 1) * d]);
+            self.pages[p].v[dst..dst + d].copy_from_slice(&v_rows[r * d..(r + 1) * d]);
+        }
+        self.len += n;
+    }
+
+    #[inline]
+    fn k_row(&self, j: usize) -> &[f32] {
+        let (p, row) = (j >> self.shift, j & self.mask);
+        &self.pages[p].k[row * self.dim..(row + 1) * self.dim]
+    }
+
+    #[inline]
+    fn v_row(&self, j: usize) -> &[f32] {
+        let (p, row) = (j >> self.shift, j & self.mask);
+        &self.pages[p].v[row * self.dim..(row + 1) * self.dim]
     }
 }
 
@@ -146,18 +330,27 @@ impl MultiHeadAttention {
     /// extending) the cache. The first new row sits at absolute position
     /// `kv.len()` before the call. Returns `[n, d]`.
     ///
-    /// Heads read the flat `[t, d]` cache with a column stride instead of
+    /// Heads read the `[t, d]` cache with a column stride instead of
     /// materializing per-head copies, so the per-call memory traffic is the
     /// `O(n x t x d)` of the attention math itself — the cache is appended
     /// to, never copied. The accumulation order matches the taped per-head
-    /// matmuls, keeping cached and uncached logits identical.
-    pub fn eval_cached(&self, store: &ParamStore, x_new: &Tensor, kv: &mut AttnKv) -> Tensor {
+    /// matmuls, keeping cached and uncached logits identical. Generic over
+    /// [`KvStorage`], so the contiguous and paged layouts run the *same*
+    /// monomorphized loop in the same position order — bit-identical
+    /// results, only the row addressing differs.
+    pub fn eval_cached<S: KvStorage>(
+        &self,
+        store: &ParamStore,
+        x_new: &Tensor,
+        kv: &mut S,
+    ) -> Tensor {
         let (n, d) = (x_new.shape()[0], self.dim);
+        debug_assert_eq!(x_new.shape()[1], d, "eval_cached dim mismatch");
         let dh = d / self.heads;
         let q = self.wq.eval(store, x_new);
         let k_new = self.wk.eval(store, x_new);
         let v_new = self.wv.eval(store, x_new);
-        kv.extend(&k_new, &v_new);
+        kv.extend_rows(k_new.data(), v_new.data());
         let t_total = kv.len();
         let p0 = t_total - n; // absolute position of the first new row
         let scale = 1.0 / (dh as f32).sqrt();
@@ -174,7 +367,7 @@ impl MultiHeadAttention {
                 // keeps this identical to the taped full-mask forward.
                 let visible = p0 + i + 1;
                 for (j, s) in scores[..visible].iter_mut().enumerate() {
-                    let krow = &kv.k[j * d + off..j * d + off + dh];
+                    let krow = &kv.k_row(j)[off..off + dh];
                     let mut dot = 0.0f32;
                     for (a, b) in qrow.iter().zip(krow) {
                         dot += a * b;
@@ -187,7 +380,7 @@ impl MultiHeadAttention {
                     if a == 0.0 {
                         continue;
                     }
-                    let vrow = &kv.v[j * d + off..j * d + off + dh];
+                    let vrow = &kv.v_row(j)[off..off + dh];
                     for (o, x) in out.iter_mut().zip(vrow) {
                         *o += a * x;
                     }
@@ -211,12 +404,12 @@ impl MultiHeadAttention {
     /// level reassociation on tiny shapes), so a batched step reproduces
     /// the per-slot unbatched step within float tolerance — tested at
     /// 1e-6 across ragged prefix lengths.
-    pub fn eval_cached_batched(
+    pub fn eval_cached_batched<S: KvStorage>(
         &self,
         store: &ParamStore,
         x_new: &Tensor,
         rows_per_slot: &[usize],
-        kvs: &mut [&mut AttnKv],
+        kvs: &mut [&mut S],
     ) -> Tensor {
         let (total, d) = (x_new.shape()[0], self.dim);
         assert_eq!(x_new.shape()[1], d, "eval_cached_batched dim mismatch");
@@ -246,7 +439,8 @@ impl MultiHeadAttention {
             for h in 0..heads {
                 let off = h * dh;
                 // Scores: dot products against the head's key column
-                // block, read in place (each key slice is contiguous).
+                // block, read in place (each key slice is contiguous —
+                // paged storage streams the same rows out of page runs).
                 scores.clear();
                 scores.resize(n * t, 0.0);
                 for i in 0..n {
@@ -254,7 +448,7 @@ impl MultiHeadAttention {
                     let visible = p0 + i + 1;
                     let srow = &mut scores[i * t..i * t + t];
                     for (j, sv) in srow[..visible].iter_mut().enumerate() {
-                        *sv = dot_lanes(qrow, &kv.k[j * d + off..j * d + off + dh]) * scale;
+                        *sv = dot_lanes(qrow, &kv.k_row(j)[off..off + dh]) * scale;
                     }
                     softmax_in_place(&mut srow[..visible]);
                     // Future positions stay exactly zero — the causal trim
@@ -269,7 +463,7 @@ impl MultiHeadAttention {
                     // weights beyond a row's own limit contribute nothing.
                     let j_max = p0 + quad_start + quad;
                     for j in 0..j_max {
-                        let vrow = &kv.v[j * d + off..j * d + off + dh];
+                        let vrow = &kv.v_row(j)[off..off + dh];
                         for qi in 0..quad {
                             let w = scores[(quad_start + qi) * t + j];
                             let orow = &mut cat[(row0 + quad_start + qi) * d + off
@@ -361,7 +555,12 @@ impl TransformerBlock {
 
     /// Graph-free incremental forward of the block for `x_new: [n, d]` new
     /// rows, extending this layer's KV cache. Dropout is identity (inference).
-    pub fn eval_cached(&self, store: &ParamStore, x_new: &Tensor, kv: &mut AttnKv) -> Tensor {
+    pub fn eval_cached<S: KvStorage>(
+        &self,
+        store: &ParamStore,
+        x_new: &Tensor,
+        kv: &mut S,
+    ) -> Tensor {
         let n1 = self.ln1.eval(store, x_new);
         let mut x = self.attn.eval_cached(store, &n1, kv);
         x.add_assign(x_new);
@@ -375,12 +574,12 @@ impl TransformerBlock {
     /// cache for this layer. LayerNorm and the MLP are position-wise, so
     /// they run as single `[N, d]` passes; only attention needs the
     /// per-slot split. See [`MultiHeadAttention::eval_cached_batched`].
-    pub fn eval_cached_batched(
+    pub fn eval_cached_batched<S: KvStorage>(
         &self,
         store: &ParamStore,
         x_new: &Tensor,
         rows_per_slot: &[usize],
-        kvs: &mut [&mut AttnKv],
+        kvs: &mut [&mut S],
     ) -> Tensor {
         let n1 = self.ln1.eval(store, x_new);
         let mut x = self.attn.eval_cached_batched(store, &n1, rows_per_slot, kvs);
@@ -582,6 +781,98 @@ mod tests {
         for (a, b) in out.narrow(0, 3, 1).data().iter().zip(want.data()) {
             assert!((a - b).abs() < 1e-6, "slot after idle diverged: {a} vs {b}");
         }
+    }
+
+    /// Hand `kv` enough pages for `upto` positions (the allocator's job in
+    /// production — `nt-llm`'s `KvCache::reserve`).
+    fn give_pages(kv: &mut PagedAttnKv, upto: usize, dim: usize) {
+        while kv.capacity() < upto {
+            kv.push_page(KvPage::new(kv.page_tokens(), dim));
+        }
+    }
+
+    #[test]
+    fn paged_attention_is_bit_identical_to_contiguous() {
+        // Same rows through the contiguous and the paged storage must give
+        // byte-for-byte equal outputs: the kernels run one generic loop in
+        // one position order, only the row addressing differs. Page size 4
+        // with 6+2 rows exercises page-boundary crossings mid-append.
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(31);
+        let mha = MultiHeadAttention::new(&mut s, "a", 16, 4, &mut rng);
+        let x = Tensor::randn([8, 16], 1.0, &mut rng);
+
+        let mut flat = AttnKv::empty(16);
+        let mut paged = PagedAttnKv::new(4, 16);
+        give_pages(&mut paged, 8, 16);
+
+        let f1 = mha.eval_cached(&s, &x.narrow(0, 0, 6), &mut flat);
+        let p1 = mha.eval_cached(&s, &x.narrow(0, 0, 6), &mut paged);
+        assert_eq!(f1.data(), p1.data(), "paged first chunk must be bit-identical");
+        let f2 = mha.eval_cached(&s, &x.narrow(0, 6, 2), &mut flat);
+        let p2 = mha.eval_cached(&s, &x.narrow(0, 6, 2), &mut paged);
+        assert_eq!(f2.data(), p2.data(), "paged second chunk must be bit-identical");
+        assert_eq!(KvStorage::len(&paged), 8);
+        assert_eq!(paged.pages_held(), 2);
+        for j in 0..8 {
+            assert_eq!(flat.k_row(j), paged.k_row(j), "key row {j} diverged");
+            assert_eq!(flat.v_row(j), paged.v_row(j), "value row {j} diverged");
+        }
+    }
+
+    #[test]
+    fn paged_batched_attention_is_bit_identical_to_contiguous() {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seeded(32);
+        let mha = MultiHeadAttention::new(&mut s, "a", 16, 4, &mut rng);
+        let prefix_lens = [0usize, 5, 9];
+        let new_rows = [2usize, 1, 3];
+
+        let mut flats: Vec<AttnKv> = prefix_lens.iter().map(|_| AttnKv::empty(16)).collect();
+        let mut pageds: Vec<PagedAttnKv> =
+            prefix_lens.iter().map(|_| PagedAttnKv::new(4, 16)).collect();
+        for ((flat, paged), &p) in flats.iter_mut().zip(pageds.iter_mut()).zip(&prefix_lens) {
+            give_pages(paged, p + 4, 16);
+            if p > 0 {
+                let warm = Tensor::randn([p, 16], 0.7, &mut rng);
+                let a = mha.eval_cached(&s, &warm, flat);
+                let b = mha.eval_cached(&s, &warm, paged);
+                assert_eq!(a.data(), b.data());
+            }
+        }
+        let news: Vec<Tensor> =
+            new_rows.iter().map(|&n| Tensor::randn([n, 16], 0.7, &mut rng)).collect();
+        let refs: Vec<&Tensor> = news.iter().collect();
+        let stacked = nt_tensor::concat(&refs, 0);
+        let mut flat_refs: Vec<&mut AttnKv> = flats.iter_mut().collect();
+        let want = mha.eval_cached_batched(&s, &stacked, &new_rows, &mut flat_refs);
+        let mut paged_refs: Vec<&mut PagedAttnKv> = pageds.iter_mut().collect();
+        let got = mha.eval_cached_batched(&s, &stacked, &new_rows, &mut paged_refs);
+        assert_eq!(want.data(), got.data(), "paged batched attention must be bit-identical");
+    }
+
+    #[test]
+    fn paged_truncate_releases_whole_pages_only() {
+        let mut kv = PagedAttnKv::new(4, 2);
+        give_pages(&mut kv, 12, 2);
+        let rows: Vec<f32> = (0..20).map(|x| x as f32).collect();
+        kv.extend_rows(&rows, &rows); // 10 positions across 3 pages
+        assert_eq!((KvStorage::len(&kv), kv.pages_held()), (10, 3));
+        kv.truncate(5); // tail page empty, middle page half-filled
+        let freed = kv.release_unused();
+        assert_eq!(freed.len(), 1, "only the wholly-unused page is released");
+        assert_eq!((KvStorage::len(&kv), kv.pages_held(), kv.capacity()), (5, 2, 8));
+        assert_eq!(kv.k_row(4), &[8.0, 9.0], "kept rows survive the release");
+        kv.truncate(0);
+        assert_eq!(kv.release_unused().len(), 2);
+        assert_eq!(kv.bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paged KV overflow")]
+    fn paged_append_without_reserved_pages_panics() {
+        let mut kv = PagedAttnKv::new(4, 2);
+        kv.extend_rows(&[1.0, 2.0], &[3.0, 4.0]);
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod lstm;
 pub mod optim;
 pub mod store;
 
-pub use attention::{causal_mask, AttnKv, MultiHeadAttention, TransformerBlock};
+pub use attention::{
+    causal_mask, AttnKv, KvPage, KvStorage, MultiHeadAttention, PagedAttnKv, TransformerBlock,
+};
 pub use gnn::{normalized_adjacency, Gnn, GnnLayer};
 pub use layers::{Conv1d, Embedding, Init, LayerNorm, Linear, Lora, Mlp};
 pub use lstm::Lstm;
