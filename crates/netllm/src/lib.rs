@@ -37,6 +37,7 @@ pub mod api;
 pub mod backbone;
 pub mod fleet;
 pub mod heads;
+pub mod metrics;
 pub mod multimodal;
 pub mod prompt;
 pub mod sched;
@@ -55,6 +56,9 @@ pub use api::{
 pub use backbone::{append_batched, InferenceSession};
 pub use fleet::{FleetAction, FleetObs, FleetSlot, NetLlmFleet, FLEET_ABR, FLEET_CJS, FLEET_VP};
 pub use heads::{AbrHead, CjsHeads, VpHead};
+pub use metrics::{
+    pool_dispatch_snapshot, MetricsRegistry, MetricsSnapshot, PoolDispatchSnapshot, ShardSnapshot,
+};
 pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
 };

@@ -1,0 +1,170 @@
+//! Process metrics: atomic per-shard serving counters plus the kernel
+//! pool's dispatch counters, behind one registry so the benches
+//! (`figures --fig bench6`) and the future control plane read the same
+//! numbers instead of each keeping private tallies.
+//!
+//! The registry is owned by [`crate::ShardedServer`] (one
+//! [`ShardCounters`] row per shard) and updated from the serving paths
+//! with relaxed atomics — counters are monotonic totals, `queue_depth` is
+//! a gauge overwritten at every tick boundary. Readers take [`snapshot`]s
+//! and diff them for per-phase rates; nothing here locks or blocks the
+//! serving hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard's counters. All monotonic totals except `queue_depth`
+/// (a gauge: pending arrivals at the last tick boundary).
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    served: AtomicU64,
+    steered: AtomicU64,
+    evicted: AtomicU64,
+    queue_depth: AtomicU64,
+}
+
+/// Plain-value copy of one shard's counters at a point in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Decisions served by this shard.
+    pub served: u64,
+    /// Sessions steered *off* this shard (rebalance + cache-aware).
+    pub steered: u64,
+    /// Sessions whose KV cache this shard evicted under memory pressure.
+    pub evicted: u64,
+    /// Pending arrivals in this shard's queue at the last tick boundary.
+    pub queue_depth: u64,
+}
+
+/// Plain-value copy of the kernel pool's cumulative dispatch counters
+/// (re-exported from `nt_tensor::pool` so metrics consumers need one
+/// import, not two).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolDispatchSnapshot {
+    /// Configured pool width (`NT_THREADS` resolution).
+    pub workers: u64,
+    /// Parallel jobs published to the persistent pool since process start.
+    pub dispatches: u64,
+    /// Tasks fanned out across those jobs.
+    pub tasks: u64,
+}
+
+/// Everything the registry knows, copied out at once.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub shards: Vec<ShardSnapshot>,
+    pub pool: PoolDispatchSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Fleet-wide served total.
+    pub fn served(&self) -> u64 {
+        self.shards.iter().map(|s| s.served).sum()
+    }
+
+    /// Fleet-wide steer total.
+    pub fn steered(&self) -> u64 {
+        self.shards.iter().map(|s| s.steered).sum()
+    }
+
+    /// Fleet-wide eviction total.
+    pub fn evicted(&self) -> u64 {
+        self.shards.iter().map(|s| s.evicted).sum()
+    }
+
+    /// Fleet-wide queued arrivals at the last tick boundary.
+    pub fn queue_depth(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+}
+
+/// Per-shard atomic counters for one serving fleet.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<ShardCounters>,
+}
+
+impl MetricsRegistry {
+    /// A zeroed registry with one counter row per shard.
+    pub fn new(num_shards: usize) -> Self {
+        MetricsRegistry { shards: (0..num_shards).map(|_| ShardCounters::default()).collect() }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `n` decisions served by `shard`.
+    pub fn record_served(&self, shard: usize, n: u64) {
+        self.shards[shard].served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One session steered off `shard` (counted at the source).
+    pub fn record_steered(&self, shard: usize) {
+        self.shards[shard].steered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One session's KV cache evicted from `shard`.
+    pub fn record_evicted(&self, shard: usize) {
+        self.shards[shard].evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Overwrite `shard`'s queue-depth gauge (tick boundary).
+    pub fn set_queue_depth(&self, shard: usize, depth: u64) {
+        self.shards[shard].queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// One shard's counters as plain values.
+    pub fn shard(&self, shard: usize) -> ShardSnapshot {
+        let s = &self.shards[shard];
+        ShardSnapshot {
+            served: s.served.load(Ordering::Relaxed),
+            steered: s.steered.load(Ordering::Relaxed),
+            evicted: s.evicted.load(Ordering::Relaxed),
+            queue_depth: s.queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Every shard's counters plus the kernel pool's dispatch counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            shards: (0..self.shards.len()).map(|s| self.shard(s)).collect(),
+            pool: pool_dispatch_snapshot(),
+        }
+    }
+}
+
+/// The kernel pool's cumulative dispatch counters (see
+/// `nt_tensor::pool::stats`), packaged for metrics consumers.
+pub fn pool_dispatch_snapshot() -> PoolDispatchSnapshot {
+    let s = nt_tensor::pool::stats();
+    PoolDispatchSnapshot {
+        workers: nt_tensor::pool::num_threads() as u64,
+        dispatches: s.dispatches,
+        tasks: s.tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_shard_and_total() {
+        let m = MetricsRegistry::new(3);
+        m.record_served(0, 5);
+        m.record_served(2, 7);
+        m.record_steered(1);
+        m.record_evicted(2);
+        m.set_queue_depth(1, 4);
+        m.set_queue_depth(1, 2); // gauge overwrites, never accumulates
+        let snap = m.snapshot();
+        assert_eq!(snap.shards[0].served, 5);
+        assert_eq!(snap.shards[2].served, 7);
+        assert_eq!(snap.served(), 12);
+        assert_eq!(snap.steered(), 1);
+        assert_eq!(snap.evicted(), 1);
+        assert_eq!(snap.shards[1].queue_depth, 2);
+        assert_eq!(snap.queue_depth(), 2);
+        assert_eq!(snap.pool.workers, nt_tensor::pool::num_threads() as u64);
+    }
+}

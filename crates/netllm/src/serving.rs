@@ -44,6 +44,7 @@ use crate::backbone::{append_batched, InferenceSession};
 use nt_llm::{PagePool, SlotMap, TinyLm};
 use nt_nn::ParamStore;
 use nt_tensor::Tensor;
+use std::sync::Mutex;
 
 /// Token rows one slot contributes to a tick (built by
 /// [`ServedTask::plan_step`]).
@@ -459,13 +460,14 @@ impl<T: ServedTask> ServingEngine<T> {
 
         // Phases 1+2 (per band): plan each slot's token rows, then run
         // batched backbone steps over the band. Bands are contiguous
-        // request ranges; with NT_THREADS > 1 they run on scoped worker
-        // threads — each band is an independent slice of slots (own KV
-        // caches, own episode state), and band splits never change any
-        // per-element accumulation order, so threaded and serial serving
-        // are bit-identical. Band workers register with the kernel pool
-        // (no second layer of per-matmul threads), and an engine that is
-        // *itself* inside a pool worker (a shard thread) stays serial.
+        // request ranges; with NT_THREADS > 1 they fan out over the
+        // persistent kernel pool ([`nt_tensor::pool::run_tasks`]) — each
+        // band is an independent slice of slots (own KV caches, own
+        // episode state), and band splits never change any per-element
+        // accumulation order, so threaded and serial serving are
+        // bit-identical. Band tasks carry the pool's worker flag (no
+        // second layer of per-matmul parallelism), and an engine that is
+        // *itself* inside a pool worker (a shard task) stays serial.
         let t0 = std::time::Instant::now();
         let threads = if nt_tensor::pool::in_worker() {
             1
@@ -515,19 +517,26 @@ impl<T: ServedTask> ServingEngine<T> {
         let hidden: Vec<Tensor> = if threads <= 1 {
             run_band(&mut picked, requests)
         } else {
-            std::thread::scope(|sc| {
-                let handles: Vec<_> = picked
-                    .chunks_mut(band_len)
-                    .zip(requests.chunks(band_len))
-                    .map(|(slots, reqs)| {
-                        sc.spawn(move || {
-                            let _guard = nt_tensor::pool::enter_worker();
-                            run_band(slots, reqs)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("serving band panicked")).collect()
-            })
+            // Each band's borrows travel to its pool task through a
+            // take-once Mutex slot; outputs come back the same way.
+            #[allow(clippy::type_complexity)]
+            let bands: Vec<
+                Mutex<Option<(&mut [&mut EngineSlot<T>], &[(SessionId, &T::Obs)])>>,
+            > = picked
+                .chunks_mut(band_len)
+                .zip(requests.chunks(band_len))
+                .map(|pair| Mutex::new(Some(pair)))
+                .collect();
+            let outs: Vec<Mutex<Option<Vec<Tensor>>>> =
+                bands.iter().map(|_| Mutex::new(None)).collect();
+            nt_tensor::pool::run_tasks(bands.len(), |bi| {
+                let (slots, reqs) =
+                    bands[bi].lock().unwrap().take().expect("serving band dispatched twice");
+                *outs[bi].lock().unwrap() = Some(run_band(slots, reqs));
+            });
+            outs.into_iter()
+                .flat_map(|m| m.into_inner().unwrap().expect("serving band skipped"))
+                .collect()
         };
         self.phase_times[0] += t0.elapsed();
 

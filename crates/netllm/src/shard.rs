@@ -47,6 +47,7 @@
 //! same route-table design extends to per-process and per-host shards
 //! later — a shard is just an index.
 
+use crate::metrics::MetricsRegistry;
 use crate::sched::{
     fnv1a, AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, TickReport,
     Ticket,
@@ -54,6 +55,7 @@ use crate::sched::{
 use crate::serving::{ServedTask, ServingEngine, SessionId};
 use nt_llm::{PagePool, PoolStats};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 
 /// Fleet-wide session handle issued by [`ShardedServer::join`].
 pub type GlobalSessionId = u64;
@@ -116,6 +118,9 @@ pub struct ShardedServer<T: ServedTask> {
     /// How the memory guard reclaims pages when a tick's demand exceeds
     /// the pool's free list.
     eviction: EvictionPolicy,
+    /// Per-shard serving counters (served / steered / evicted / queue
+    /// depth), shared with the benches via [`ShardedServer::metrics`].
+    metrics: MetricsRegistry,
 }
 
 impl<T: ServedTask> ShardedServer<T> {
@@ -173,7 +178,13 @@ impl<T: ServedTask> ShardedServer<T> {
             steered_this_tick: BTreeSet::new(),
             pool,
             eviction,
+            metrics: MetricsRegistry::new(num_shards),
         }
+    }
+
+    /// The fleet's per-shard metrics registry (see [`crate::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The fleet-wide page pool, if the fleet is memory-bounded.
@@ -334,6 +345,7 @@ impl<T: ServedTask> ShardedServer<T> {
             self.queues[dest].requeue(a);
         }
         self.steered_this_tick.insert(id);
+        self.metrics.record_steered(src);
     }
 
     /// Live sessions across the fleet.
@@ -496,6 +508,7 @@ impl<T: ServedTask> ShardedServer<T> {
                 if let Some(victim) = self.coldest_idle_victim(&busy) {
                     let &(s, l) = self.routes.get(&victim).expect("victim is routed");
                     let _ = self.shards[s].evict(l);
+                    self.metrics.record_evicted(s);
                     report.evicted.push(victim);
                     continue;
                 }
@@ -546,6 +559,7 @@ impl<T: ServedTask> ShardedServer<T> {
                 Some(v) => {
                     let &(s, l) = self.routes.get(&v).expect("victim is routed");
                     let _ = self.shards[s].evict(l);
+                    self.metrics.record_evicted(s);
                 }
                 None => panic!(
                     "page pool cannot cover this lockstep batch: demand {demand} pages, \
@@ -618,6 +632,9 @@ impl<T: ServedTask> ShardedServer<T> {
             std::mem::take(&mut self.steered_this_tick).into_iter().collect();
         if let Some(pool) = &self.pool {
             memory.used_bytes = pool.used_bytes();
+        }
+        for (s, q) in self.queues.iter().enumerate() {
+            self.metrics.set_queue_depth(s, q.len() as u64);
         }
         TickReport {
             tick,
@@ -770,27 +787,36 @@ impl<T: ServedTask> ShardedServer<T> {
                 results[s] = Some(e.step(task, b));
             }
         } else {
+            // Shard bands fan out over the persistent kernel pool; each
+            // band's mutable borrows travel to its task through a
+            // take-once Mutex slot and the answers come back the same way.
             let band_len = busy.len().div_ceil(threads);
-            std::thread::scope(|sc| {
-                let handles: Vec<_> = busy
-                    .chunks_mut(band_len)
-                    .map(|band| {
-                        sc.spawn(move || {
-                            let _guard = nt_tensor::pool::enter_worker();
-                            band.iter_mut()
-                                .map(|(s, e, b)| (*s, e.step(task, b)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    for (s, r) in h.join().expect("shard step panicked") {
-                        results[s] = Some(r);
-                    }
-                }
+            #[allow(clippy::type_complexity)]
+            let bands: Vec<
+                Mutex<Option<&mut [(usize, &mut ServingEngine<T>, &[(SessionId, &T::Obs)])]>>,
+            > = busy.chunks_mut(band_len).map(|band| Mutex::new(Some(band))).collect();
+            #[allow(clippy::type_complexity)]
+            let outs: Vec<Mutex<Vec<(usize, Vec<T::Action>)>>> =
+                bands.iter().map(|_| Mutex::new(Vec::new())).collect();
+            nt_tensor::pool::run_tasks(bands.len(), |bi| {
+                let band = bands[bi].lock().unwrap().take().expect("shard band dispatched twice");
+                let out: Vec<_> = band.iter_mut().map(|(s, e, b)| (*s, e.step(task, b))).collect();
+                *outs[bi].lock().unwrap() = out;
             });
+            for m in outs {
+                for (s, r) in m.into_inner().unwrap() {
+                    results[s] = Some(r);
+                }
+            }
         }
-        results.into_iter().map(Option::unwrap_or_default).collect()
+        let results: Vec<Vec<T::Action>> =
+            results.into_iter().map(Option::unwrap_or_default).collect();
+        for (s, r) in results.iter().enumerate() {
+            if !r.is_empty() {
+                self.metrics.record_served(s, r.len() as u64);
+            }
+        }
+        results
     }
 }
 

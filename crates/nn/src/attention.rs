@@ -367,12 +367,7 @@ impl MultiHeadAttention {
                 // keeps this identical to the taped full-mask forward.
                 let visible = p0 + i + 1;
                 for (j, s) in scores[..visible].iter_mut().enumerate() {
-                    let krow = &kv.k_row(j)[off..off + dh];
-                    let mut dot = 0.0f32;
-                    for (a, b) in qrow.iter().zip(krow) {
-                        dot += a * b;
-                    }
-                    *s = dot * scale;
+                    *s = dot_lanes(qrow, &kv.k_row(j)[off..off + dh]) * scale;
                 }
                 softmax_in_place(&mut scores[..visible]);
                 let out = &mut cat[i * d + off..i * d + off + dh];
@@ -380,10 +375,7 @@ impl MultiHeadAttention {
                     if a == 0.0 {
                         continue;
                     }
-                    let vrow = &kv.v_row(j)[off..off + dh];
-                    for (o, x) in out.iter_mut().zip(vrow) {
-                        *o += a * x;
-                    }
+                    axpy_lanes(a, &kv.v_row(j)[off..off + dh], out);
                 }
             }
         }
@@ -468,9 +460,7 @@ impl MultiHeadAttention {
                             let w = scores[(quad_start + qi) * t + j];
                             let orow = &mut cat[(row0 + quad_start + qi) * d + off
                                 ..(row0 + quad_start + qi) * d + off + dh];
-                            for (o, &vv) in orow.iter_mut().zip(vrow) {
-                                *o += w * vv;
-                            }
+                            axpy_lanes(w, vrow, orow);
                         }
                     }
                     quad_start += quad;
@@ -482,24 +472,59 @@ impl MultiHeadAttention {
     }
 }
 
-/// Dot product over two short contiguous slices with four partial lanes
-/// (the attention head width is a handful of floats).
+/// Dot product over two short contiguous slices with eight f32x8-style
+/// partial lanes, a four-lane pass over what remains, and a scalar tail —
+/// head widths like 12 take one 8-chunk plus one 4-chunk, no scalar loop.
+/// Shared by the batched and unbatched score kernels, so both paths
+/// reassociate identically.
 #[inline]
 fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 4];
-    let xc = x.chunks_exact(4);
-    let yc = y.chunks_exact(4);
+    let mut acc8 = [0.0f32; 8];
+    let xc = x.chunks_exact(8);
+    let yc = y.chunks_exact(8);
     let (xr, yr) = (xc.remainder(), yc.remainder());
     for (xs, ys) in xc.zip(yc) {
+        for l in 0..8 {
+            acc8[l] += xs[l] * ys[l];
+        }
+    }
+    let mut acc4 = [0.0f32; 4];
+    let xc4 = xr.chunks_exact(4);
+    let yc4 = yr.chunks_exact(4);
+    let (xr4, yr4) = (xc4.remainder(), yc4.remainder());
+    for (xs, ys) in xc4.zip(yc4) {
         for l in 0..4 {
-            acc[l] += xs[l] * ys[l];
+            acc4[l] += xs[l] * ys[l];
         }
     }
     let mut tail = 0.0f32;
-    for (a, b) in xr.iter().zip(yr) {
+    for (a, b) in xr4.iter().zip(yr4) {
         tail += a * b;
     }
-    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+    let h8 =
+        ((acc8[0] + acc8[4]) + (acc8[1] + acc8[5])) + ((acc8[2] + acc8[6]) + (acc8[3] + acc8[7]));
+    h8 + (acc4[0] + acc4[2]) + (acc4[1] + acc4[3]) + tail
+}
+
+/// `o += w * x` over two equal-length contiguous slices, in fixed
+/// `[f32; 8]` lane blocks. Per output element this is still exactly one
+/// fused add in the same order as a scalar loop — lane blocking never
+/// reassociates an axpy — so the value-pass results are bit-identical to
+/// the pre-SIMD kernels. Shared by the batched and unbatched value passes.
+#[inline]
+fn axpy_lanes(w: f32, x: &[f32], o: &mut [f32]) {
+    debug_assert_eq!(x.len(), o.len());
+    let xc = x.chunks_exact(8);
+    let xr = xc.remainder();
+    let mut oc = o.chunks_exact_mut(8);
+    for (os, xs) in (&mut oc).zip(xc) {
+        for l in 0..8 {
+            os[l] += w * xs[l];
+        }
+    }
+    for (ov, &xv) in oc.into_remainder().iter_mut().zip(xr) {
+        *ov += w * xv;
+    }
 }
 
 /// Upper-triangular `-1e9` mask (0 on and below the diagonal).

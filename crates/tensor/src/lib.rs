@@ -1,7 +1,9 @@
 //! # nt-tensor
 //!
 //! Dense `f32` tensors with reverse-mode automatic differentiation, built
-//! from scratch for the NetLLM reproduction (no BLAS, no `unsafe`).
+//! from scratch for the NetLLM reproduction (no BLAS; `unsafe` is denied
+//! crate-wide except for one small audited lifetime-erasure scope in the
+//! persistent worker pool — see `pool::dispatch`).
 //!
 //! Design goals follow the smoltcp ethos: simplicity and robustness over
 //! cleverness. Everything is deterministic under an explicit seed
@@ -13,9 +15,10 @@
 //!
 //! Implemented:
 //! - row-major dense tensors, NumPy-style broadcasting for binary ops
-//! - matmul / batched matmul (tiled + register-blocked kernels, optional
-//!   row-block parallelism via [`pool`] behind the `NT_THREADS` knob),
-//!   transpose, reshape, concat, narrow, row gather
+//! - matmul / batched matmul (KC-tiled, MRxNR register-blocked SIMD
+//!   kernels over a packed B panel, optional row-block parallelism via
+//!   the persistent [`pool`] behind the `NT_THREADS` knob), transpose,
+//!   reshape, concat, narrow, row gather
 //! - activations (relu/gelu/tanh/sigmoid/exp/ln), softmax & log-softmax
 //! - fused layer-norm, 1-D convolution, inverted dropout
 //! - losses: MSE, (weighted) cross-entropy — the weighted form doubles as a
@@ -26,7 +29,7 @@
 //! Not implemented (by design): GPU backends, f16/bf16, views/in-place ops,
 //! higher-order derivatives.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod graph;
 pub mod pool;

@@ -324,25 +324,57 @@ pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
 }
 
 /// Rows per register-blocked pass: four output rows advance together so
-/// every loaded `b` row is reused four times from registers.
+/// every loaded `b` value is reused four times from registers.
 const MR: usize = 4;
+/// Column-block width of the register tile: one f32x8-style vector of
+/// output columns per row, held in a fixed `[f32; NR]` accumulator array
+/// the autovectorizer maps onto SIMD lanes.
+const NR: usize = 8;
 /// Inner-dimension tile: the `b` panel touched by one k-block stays
 /// cache-resident while all row quads stream past it. Accumulation still
 /// runs in ascending-`k` order, so tiling never changes the result.
 const KC: usize = 512;
 /// RHS widths below this use the packed-transpose dot kernel instead of
-/// the axpy kernel (too few columns to amortise a `b`-row pass).
+/// the register-tile kernel (too few columns to fill a lane block).
 const N_SKINNY: usize = 8;
+
+/// Spawn-era dispatch threshold, kept for the legacy-kernel baseline:
+/// the scoped pool paid tens of microseconds per spawn, so only
+/// multi-million-MAC products parallelized (see
+/// [`pool::PAR_FLOPS_MIN`] for the persistent-pool value).
+const LEGACY_PAR_FLOPS_MIN: usize = 4 << 20;
+
+/// Bench/gate-only switch: route [`matmul_into`] through the PR 2 quad
+/// axpy kernel and its spawn-era dispatch threshold
+/// ([`LEGACY_PAR_FLOPS_MIN`]), so the BENCH_5-era kernel floor can be
+/// measured in-process against the register-tile kernel. Attention and
+/// the skinny dot kernel are not toggled (shared by both modes), which
+/// makes measured speedups conservative. Never enable in serving code.
+static LEGACY_KERNELS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enable/disable the legacy (PR 2) matmul kernel for baseline
+/// measurements (see [`LEGACY_KERNELS`]).
+pub fn set_legacy_kernels(on: bool) {
+    LEGACY_KERNELS.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// True while the legacy-kernel baseline mode is on.
+pub fn legacy_kernels_enabled() -> bool {
+    LEGACY_KERNELS.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// `out += a x b` for row-major matrices.
 ///
-/// The kernel is tiled over rows (register-blocked quads), tiled over the
-/// inner dimension ([`KC`]), and — for skinny right-hand sides — switches
-/// to a transposed-`B` packing so both operands of every dot product are
-/// contiguous. Large products additionally split their output rows across
-/// the scoped thread pool ([`crate::pool`], `NT_THREADS` knob). All paths
-/// accumulate each output element in ascending-`k` order, so serial and
-/// parallel execution are bit-identical.
+/// The kernel holds an MRxNR register accumulator tile per output block
+/// ([`matmul_blocked_wide`]), is tiled over the inner dimension ([`KC`]),
+/// and — for skinny right-hand sides — switches to a transposed-`B`
+/// packing so both operands of every dot product are contiguous. Large
+/// products additionally split their output rows across the persistent
+/// worker pool ([`crate::pool`], `NT_THREADS` knob). All paths accumulate
+/// each output element in ascending-`k` order through a single chain, so
+/// serial and parallel execution are bit-identical — and so are the
+/// legacy and register-tile kernels (only the skinny dot kernel
+/// reassociates, and it is shared).
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -350,24 +382,185 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    if pool::parallel_worthwhile(m * k * n) && m > MR {
+    let legacy = legacy_kernels_enabled();
+    let worthwhile = if legacy {
+        pool::num_threads() > 1 && m * k * n >= LEGACY_PAR_FLOPS_MIN && !pool::in_worker()
+    } else {
+        pool::parallel_worthwhile(m * k * n)
+    };
+    if worthwhile && m > MR {
         // Contiguous row bands, each a multiple of MR so only the final
         // band can hit the remainder kernel.
         let band_rows = m.div_ceil(pool::num_threads()).next_multiple_of(MR);
         pool::for_each_block_mut(out, band_rows * n, |band, chunk| {
             let r0 = band * band_rows;
             let rows = chunk.len() / n;
-            matmul_serial(&a[r0 * k..(r0 + rows) * k], b, chunk, rows, k, n);
+            matmul_serial(&a[r0 * k..(r0 + rows) * k], b, chunk, rows, k, n, legacy);
         });
     } else {
-        matmul_serial(a, b, out, m, k, n);
+        matmul_serial(a, b, out, m, k, n, legacy);
     }
 }
 
-fn matmul_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+fn matmul_serial(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    legacy: bool,
+) {
     if n < N_SKINNY && k >= 16 {
         return matmul_dot_packed(a, b, out, m, k, n);
     }
+    if legacy {
+        matmul_legacy_axpy(a, b, out, m, k, n);
+    } else {
+        matmul_blocked_wide(a, b, out, m, k, n);
+    }
+}
+
+/// Wide-RHS register-tile kernel.
+///
+/// For each [`KC`] k-tile and each [`NR`]-wide column block, the block of
+/// `b` is packed into a contiguous `[kc x NR]` panel once, then every
+/// [`MR`]-row quad streams through it holding an `MR x NR` accumulator
+/// tile in registers — `out` is loaded and stored once per (quad, block,
+/// k-tile) instead of once per `k` step, which is where the old kernel
+/// burned its bandwidth. Each `[f32; NR]` accumulator row is a fixed
+/// f32x8-shaped array the autovectorizer maps onto SIMD lanes.
+///
+/// Every output element is still one accumulation chain in ascending-`k`
+/// order (the tile is seeded from `out` and written back), so this is
+/// bit-identical to the legacy axpy kernel and to its own parallel
+/// row-band splits.
+fn matmul_blocked_wide(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m < MR {
+        // Fewer rows than one quad — the token-decode shape (m = 1..3).
+        // A packed panel only pays for itself when a full quad streams
+        // through it, so this path reads `b` directly instead.
+        return matmul_narrow_direct(a, b, out, m, k, n);
+    }
+    let n_main = n - n % NR;
+    let mut panel = vec![0.0f32; KC.min(k) * NR];
+    for k0 in (0..k).step_by(KC) {
+        let k1 = (k0 + KC).min(k);
+        let kc = k1 - k0;
+        for j0 in (0..n_main).step_by(NR) {
+            // Pack this k-tile of the next NR columns of b: one
+            // contiguous panel row per k step.
+            let panel = &mut panel[..kc * NR];
+            for (prow, kk) in panel.chunks_exact_mut(NR).zip(k0..k1) {
+                prow.copy_from_slice(&b[kk * n + j0..kk * n + j0 + NR]);
+            }
+            let panel = &panel[..];
+            let mut i = 0usize;
+            while i + MR <= m {
+                let a0 = &a[i * k..(i + 1) * k];
+                let a1 = &a[(i + 1) * k..(i + 2) * k];
+                let a2 = &a[(i + 2) * k..(i + 3) * k];
+                let a3 = &a[(i + 3) * k..(i + 4) * k];
+                let mut acc = [[0.0f32; NR]; MR];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let o = (i + r) * n + j0;
+                    accr.copy_from_slice(&out[o..o + NR]);
+                }
+                for (prow, kk) in panel.chunks_exact(NR).zip(k0..k1) {
+                    let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                    for l in 0..NR {
+                        acc[0][l] += x0 * prow[l];
+                        acc[1][l] += x1 * prow[l];
+                        acc[2][l] += x2 * prow[l];
+                        acc[3][l] += x3 * prow[l];
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    let o = (i + r) * n + j0;
+                    out[o..o + NR].copy_from_slice(accr);
+                }
+                i += MR;
+            }
+            // Remainder rows: one NR-wide accumulator vector per row.
+            while i < m {
+                let arow = &a[i * k..(i + 1) * k];
+                let o = i * n + j0;
+                let mut acc = [0.0f32; NR];
+                acc.copy_from_slice(&out[o..o + NR]);
+                for (prow, kk) in panel.chunks_exact(NR).zip(k0..k1) {
+                    let x = arow[kk];
+                    for l in 0..NR {
+                        acc[l] += x * prow[l];
+                    }
+                }
+                out[o..o + NR].copy_from_slice(&acc);
+                i += 1;
+            }
+        }
+        // Ragged column tail (n % NR): plain ascending-k axpy over the
+        // last few columns, unpacked.
+        if n_main < n {
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let (os, oe) = (i * n + n_main, (i + 1) * n);
+                for kk in k0..k1 {
+                    let x = arow[kk];
+                    let brow = &b[kk * n + n_main..(kk + 1) * n];
+                    for (o, &bv) in out[os..oe].iter_mut().zip(brow) {
+                        *o += x * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sub-quad row count (`m < MR`): the single-token decode shape. Each
+/// row holds an [`NR`]-wide register accumulator per column block and
+/// streams `b` directly, so `out` is loaded and stored once per (block,
+/// k-tile) instead of once per `k` step — the legacy axpy kernel's cost
+/// on this shape — while skipping the panel pack that only a full quad
+/// can amortize. Same ascending-`k` single-chain accumulation as every
+/// other path, so it stays bit-identical to the legacy kernel.
+fn matmul_narrow_direct(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let n_main = n - n % NR;
+    for k0 in (0..k).step_by(KC) {
+        let k1 = (k0 + KC).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j0 in (0..n_main).step_by(NR) {
+                let o = i * n + j0;
+                let mut acc = [0.0f32; NR];
+                acc.copy_from_slice(&out[o..o + NR]);
+                for kk in k0..k1 {
+                    let x = arow[kk];
+                    let brow = &b[kk * n + j0..kk * n + j0 + NR];
+                    for l in 0..NR {
+                        acc[l] += x * brow[l];
+                    }
+                }
+                out[o..o + NR].copy_from_slice(&acc);
+            }
+            if n_main < n {
+                let (os, oe) = (i * n + n_main, (i + 1) * n);
+                for kk in k0..k1 {
+                    let x = arow[kk];
+                    let brow = &b[kk * n + n_main..(kk + 1) * n];
+                    for (o, &bv) in out[os..oe].iter_mut().zip(brow) {
+                        *o += x * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The PR 2 wide kernel (quad axpy streaming full `n`-wide output rows),
+/// retained verbatim as the measured baseline behind
+/// [`set_legacy_kernels`]. Same accumulation order as
+/// [`matmul_blocked_wide`], so the two are bit-identical — only speed
+/// differs.
+fn matmul_legacy_axpy(a: &[f32], b: &[f32], out: &mut [f32], _m: usize, k: usize, n: usize) {
     for k0 in (0..k).step_by(KC) {
         let k1 = (k0 + KC).min(k);
         let mut quads = out.chunks_exact_mut(MR * n);
