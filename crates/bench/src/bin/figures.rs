@@ -1,7 +1,7 @@
 //! Regenerate every evaluation figure of the NetLLM paper.
 //!
 //! ```text
-//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4|bench5|bench6]
+//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4|bench5|bench6|bench7]
 //!                                                  [--fidelity smoke|default|paper]
 //! ```
 //!
@@ -24,8 +24,13 @@
 //! GEMM GFLOP/s for the register-blocked vs retained PR 2 kernels,
 //! single-stream + batch 16/64 decode under both kernel generations,
 //! persistent-pool dispatch latency vs a scoped-spawn round trip, and
-//! the fleet's metrics-registry counters). Together they track the perf
-//! trajectory across PRs.
+//! the fleet's metrics-registry counters); `--fig bench7` regenerates
+//! `reports/BENCH_7.json`, the PR 7 fault-recovery snapshot (a B=64 ABR
+//! fleet on K=4 shards loses one shard mid-tick: the per-tick
+//! served/latency timeline through kill, declaration and recovery, the
+//! recovery latency in ticks, post-recovery throughput vs a (K-1)-shard
+//! baseline, and the fleet's cumulative fault counters). Together they
+//! track the perf trajectory across PRs.
 
 use netllm::{
     build_abr_env, build_cjs_workloads, build_vp_data, evaluate_token_path, AdaptMode, Fidelity,
@@ -102,6 +107,9 @@ fn main() {
     }
     if fig == "bench6" {
         bench6();
+    }
+    if fig == "bench7" {
+        bench7();
     }
     println!("\nall requested figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -1675,6 +1683,180 @@ fn bench6() {
         ),
     );
     let path = write_report("BENCH_6", &serde_json::Value::Object(report)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_7: fault-recovery snapshot (PR 7 — crash injection + health checker)
+// ---------------------------------------------------------------------------
+
+/// A B=64 ABR fleet on K=4 shards loses one shard mid-tick: per-tick
+/// served/latency timeline through the kill, the Suspect window, the
+/// Dead declaration (sessions salvaged, backlog redistributed, pool
+/// share retired) and the return to full service, plus the recovered
+/// fleet's throughput against a (K-1)-shard baseline. The enforced gate
+/// lives in `tests/fault_soak.rs`; this bin snapshots the timeline.
+#[allow(clippy::needless_range_loop)]
+fn bench7() {
+    use netllm::{
+        AdmissionPolicy, FaultPlan, HealthConfig, NetLlmAbr, ShardedServer, SubmitRetry, Ticket,
+        TicketStatus,
+    };
+    use nt_abr::AbrObservation;
+    use nt_llm::Zoo;
+    use std::collections::VecDeque;
+    use std::time::Duration;
+
+    const B: usize = 64;
+    const K: usize = 4;
+    const STEPS: usize = 16;
+    const KILL_TICK: u64 = 8;
+
+    println!("\n[bench7] fault-recovery snapshot");
+    let zoo = Zoo::new(std::env::temp_dir().join("bench7-zoo"));
+    let mut m = NetLlmAbr::new(
+        zoo.build_random(&size_spec("7b-sim")),
+        AdaptMode::NoDomain,
+        netllm::LoraSpec::default(),
+        8,
+        54,
+    );
+    m.target_return = 2.0;
+    let streams: Vec<Vec<AbrObservation>> =
+        (0..B).map(|s| AbrObservation::synthetic_stream(3000 + s as u64, STEPS)).collect();
+
+    // (K-1)-shard baseline: best per-tick wall clock at full service
+    // over the last six ticks — the same session ages the faulted run's
+    // post-recovery window sees (decode cost grows with context length).
+    let mut baseline = Duration::MAX;
+    for _ in 0..2 {
+        let mut server: ShardedServer<NetLlmAbr> =
+            ShardedServer::with_policy(K - 1, AdmissionPolicy::LeastLoaded);
+        let ids: Vec<_> = (0..B).map(|_| server.join(&m)).collect();
+        for t in 0..STEPS {
+            for (s, &id) in ids.iter().enumerate() {
+                let _ = server.submit(id, streams[s][t].clone()).expect("healthy submit");
+            }
+            let t0 = Instant::now();
+            let report = server.tick(&m);
+            if t >= STEPS - 6 {
+                baseline = baseline.min(t0.elapsed());
+            }
+            assert_eq!(report.served, B);
+        }
+    }
+
+    // Faulted run: one mid-tick kill, full timeline recorded.
+    let mut server: ShardedServer<NetLlmAbr> =
+        ShardedServer::with_policy(K, AdmissionPolicy::LeastLoaded);
+    server.set_health_config(HealthConfig::fast());
+    let ids: Vec<_> = (0..B).map(|_| server.join(&m)).collect();
+    let victim = server.shard_of(ids[0]);
+    server.inject(FaultPlan::new().kill(KILL_TICK, victim));
+    let mut retry: Vec<SubmitRetry> = (0..B).map(|_| SubmitRetry::new()).collect();
+    let mut sent = vec![0usize; B];
+    let mut open: Vec<VecDeque<Ticket>> = vec![VecDeque::new(); B];
+    let (mut declared, mut recovered) = (0u64, 0u64);
+    let mut window = Duration::MAX;
+    let mut timeline = Vec::new();
+    for t in 1..=(STEPS as u64 + 24) {
+        for s in 0..B {
+            while sent[s] < (t as usize).min(STEPS) && retry[s].ready(t) {
+                match server.submit(ids[s], streams[s][sent[s]].clone()) {
+                    Ok(ticket) => {
+                        open[s].push_back(ticket);
+                        sent[s] += 1;
+                        retry[s].succeeded();
+                    }
+                    Err(e) => {
+                        retry[s].refused(t, &e);
+                        break;
+                    }
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let report = server.tick(&m);
+        let dt = t0.elapsed();
+        if !report.faults.declared_dead.is_empty() {
+            declared = t;
+        }
+        if declared > 0 && recovered == 0 && report.served == B {
+            recovered = t;
+        }
+        if recovered > 0 && t > recovered && report.served == B {
+            window = window.min(dt);
+        }
+        timeline.push(json!({
+            "tick": t,
+            "served": report.served,
+            "ms": dt.as_secs_f64() * 1e3,
+            "killed": report.faults.killed,
+            "declared_dead": report.faults.declared_dead,
+            "suspect": report.faults.suspect,
+            "requeued": report.faults.arrivals_requeued,
+            "sessions_recovered": report.faults.sessions_recovered,
+        }));
+        for q in open.iter_mut() {
+            while let Some(&ticket) = q.front() {
+                match server.poll_status(ticket) {
+                    TicketStatus::Served(_) => {
+                        q.pop_front();
+                    }
+                    TicketStatus::Failed => panic!("a clean kill must not fail tickets"),
+                    _ => break,
+                }
+            }
+        }
+        if sent.iter().all(|&n| n == STEPS) && open.iter().all(VecDeque::is_empty) {
+            break;
+        }
+    }
+    assert!(declared > 0 && recovered > 0, "the kill never declared/recovered");
+    let snap = server.metrics().snapshot();
+    let ratio = baseline.as_secs_f64() / window.as_secs_f64().max(1e-9);
+
+    print_table(
+        "BENCH_7: single-shard kill at B=64, K=4 (7b-sim, fast health profile)",
+        &["kill", "declared", "full service", "latency", "recovered/tick", "vs K-1 baseline"],
+        &[vec![
+            format!("@{KILL_TICK}"),
+            format!("@{declared}"),
+            format!("@{recovered}"),
+            format!("{} ticks", recovered - KILL_TICK),
+            format!("{:.2}ms", window.as_secs_f64() * 1e3),
+            format!("{ratio:.2}x"),
+        ]],
+    );
+    let report = json!({
+        "scenario": {
+            "batch": B, "shards": K, "steps": STEPS, "kill_tick": KILL_TICK,
+            "victim_shard": victim, "mid_tick": true,
+            "health": {"miss_threshold": 2, "backoff_base": 1, "backoff_max": 2},
+        },
+        "kill_tick": KILL_TICK,
+        "declared_dead_tick": declared,
+        "recovered_tick": recovered,
+        "recovery_latency_ticks": recovered - KILL_TICK,
+        "post_recovery_ms_per_tick": window.as_secs_f64() * 1e3,
+        "baseline_k1_ms_per_tick": baseline.as_secs_f64() * 1e3,
+        "throughput_vs_k1_baseline": ratio,
+        "fault_counters": {
+            "shard_kills": snap.faults.shard_kills,
+            "sessions_recovered": snap.faults.sessions_recovered,
+            "tickets_failed": snap.faults.tickets_failed,
+            "arrivals_requeued": snap.faults.arrivals_requeued,
+            "recovery_replay_rows": snap.faults.recovery_replay_rows,
+        },
+        "timeline": timeline,
+        "note": "per-tick service through a mid-tick shard kill: the drained batch is \
+                 orphaned back to its queue, the health checker declares Dead after two \
+                 missed probes, recovery salvages every session (KV re-anchors from the \
+                 episode log) and redistributes the backlog, and the dead shard's pool \
+                 share is retired; the enforced >= 0.9x degradation gate runs in \
+                 tests/fault_soak.rs",
+    });
+    let path = write_report("BENCH_7", &report).unwrap();
     println!("wrote {}", path.display());
 }
 

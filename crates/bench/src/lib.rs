@@ -11,6 +11,8 @@
 pub mod engine;
 pub mod report;
 pub mod stats;
+pub mod trace;
 
 pub use engine::Engine;
 pub use report::{print_table, reports_dir, write_report};
+pub use trace::{trace_seed, Trace, TraceConfig, TraceShape};

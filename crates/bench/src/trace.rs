@@ -1,0 +1,350 @@
+//! Seeded workload-trace generator for the serving gates.
+//!
+//! The continuous-batching gate grew its uniform and bursty arrival
+//! patterns inline; the fault-soak gate needs adversarial shapes on top —
+//! load that *concentrates* where a fault lands instead of averaging it
+//! away. A [`Trace`] is a fully precomputed, seed-deterministic schedule:
+//! per session a join/leave window, per tick the set of sessions
+//! submitting an observation. Consumers map session indices onto fleet
+//! groups and replay the schedule through whatever front end they gate.
+//!
+//! Shapes ([`TraceShape`]):
+//!
+//! - `Uniform` — constant submit probability, staggered joins;
+//! - `Bursty` — alternating quiet/burst windows (the continuous-batching
+//!   gate's pattern, here reusable);
+//! - `Diurnal` — sinusoidal intensity over the trace length, one "day":
+//!   peak load mid-trace, troughs at the edges;
+//! - `FlashCrowd` — a correlated crowd joins on one tick and hammers a
+//!   short hot window; [`Trace::crowd`] lists its members so a gate can
+//!   pin them onto one shard (the shard a fault then targets);
+//! - `HeavyTail` — Pareto session lifetimes (`scale·(1−u)^(−1/α)`,
+//!   clamped): most sessions are short, a few span the whole trace and
+//!   carry most of the KV state a crash destroys.
+//!
+//! Seeds come from [`trace_seed`] (`NT_TRACE_SEED`, decimal or `0x`-hex)
+//! and every gate echoes the seed it ran, so a CI log pins the replay.
+
+use nt_tensor::Rng;
+
+/// Arrival/lifetime pattern of a generated [`Trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceShape {
+    /// Constant submit probability, staggered joins.
+    Uniform,
+    /// Alternating quiet/burst windows (3 ticks each).
+    Bursty,
+    /// One sinusoidal "day": intensity peaks mid-trace.
+    Diurnal,
+    /// A correlated crowd joins on one tick and burns hot briefly.
+    FlashCrowd,
+    /// Pareto (α = 1.2) session lifetimes: short mass, long tail.
+    HeavyTail,
+}
+
+impl TraceShape {
+    /// Every shape, in gate order.
+    pub const ALL: [TraceShape; 5] = [
+        TraceShape::Uniform,
+        TraceShape::Bursty,
+        TraceShape::Diurnal,
+        TraceShape::FlashCrowd,
+        TraceShape::HeavyTail,
+    ];
+
+    /// Label used in gate logs and report keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceShape::Uniform => "uniform",
+            TraceShape::Bursty => "bursty",
+            TraceShape::Diurnal => "diurnal",
+            TraceShape::FlashCrowd => "flash-crowd",
+            TraceShape::HeavyTail => "heavy-tail",
+        }
+    }
+}
+
+/// Inputs to [`Trace::generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    pub shape: TraceShape,
+    /// Trace length in ticks (tick numbers are 1-based, `1..=ticks`).
+    pub ticks: u64,
+    /// Session count (indices `0..sessions`).
+    pub sessions: usize,
+    pub seed: u64,
+}
+
+/// One session's presence window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionPlan {
+    /// First tick the session exists (joins before this tick's submits).
+    pub join_tick: u64,
+    /// First tick the session is gone (leaves after the previous tick's
+    /// serves drain). `> ticks` means it outlives the trace.
+    pub leave_tick: u64,
+}
+
+/// A precomputed, seed-deterministic workload schedule.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    pub shape: TraceShape,
+    pub seed: u64,
+    pub ticks: u64,
+    pub sessions: Vec<SessionPlan>,
+    /// Flash-crowd members (empty for other shapes) — the sessions a
+    /// gate pins onto the shard its fault schedule targets.
+    pub crowd: Vec<usize>,
+    /// Tick the crowd joins (0 when `crowd` is empty).
+    pub crowd_tick: u64,
+    /// `submits[t - 1]` = session indices submitting at tick `t`,
+    /// ascending.
+    submits: Vec<Vec<usize>>,
+}
+
+impl Trace {
+    /// Generate the schedule. Deterministic in `cfg` (two calls with the
+    /// same config are identical).
+    pub fn generate(cfg: &TraceConfig) -> Trace {
+        assert!(cfg.ticks >= 4, "trace too short: {} ticks", cfg.ticks);
+        assert!(cfg.sessions >= 1, "trace needs at least one session");
+        let mut rng = Rng::seeded(cfg.seed ^ 0x7_2ace_0000);
+        let (mut crowd, mut crowd_tick) = (Vec::new(), 0u64);
+        if cfg.shape == TraceShape::FlashCrowd {
+            // The crowd is the back third of the index space, arriving
+            // together mid-trace.
+            let n = (cfg.sessions / 3).max(1);
+            crowd = (cfg.sessions - n..cfg.sessions).collect();
+            crowd_tick = cfg.ticks / 3 + rng.below((cfg.ticks / 4).max(1) as usize) as u64;
+        }
+        let sessions: Vec<SessionPlan> = (0..cfg.sessions)
+            .map(|s| {
+                if crowd.contains(&s) {
+                    // Hot window: a few ticks of hammering, then gone.
+                    let burn = 2 + rng.below(3) as u64;
+                    return SessionPlan { join_tick: crowd_tick, leave_tick: crowd_tick + burn };
+                }
+                // Joins staggered over the first half of the trace.
+                let join_tick = 1 + rng.below((cfg.ticks / 2).max(1) as usize) as u64;
+                let lifetime = match cfg.shape {
+                    TraceShape::HeavyTail => pareto_lifetime(&mut rng, cfg.ticks),
+                    // Long-lived by default: most sessions outlive the
+                    // trace, some leave mid-way (churn).
+                    _ => (cfg.ticks / 2 + rng.below(cfg.ticks as usize) as u64).max(2),
+                };
+                SessionPlan { join_tick, leave_tick: join_tick + lifetime }
+            })
+            .collect();
+        let submits: Vec<Vec<usize>> = (1..=cfg.ticks)
+            .map(|t| {
+                sessions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(s, p)| {
+                        if t < p.join_tick || t >= p.leave_tick {
+                            return false;
+                        }
+                        let p_submit = if crowd.contains(&s) {
+                            0.95 // the crowd hammers its whole hot window
+                        } else {
+                            intensity(cfg.shape, t, cfg.ticks)
+                        };
+                        rng.chance(p_submit)
+                    })
+                    .map(|(s, _)| s)
+                    .collect()
+            })
+            .collect();
+        Trace {
+            shape: cfg.shape,
+            seed: cfg.seed,
+            ticks: cfg.ticks,
+            sessions,
+            crowd,
+            crowd_tick,
+            submits,
+        }
+    }
+
+    /// Session indices submitting at `tick` (1-based), ascending.
+    pub fn submits_at(&self, tick: u64) -> &[usize] {
+        assert!((1..=self.ticks).contains(&tick), "tick {tick} outside 1..={}", self.ticks);
+        &self.submits[(tick - 1) as usize]
+    }
+
+    /// Total submit events across the trace.
+    pub fn total_submits(&self) -> usize {
+        self.submits.iter().map(Vec::len).sum()
+    }
+
+    /// Sessions alive at `tick`.
+    pub fn live_at(&self, tick: u64) -> Vec<usize> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|&(_, p)| tick >= p.join_tick && tick < p.leave_tick)
+            .map(|(s, _)| s)
+            .collect()
+    }
+}
+
+/// Submit probability of a non-crowd session at `tick`.
+fn intensity(shape: TraceShape, tick: u64, ticks: u64) -> f32 {
+    match shape {
+        TraceShape::Uniform | TraceShape::HeavyTail => 0.55,
+        TraceShape::Bursty => {
+            if (tick / 3) % 2 == 1 {
+                0.9
+            } else {
+                0.15
+            }
+        }
+        TraceShape::Diurnal => {
+            // One day over the trace: trough 0.1 at the edges, peak 0.9
+            // mid-trace.
+            let phase = (tick - 1) as f32 / ticks as f32 * std::f32::consts::PI;
+            0.1 + 0.8 * phase.sin()
+        }
+        TraceShape::FlashCrowd => 0.3, // background load under the crowd
+    }
+}
+
+/// Pareto(α = 1.2) lifetime: `scale · (1 − u)^(−1/α)`, clamped to
+/// `[2, 4·ticks]` — mass at `scale`, a tail that outlives the trace.
+fn pareto_lifetime(rng: &mut Rng, ticks: u64) -> u64 {
+    const ALPHA: f32 = 1.2;
+    let scale = (ticks as f32 / 8.0).max(1.0);
+    let u = rng.unit().min(0.999_999);
+    let life = scale * (1.0 - u).powf(-1.0 / ALPHA);
+    (life as u64).clamp(2, ticks * 4)
+}
+
+/// The trace seed: `NT_TRACE_SEED` (decimal or `0x`-hex) overriding
+/// `default`. Every gate echoes the seed it ran so a CI log pins the
+/// replay.
+pub fn trace_seed(default: u64) -> u64 {
+    match std::env::var("NT_TRACE_SEED") {
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| panic!("unparseable NT_TRACE_SEED: {s:?}")),
+        Err(_) => default,
+    }
+}
+
+/// Parse a seed override: decimal or `0x`-prefixed hex.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shape: TraceShape, seed: u64) -> TraceConfig {
+        TraceConfig { shape, ticks: 40, sessions: 12, seed }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic_and_session_windows_bound_submits() {
+        for shape in TraceShape::ALL {
+            let a = Trace::generate(&cfg(shape, 77));
+            let b = Trace::generate(&cfg(shape, 77));
+            assert_eq!(a.sessions, b.sessions, "{shape:?}: session plans diverged");
+            for t in 1..=a.ticks {
+                assert_eq!(a.submits_at(t), b.submits_at(t), "{shape:?} tick {t}");
+                for &s in a.submits_at(t) {
+                    let p = a.sessions[s];
+                    assert!(
+                        t >= p.join_tick && t < p.leave_tick,
+                        "{shape:?}: session {s} submits outside [{}, {})",
+                        p.join_tick,
+                        p.leave_tick
+                    );
+                }
+            }
+            let c = Trace::generate(&cfg(shape, 78));
+            assert_ne!(
+                (0..a.ticks).map(|t| a.submits_at(t + 1).to_vec()).collect::<Vec<_>>(),
+                (0..c.ticks).map(|t| c.submits_at(t + 1).to_vec()).collect::<Vec<_>>(),
+                "{shape:?}: different seeds must differ"
+            );
+            assert!(a.total_submits() > 0, "{shape:?}: empty trace gates nothing");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_joins_together_and_hammers_its_window() {
+        let t = Trace::generate(&cfg(TraceShape::FlashCrowd, 9));
+        assert!(!t.crowd.is_empty());
+        for &s in &t.crowd {
+            assert_eq!(t.sessions[s].join_tick, t.crowd_tick, "the crowd arrives as one");
+        }
+        // During the hot window the crowd dominates per-capita: its
+        // members submit near every tick, background sessions near 0.3.
+        let hot: usize = t
+            .crowd
+            .iter()
+            .map(|&s| (1..=t.ticks).filter(|&tk| t.submits_at(tk).contains(&s)).count())
+            .sum();
+        let hot_ticks: u64 =
+            t.crowd.iter().map(|&s| t.sessions[s].leave_tick - t.sessions[s].join_tick).sum();
+        assert!(
+            hot as f64 >= 0.7 * hot_ticks as f64,
+            "crowd submitted {hot} of {hot_ticks} member-ticks"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_lifetimes_are_pareto_shaped() {
+        // One draw set: mass short, tail long. Use a bigger population so
+        // the tail is reliably sampled.
+        let t = Trace::generate(&TraceConfig {
+            shape: TraceShape::HeavyTail,
+            ticks: 40,
+            sessions: 64,
+            seed: 5,
+        });
+        let mut lives: Vec<u64> = t.sessions.iter().map(|p| p.leave_tick - p.join_tick).collect();
+        lives.sort_unstable();
+        let median = lives[lives.len() / 2];
+        let max = *lives.last().unwrap();
+        assert!(max >= 4 * median.max(1), "no heavy tail: median {median}, max {max}");
+        assert!(lives[0] >= 2, "clamp floor");
+        assert!(max <= 4 * t.ticks, "clamp ceiling");
+    }
+
+    #[test]
+    fn diurnal_peaks_mid_trace() {
+        let t = Trace::generate(&TraceConfig {
+            shape: TraceShape::Diurnal,
+            ticks: 60,
+            sessions: 48,
+            seed: 3,
+        });
+        // Compare per-live-session submit rates so join staggering and
+        // churn cannot fake a diurnal curve.
+        let rate = |lo: u64, hi: u64| -> f64 {
+            let (mut subs, mut live) = (0usize, 0usize);
+            for tk in lo..=hi {
+                subs += t.submits_at(tk).len();
+                live += t.live_at(tk).len();
+            }
+            subs as f64 / live.max(1) as f64
+        };
+        let peak = rate(25, 35);
+        let trough = rate(1, 6).max(rate(55, 60));
+        assert!(
+            peak > 1.5 * trough.max(0.05),
+            "no diurnal swing: peak {peak:.2} vs trough {trough:.2}"
+        );
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("12345"), Some(12345));
+        assert_eq!(parse_seed(" 0xC01D5EED "), Some(0xC01D_5EED));
+        assert_eq!(parse_seed("bogus"), None);
+    }
+}

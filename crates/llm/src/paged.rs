@@ -76,12 +76,15 @@ pub struct PoolStats {
     pub page_tokens: usize,
     /// Bytes per page (keys + values).
     pub page_bytes: usize,
-    /// Total pages minted (the hard bound).
+    /// Live capacity: pages minted minus pages retired (the hard bound).
     pub capacity_pages: usize,
     /// Pages currently lent to sessions.
     pub used_pages: usize,
     /// Pages on the free list.
     pub free_pages: usize,
+    /// Pages permanently retired ([`PagePool::retire_pages`]) — capacity
+    /// surrendered when a fault domain dies.
+    pub retired_pages: usize,
     /// The configured byte budget.
     pub budget_bytes: usize,
 }
@@ -94,13 +97,21 @@ impl PoolStats {
     }
 }
 
+struct PoolInner {
+    free: Vec<KvPage>,
+    /// Pages dropped for good via [`PagePool::retire_pages`]. Capacity is
+    /// `minted - retired`, so `used + free == capacity` stays an identity
+    /// even while a fleet sheds the budget share of a dead shard.
+    retired: usize,
+}
+
 struct PoolShared {
     page_tokens: usize,
     dim: usize,
     page_bytes: usize,
-    capacity: usize,
+    minted: usize,
     budget_bytes: usize,
-    free: Mutex<Vec<KvPage>>,
+    inner: Mutex<PoolInner>,
 }
 
 /// Free-list allocator of fixed-size KV pages under a global byte budget.
@@ -135,9 +146,9 @@ impl PagePool {
                 page_tokens: cfg.page_tokens,
                 dim,
                 page_bytes,
-                capacity,
+                minted: capacity,
                 budget_bytes: cfg.budget_bytes,
-                free: Mutex::new(free),
+                inner: Mutex::new(PoolInner { free, retired: 0 }),
             }),
         }
     }
@@ -177,19 +188,27 @@ impl PagePool {
         self.shared.page_bytes
     }
 
-    /// Total pages minted — the hard bound.
+    /// Live capacity — pages minted minus pages retired. The hard bound:
+    /// `used + free == capacity` at all times.
     pub fn capacity_pages(&self) -> usize {
-        self.shared.capacity
+        let inner = self.shared.inner.lock().expect("page pool poisoned");
+        self.shared.minted - inner.retired
+    }
+
+    /// Pages permanently retired via [`PagePool::retire_pages`].
+    pub fn retired_pages(&self) -> usize {
+        self.shared.inner.lock().expect("page pool poisoned").retired
     }
 
     /// Pages on the free list right now.
     pub fn free_pages(&self) -> usize {
-        self.shared.free.lock().expect("page pool poisoned").len()
+        self.shared.inner.lock().expect("page pool poisoned").free.len()
     }
 
     /// Pages currently lent to sessions.
     pub fn used_pages(&self) -> usize {
-        self.capacity_pages() - self.free_pages()
+        let inner = self.shared.inner.lock().expect("page pool poisoned");
+        self.shared.minted - inner.retired - inner.free.len()
     }
 
     /// Bytes currently lent to sessions.
@@ -204,13 +223,15 @@ impl PagePool {
 
     /// Occupancy snapshot.
     pub fn stats(&self) -> PoolStats {
-        let free = self.free_pages();
+        let inner = self.shared.inner.lock().expect("page pool poisoned");
+        let capacity = self.shared.minted - inner.retired;
         PoolStats {
             page_tokens: self.page_tokens(),
             page_bytes: self.page_bytes(),
-            capacity_pages: self.capacity_pages(),
-            used_pages: self.capacity_pages() - free,
-            free_pages: free,
+            capacity_pages: capacity,
+            used_pages: capacity - inner.free.len(),
+            free_pages: inner.free.len(),
+            retired_pages: inner.retired,
             budget_bytes: self.shared.budget_bytes,
         }
     }
@@ -220,19 +241,38 @@ impl PagePool {
     /// (`KvCache` drives this internally; it is public so external cache
     /// implementations and the allocator property tests can too.)
     pub fn alloc_pages(&self, n: usize) -> Option<Vec<KvPage>> {
-        let mut free = self.shared.free.lock().expect("page pool poisoned");
-        if free.len() < n {
+        let mut inner = self.shared.inner.lock().expect("page pool poisoned");
+        if inner.free.len() < n {
             return None;
         }
-        let at = free.len() - n;
-        Some(free.split_off(at))
+        let at = inner.free.len() - n;
+        Some(inner.free.split_off(at))
     }
 
     /// Return pages to the free list.
     pub fn release_pages(&self, pages: impl IntoIterator<Item = KvPage>) {
-        let mut free = self.shared.free.lock().expect("page pool poisoned");
-        free.extend(pages);
-        debug_assert!(free.len() <= self.shared.capacity, "released more pages than minted");
+        let mut inner = self.shared.inner.lock().expect("page pool poisoned");
+        inner.free.extend(pages);
+        debug_assert!(
+            inner.free.len() + inner.retired <= self.shared.minted,
+            "released more pages than minted"
+        );
+    }
+
+    /// Permanently shrink the pool by dropping up to `n` **free** pages;
+    /// returns how many were retired. Capacity drops by the same amount,
+    /// so `used + free == capacity` holds through the shrink. Best-effort
+    /// by design: pages lent to live sessions are never clawed back, so
+    /// callers retiring a dead fault domain's budget share should reclaim
+    /// its sessions' pages first, then retire. Retirement is one-way — the
+    /// pool never re-mints.
+    pub fn retire_pages(&self, n: usize) -> usize {
+        let mut inner = self.shared.inner.lock().expect("page pool poisoned");
+        let take = n.min(inner.free.len());
+        let at = inner.free.len() - take;
+        inner.free.truncate(at);
+        inner.retired += take;
+        take
     }
 }
 
@@ -274,5 +314,33 @@ mod tests {
     #[should_panic(expected = "below one page")]
     fn budget_below_one_page_is_rejected() {
         let _ = PagePool::new(64, PageConfig { page_tokens: 16, budget_bytes: 100 });
+    }
+
+    #[test]
+    fn retire_shrinks_capacity_and_keeps_the_occupancy_identity() {
+        let pool = PagePool::new(8, PageConfig { page_tokens: 4, budget_bytes: 6 * 256 });
+        let lent = pool.alloc_pages(2).expect("2 of 6 fit");
+        // Only free pages retire: asking for 5 with 4 free retires 4.
+        assert_eq!(pool.retire_pages(5), 4);
+        assert_eq!(pool.retired_pages(), 4);
+        assert_eq!(pool.capacity_pages(), 2);
+        assert_eq!((pool.used_pages(), pool.free_pages()), (2, 0));
+        assert_eq!(pool.used_pages() + pool.free_pages(), pool.capacity_pages());
+        // Lent pages still come home to the shrunken pool.
+        pool.release_pages(lent);
+        assert_eq!((pool.used_pages(), pool.free_pages()), (0, 2));
+        assert_eq!(pool.used_pages() + pool.free_pages(), pool.capacity_pages());
+        let s = pool.stats();
+        assert_eq!((s.capacity_pages, s.retired_pages), (2, 4));
+    }
+
+    #[test]
+    fn retire_zero_and_retire_on_empty_free_list_are_noops() {
+        let pool = PagePool::new(8, PageConfig { page_tokens: 4, budget_bytes: 2 * 256 });
+        assert_eq!(pool.retire_pages(0), 0);
+        let lent = pool.alloc_pages(2).unwrap();
+        assert_eq!(pool.retire_pages(3), 0, "no free pages, nothing to retire");
+        assert_eq!(pool.capacity_pages(), 2);
+        pool.release_pages(lent);
     }
 }

@@ -1,0 +1,305 @@
+//! Deterministic fault injection for the sharded server.
+//!
+//! A [`FaultPlan`] is a seed- or hand-built schedule of [`Fault`]s pinned
+//! to logical-clock ticks. [`crate::ShardedServer::inject`] arms the plan
+//! and [`crate::ShardedServer::tick`] fires due events at two exact
+//! points in the tick cycle:
+//!
+//! - **pre-drain** ([`Fault::Kill`] with `mid_tick: false`,
+//!   [`Fault::Stall`]): the shard goes dark before this tick's queues
+//!   drain, so its heartbeat is already missing when the health checker
+//!   observes the tick;
+//! - **mid-tick** ([`Fault::Kill`] with `mid_tick: true`,
+//!   [`Fault::Poison`], [`Fault::DropBatch`]): the shard (or one
+//!   session's step, or one drained batch) dies *after* the drain and
+//!   before the engine step — the hardest window, because already-drained
+//!   arrivals are in flight and must be re-queued or failed, never lost.
+//!
+//! Crash semantics are the repo's recovery-equals-eviction contract: a
+//! killed shard loses its KV pages (reclaimed to the pool — the pages
+//! were host memory the dead process can no longer address, so the pool
+//! re-mints their budget share away via `retire_pages`), but every
+//! session's **episode log survives** (it is decision-granular durable
+//! state, the WAL of this system). Recovery replays it through the
+//! existing evicted-session re-anchor path on a surviving shard, which is
+//! why the soak gate can demand 1e-5 equivalence with a no-fault replay.
+//!
+//! Everything here is deterministic: [`FaultPlan::random_kills`] derives
+//! its schedule from an explicit seed through [`nt_tensor::Rng`], so a
+//! failing soak trace replays exactly from the seed echoed in the log.
+
+use nt_tensor::Rng;
+
+/// One injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Kill `shard` permanently (process crash). `mid_tick: false` fires
+    /// before the tick's drain; `mid_tick: true` fires after the shard
+    /// drained its batch, orphaning the in-flight arrivals (they are
+    /// pushed back to the head of the queue and recovered with the
+    /// shard's sessions once the health checker declares it dead).
+    Kill {
+        /// Shard index to crash.
+        shard: usize,
+        /// Fire after the drain instead of before it.
+        mid_tick: bool,
+    },
+    /// Stall `shard` for `ticks` ticks: heartbeats stop (the health
+    /// checker walks it to Suspect and probes with backoff), then the
+    /// shard comes back with all state intact — the *transient* failure
+    /// class, which must cost retries, never recovery.
+    Stall {
+        /// Shard index to stall.
+        shard: usize,
+        /// Heartbeats missed before the shard revives.
+        ticks: u64,
+    },
+    /// Tear one session's step this tick: if the session has a drained
+    /// arrival it is failed (ticket resolves `Failed`), and the session's
+    /// KV is dropped as untrusted — it re-anchors from the episode log on
+    /// its next step, exactly like an eviction. This is the
+    /// mid-candidate / mid-episode corruption probe: un-rolled-back CJS
+    /// candidate tokens die with the KV, never with the episode log.
+    Poison {
+        /// Global session id (`GlobalSessionId.0`) to poison.
+        session: u64,
+    },
+    /// Drop `shard`'s entire drained batch this tick (ingress loss between
+    /// queue and engine): every orphaned ticket resolves `Failed` — the
+    /// explicit-loss path, as opposed to `Kill`'s requeue path.
+    DropBatch {
+        /// Shard index whose drained batch is dropped.
+        shard: usize,
+    },
+}
+
+impl Fault {
+    /// Whether this fault fires before the tick's drain (`false` = fires
+    /// mid-tick, between drain and engine step).
+    pub fn pre_drain(&self) -> bool {
+        match self {
+            Fault::Kill { mid_tick, .. } => !mid_tick,
+            Fault::Stall { .. } => true,
+            Fault::Poison { .. } | Fault::DropBatch { .. } => false,
+        }
+    }
+}
+
+/// A [`Fault`] pinned to a logical-clock tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Tick (1-based, the value `TickReport::tick` will carry) at which
+    /// the fault fires. Events whose tick has already passed fire on the
+    /// next tick — a plan armed late still runs in full.
+    pub at_tick: u64,
+    /// The failure to inject.
+    pub fault: Fault,
+}
+
+/// A deterministic schedule of faults. Build one with the chained
+/// constructors (or [`FaultPlan::random_kills`] for a seeded schedule) and
+/// arm it with [`crate::ShardedServer::inject`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Kill `shard` mid-tick at `at_tick` — the hardest crash point, with
+    /// its drained batch in flight.
+    pub fn kill(mut self, at_tick: u64, shard: usize) -> Self {
+        self.events.push(FaultEvent { at_tick, fault: Fault::Kill { shard, mid_tick: true } });
+        self
+    }
+
+    /// Kill `shard` before the drain at `at_tick`.
+    pub fn kill_before_drain(mut self, at_tick: u64, shard: usize) -> Self {
+        self.events.push(FaultEvent { at_tick, fault: Fault::Kill { shard, mid_tick: false } });
+        self
+    }
+
+    /// Stall `shard` for `ticks` heartbeats starting at `at_tick`.
+    pub fn stall(mut self, at_tick: u64, shard: usize, ticks: u64) -> Self {
+        self.events.push(FaultEvent { at_tick, fault: Fault::Stall { shard, ticks } });
+        self
+    }
+
+    /// Tear `session`'s step at `at_tick`.
+    pub fn poison(mut self, at_tick: u64, session: u64) -> Self {
+        self.events.push(FaultEvent { at_tick, fault: Fault::Poison { session } });
+        self
+    }
+
+    /// Drop `shard`'s drained batch at `at_tick`.
+    pub fn drop_batch(mut self, at_tick: u64, shard: usize) -> Self {
+        self.events.push(FaultEvent { at_tick, fault: Fault::DropBatch { shard } });
+        self
+    }
+
+    /// Append an explicit event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// Seeded random kill schedule over a `shards`-wide fleet: kills
+    /// `shards - survivors` distinct shards at distinct random ticks in
+    /// `[first_tick, last_tick]`, each randomly pre-drain or mid-tick,
+    /// always leaving at least `survivors >= 1` shards alive.
+    pub fn random_kills(
+        seed: u64,
+        shards: usize,
+        survivors: usize,
+        first_tick: u64,
+        last_tick: u64,
+    ) -> Self {
+        assert!(survivors >= 1, "a kill schedule must leave at least one survivor");
+        assert!(shards > survivors, "nothing to kill");
+        assert!(first_tick >= 1 && last_tick >= first_tick, "bad tick range");
+        let mut rng = Rng::seeded(seed ^ 0xfa17_0000_0000_0000);
+        let mut victims: Vec<usize> = (0..shards).collect();
+        rng.shuffle(&mut victims);
+        victims.truncate(shards - survivors);
+        let mut plan = FaultPlan::new();
+        for shard in victims {
+            let at_tick = first_tick + rng.below((last_tick - first_tick + 1) as usize) as u64;
+            let mid_tick = rng.chance(0.5);
+            plan.events.push(FaultEvent { at_tick, fault: Fault::Kill { shard, mid_tick } });
+        }
+        plan.events.sort_by_key(|e| e.at_tick);
+        plan
+    }
+
+    /// Scheduled events (in insertion order; `take_due` does not require
+    /// sorting).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events not yet fired.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Merge another plan's remaining events into this one.
+    pub fn extend(&mut self, other: FaultPlan) {
+        self.events.extend(other.events);
+    }
+
+    /// Remove and return the faults due at `tick` for the given phase
+    /// (`pre_drain` selects which injection point is firing). `at_tick`
+    /// values in the past count as due, so late-armed plans still fire.
+    pub(crate) fn take_due(&mut self, tick: u64, pre_drain: bool) -> Vec<Fault> {
+        let mut due = Vec::new();
+        self.events.retain(|e| {
+            if e.at_tick <= tick && e.fault.pre_drain() == pre_drain {
+                due.push(e.fault);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+}
+
+/// What the fault layer did during one [`crate::ShardedServer::tick`] —
+/// carried on `TickReport::faults`. All-default on fault-free ticks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Shards that crashed this tick (a `Kill` fired).
+    pub killed: Vec<usize>,
+    /// Shards that began a stall this tick.
+    pub stalled: Vec<usize>,
+    /// Shards the health checker declared Dead this tick (recovery ran).
+    pub declared_dead: Vec<usize>,
+    /// Shards in the Suspect state at the end of this tick.
+    pub suspect: Vec<usize>,
+    /// Sessions salvaged off dead shards and re-admitted to survivors.
+    pub sessions_recovered: u64,
+    /// Already-ticketed arrivals re-queued (orphaned drained batches plus
+    /// dead shards' queue backlogs redistributed to survivors).
+    pub arrivals_requeued: u64,
+    /// Tickets resolved `Failed` this tick (poisoned steps, dropped
+    /// batches).
+    pub tickets_failed: u64,
+    /// KV rows dropped by crashes/poisons that episode-log replay must
+    /// rebuild — the work the recovery path deferred to future ticks.
+    pub replay_rows: u64,
+    /// Pool pages permanently retired this tick (the dead shard's budget
+    /// share, clamped so one full-context session always still fits).
+    pub retired_pages: u64,
+}
+
+impl FaultReport {
+    /// Whether anything fault-related happened this tick.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultReport::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_due_fires_by_phase_and_keeps_future_events() {
+        let mut plan = FaultPlan::new()
+            .kill_before_drain(3, 0)
+            .kill(3, 1)
+            .poison(3, 42)
+            .stall(5, 2, 2)
+            .drop_batch(7, 0);
+        assert_eq!(plan.len(), 5);
+        assert!(plan.take_due(2, true).is_empty());
+        assert_eq!(plan.take_due(3, true), vec![Fault::Kill { shard: 0, mid_tick: false }]);
+        let mid = plan.take_due(3, false);
+        assert_eq!(
+            mid,
+            vec![Fault::Kill { shard: 1, mid_tick: true }, Fault::Poison { session: 42 }]
+        );
+        assert_eq!(plan.len(), 2);
+        // Late-armed / skipped ticks still fire (<=, not ==).
+        assert_eq!(plan.take_due(9, true), vec![Fault::Stall { shard: 2, ticks: 2 }]);
+        assert_eq!(plan.take_due(9, false), vec![Fault::DropBatch { shard: 0 }]);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn random_kills_is_seed_deterministic_and_leaves_survivors() {
+        let a = FaultPlan::random_kills(7, 4, 1, 2, 9);
+        let b = FaultPlan::random_kills(7, 4, 1, 2, 9);
+        assert_eq!(a.events(), b.events(), "same seed, same schedule");
+        assert_eq!(a.len(), 3, "4 shards - 1 survivor = 3 kills");
+        let mut shards: Vec<usize> = a
+            .events()
+            .iter()
+            .map(|e| match e.fault {
+                Fault::Kill { shard, .. } => shard,
+                f => panic!("random_kills produced {f:?}"),
+            })
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        assert_eq!(shards.len(), 3, "kills hit distinct shards");
+        assert!(a.events().iter().all(|e| (2..=9).contains(&e.at_tick)));
+        let c = FaultPlan::random_kills(8, 4, 1, 2, 9);
+        assert_ne!(a.events(), c.events(), "different seed, different schedule");
+    }
+
+    #[test]
+    fn fault_report_default_is_quiet() {
+        let mut r = FaultReport::default();
+        assert!(r.is_quiet());
+        r.sessions_recovered = 1;
+        assert!(!r.is_quiet());
+    }
+}

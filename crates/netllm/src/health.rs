@@ -1,0 +1,275 @@
+//! Heartbeat-driven shard health checking.
+//!
+//! Every [`crate::ShardedServer::tick`] snapshots a [`Heartbeat`] per live
+//! shard (occupancy, queue depth, KV bytes — the same numbers the
+//! `metrics` registry exports) and feeds the vector to
+//! [`HealthChecker::observe`]. The checker runs one miss-threshold state
+//! machine per shard:
+//!
+//! ```text
+//!            beat                    beat (revived)
+//!        ┌─────────┐            ┌──────────────────────┐
+//!        ▼         │            │                      │
+//!   ┌─────────┐    │   miss ┌───┴─────┐  misses >= T   │──► (recover:
+//!   │ Healthy ├────┴───────►│ Suspect ├───────────────►│Dead│ salvage +
+//!   └─────────┘             └─────────┘ (probes with   └────┘ re-admit)
+//!                            retry/backoff: next probe
+//!                            after 1, 2, 4 … ≤ max ticks)
+//! ```
+//!
+//! The split mirrors the DCCP wired-cum-wireless insight the ISSUE cites:
+//! a *transient* fault (stalled shard, [`crate::Fault::Stall`]) must cost
+//! only retries — the first returning beat snaps Suspect back to Healthy
+//! with all state intact — while a *persistent* fault (crash,
+//! [`crate::Fault::Kill`]) must be declared Dead in bounded time so the
+//! server can recover sessions instead of hanging tickets. Misses are
+//! counted only on probe ticks, and probes back off exponentially
+//! (`backoff_base`, doubling to `backoff_max`), so the declaration
+//! latency is a deterministic function of [`HealthConfig`]:
+//! with `miss_threshold = 2, backoff_base = 1`, a shard killed at tick T
+//! is Dead at T+2. Dead is terminal — a beat from a shard already
+//! declared Dead is ignored (its sessions have been re-admitted
+//! elsewhere; a zombie process must not split the fleet's state).
+
+/// Tunables of the per-shard failure state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Missed probes before a Suspect shard is declared Dead (>= 1).
+    /// Higher values tolerate longer stalls; lower values recover faster.
+    pub miss_threshold: u32,
+    /// Ticks until the first retry probe after a miss (>= 1).
+    pub backoff_base: u64,
+    /// Cap on the exponential probe backoff, in ticks.
+    pub backoff_max: u64,
+}
+
+impl Default for HealthConfig {
+    /// `miss_threshold = 3`, `backoff_base = 1`, `backoff_max = 4`:
+    /// a crash is declared in 4 ticks (misses at T+1, T+2, T+4), while
+    /// stalls up to 3 ticks revive without recovery.
+    fn default() -> Self {
+        HealthConfig { miss_threshold: 3, backoff_base: 1, backoff_max: 4 }
+    }
+}
+
+impl HealthConfig {
+    /// Fast-failover profile for tests and benches: `miss_threshold = 2`,
+    /// `backoff_base = 1` — a kill at tick T is declared Dead at T+2.
+    pub fn fast() -> Self {
+        HealthConfig { miss_threshold: 2, backoff_base: 1, backoff_max: 2 }
+    }
+
+    fn validate(&self) {
+        assert!(self.miss_threshold >= 1, "miss_threshold must be >= 1");
+        assert!(self.backoff_base >= 1, "backoff_base must be >= 1");
+        assert!(self.backoff_max >= self.backoff_base, "backoff_max below backoff_base");
+    }
+}
+
+/// Liveness/occupancy snapshot one shard reports each tick. Fed from the
+/// same per-shard numbers the `metrics` registry exports; the checker
+/// only consumes presence/absence, but the payload rides along so the
+/// last-known load of a dead shard is visible to recovery and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Tick the beat was emitted.
+    pub tick: u64,
+    /// Live sessions on the shard.
+    pub occupancy: usize,
+    /// Arrivals pending in the shard's admission queue.
+    pub queue_depth: usize,
+    /// KV bytes the shard's sessions hold.
+    pub kv_bytes: usize,
+}
+
+/// Health of one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Beating normally; drained and stepped every tick.
+    Healthy,
+    /// Missed at least one beat; not drained or stepped (its work waits),
+    /// probed again with exponential backoff.
+    Suspect {
+        /// Probes missed so far.
+        misses: u32,
+        /// Tick of the next probe.
+        next_probe: u64,
+        /// Current backoff interval in ticks.
+        backoff: u64,
+    },
+    /// Declared dead; sessions salvaged and re-admitted elsewhere.
+    /// Terminal.
+    Dead,
+}
+
+impl HealthState {
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, HealthState::Healthy)
+    }
+
+    pub fn is_suspect(&self) -> bool {
+        matches!(self, HealthState::Suspect { .. })
+    }
+
+    pub fn is_dead(&self) -> bool {
+        matches!(self, HealthState::Dead)
+    }
+}
+
+/// Per-shard miss-threshold state machines over the heartbeat stream.
+#[derive(Clone, Debug)]
+pub struct HealthChecker {
+    cfg: HealthConfig,
+    states: Vec<HealthState>,
+    last_beat: Vec<Option<Heartbeat>>,
+}
+
+impl HealthChecker {
+    /// Checker for `shards` shards, all Healthy.
+    pub fn new(shards: usize, cfg: HealthConfig) -> Self {
+        cfg.validate();
+        HealthChecker {
+            cfg,
+            states: vec![HealthState::Healthy; shards],
+            last_beat: vec![None; shards],
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> HealthConfig {
+        self.cfg
+    }
+
+    /// Current state of `shard`.
+    pub fn state(&self, shard: usize) -> HealthState {
+        self.states[shard]
+    }
+
+    /// All shard states.
+    pub fn states(&self) -> &[HealthState] {
+        &self.states
+    }
+
+    /// Last beat received from `shard` (survives its death — the
+    /// last-known occupancy recovery reports against).
+    pub fn last_heartbeat(&self, shard: usize) -> Option<Heartbeat> {
+        self.last_beat[shard]
+    }
+
+    /// Shards currently Healthy.
+    pub fn healthy_shards(&self) -> Vec<usize> {
+        (0..self.states.len()).filter(|&s| self.states[s].is_healthy()).collect()
+    }
+
+    /// Shards not yet declared Dead (Healthy or Suspect).
+    pub fn live_shards(&self) -> Vec<usize> {
+        (0..self.states.len()).filter(|&s| !self.states[s].is_dead()).collect()
+    }
+
+    /// Feed one tick's heartbeat vector (`None` = the shard did not beat).
+    /// Returns the shards **newly declared Dead** this tick, in index
+    /// order — the caller runs recovery for exactly these.
+    pub fn observe(&mut self, tick: u64, beats: &[Option<Heartbeat>]) -> Vec<usize> {
+        assert_eq!(beats.len(), self.states.len(), "heartbeat vector width != fleet width");
+        let mut newly_dead = Vec::new();
+        for (s, beat) in beats.iter().enumerate() {
+            match (self.states[s], beat) {
+                (HealthState::Dead, _) => {} // terminal; zombie beats ignored
+                (_, Some(b)) => {
+                    self.last_beat[s] = Some(*b);
+                    self.states[s] = HealthState::Healthy;
+                }
+                (HealthState::Healthy, None) => {
+                    if self.cfg.miss_threshold <= 1 {
+                        self.states[s] = HealthState::Dead;
+                        newly_dead.push(s);
+                    } else {
+                        self.states[s] = HealthState::Suspect {
+                            misses: 1,
+                            next_probe: tick + self.cfg.backoff_base,
+                            backoff: self.cfg.backoff_base,
+                        };
+                    }
+                }
+                (HealthState::Suspect { misses, next_probe, backoff }, None) => {
+                    if tick < next_probe {
+                        continue; // not a probe tick; miss not counted
+                    }
+                    let misses = misses + 1;
+                    if misses >= self.cfg.miss_threshold {
+                        self.states[s] = HealthState::Dead;
+                        newly_dead.push(s);
+                    } else {
+                        let backoff = (backoff * 2).min(self.cfg.backoff_max);
+                        self.states[s] =
+                            HealthState::Suspect { misses, next_probe: tick + backoff, backoff };
+                    }
+                }
+            }
+        }
+        newly_dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beat(tick: u64) -> Option<Heartbeat> {
+        Some(Heartbeat { tick, occupancy: 1, queue_depth: 0, kv_bytes: 0 })
+    }
+
+    #[test]
+    fn transient_stall_revives_without_declaration() {
+        let mut hc = HealthChecker::new(2, HealthConfig::default());
+        assert!(hc.observe(1, &[beat(1), beat(1)]).is_empty());
+        // Shard 1 stalls for two ticks — under the 3-miss threshold.
+        assert!(hc.observe(2, &[beat(2), None]).is_empty());
+        assert!(hc.state(1).is_suspect());
+        assert!(hc.observe(3, &[beat(3), None]).is_empty());
+        assert!(hc.state(1).is_suspect());
+        // It revives: first beat snaps straight back to Healthy.
+        assert!(hc.observe(4, &[beat(4), beat(4)]).is_empty());
+        assert!(hc.state(1).is_healthy());
+        assert_eq!(hc.healthy_shards(), vec![0, 1]);
+    }
+
+    #[test]
+    fn persistent_crash_is_declared_dead_on_the_backoff_schedule() {
+        // miss_threshold 3, base 1, max 4: misses count at T+1 (first
+        // miss), T+2 (probe after backoff 1), T+4 (probe after backoff 2)
+        // — declared Dead at T+4, with T+3 explicitly not a probe tick.
+        let mut hc = HealthChecker::new(1, HealthConfig::default());
+        assert!(hc.observe(1, &[None]).is_empty());
+        assert_eq!(hc.state(0), HealthState::Suspect { misses: 1, next_probe: 2, backoff: 1 });
+        assert!(hc.observe(2, &[None]).is_empty());
+        assert_eq!(hc.state(0), HealthState::Suspect { misses: 2, next_probe: 4, backoff: 2 });
+        assert!(hc.observe(3, &[None]).is_empty(), "tick 3 is inside the backoff window");
+        assert_eq!(hc.state(0), HealthState::Suspect { misses: 2, next_probe: 4, backoff: 2 });
+        assert_eq!(hc.observe(4, &[None]), vec![0], "third missed probe declares Dead");
+        assert!(hc.state(0).is_dead());
+        assert!(hc.live_shards().is_empty());
+    }
+
+    #[test]
+    fn fast_profile_declares_in_two_ticks_and_dead_is_terminal() {
+        let mut hc = HealthChecker::new(2, HealthConfig::fast());
+        assert!(hc.observe(1, &[beat(1), beat(1)]).is_empty());
+        assert!(hc.observe(2, &[beat(2), None]).is_empty());
+        assert_eq!(hc.observe(3, &[beat(3), None]), vec![1]);
+        // A zombie beat after the declaration must not resurrect it.
+        assert!(hc.observe(4, &[beat(4), beat(4)]).is_empty());
+        assert!(hc.state(1).is_dead());
+        assert_eq!(hc.healthy_shards(), vec![0]);
+        assert_eq!(hc.last_heartbeat(1).unwrap().tick, 1, "last beat survives the death");
+    }
+
+    #[test]
+    fn threshold_one_declares_on_the_first_miss() {
+        let mut hc = HealthChecker::new(
+            1,
+            HealthConfig { miss_threshold: 1, backoff_base: 1, backoff_max: 1 },
+        );
+        assert_eq!(hc.observe(1, &[None]), vec![0]);
+    }
+}

@@ -35,8 +35,10 @@ pub mod adapt;
 pub mod adapters;
 pub mod api;
 pub mod backbone;
+pub mod fault;
 pub mod fleet;
 pub mod heads;
+pub mod health;
 pub mod metrics;
 pub mod multimodal;
 pub mod prompt;
@@ -54,16 +56,20 @@ pub use api::{
     default_lora, rl_collect_abr, rl_collect_cjs, test_abr, test_cjs, Task, VpData,
 };
 pub use backbone::{append_batched, InferenceSession};
+pub use fault::{Fault, FaultEvent, FaultPlan, FaultReport};
 pub use fleet::{FleetAction, FleetObs, FleetSlot, NetLlmFleet, FLEET_ABR, FLEET_CJS, FLEET_VP};
 pub use heads::{AbrHead, CjsHeads, VpHead};
+pub use health::{HealthChecker, HealthConfig, HealthState, Heartbeat};
 pub use metrics::{
-    pool_dispatch_snapshot, MetricsRegistry, MetricsSnapshot, PoolDispatchSnapshot, ShardSnapshot,
+    pool_dispatch_snapshot, FaultSnapshot, MetricsRegistry, MetricsSnapshot, PoolDispatchSnapshot,
+    ShardSnapshot,
 };
 pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
 };
 pub use sched::{
-    AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, TickReport, Ticket,
+    AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, SubmitError,
+    SubmitRetry, TickReport, Ticket, TicketStatus,
 };
 pub use serving::{
     ParkedSlot, RollbackPlan, ServedTask, ServingEngine, SessionId, StepOutcome, StepPlan,

@@ -48,11 +48,40 @@ pub struct PoolDispatchSnapshot {
     pub tasks: u64,
 }
 
+/// Fleet-wide fault/recovery counters (monotonic totals). Per-event
+/// detail lives on `TickReport::faults`; these are the cumulative numbers
+/// the control-plane read path and `figures --fig bench7` scrape.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    shard_kills: AtomicU64,
+    sessions_recovered: AtomicU64,
+    tickets_failed: AtomicU64,
+    arrivals_requeued: AtomicU64,
+    recovery_replay_rows: AtomicU64,
+}
+
+/// Plain-value copy of [`FaultCounters`] at a point in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Shards declared Dead by the health checker (kills and fatal
+    /// stalls both land here — the declaration is what counts).
+    pub shard_kills: u64,
+    /// Sessions salvaged off dead shards and re-admitted to survivors.
+    pub sessions_recovered: u64,
+    /// Tickets resolved `Failed` (poisoned steps, dropped batches).
+    pub tickets_failed: u64,
+    /// Already-ticketed arrivals re-queued by the fault layer.
+    pub arrivals_requeued: u64,
+    /// KV rows crashes destroyed that episode-log replay must rebuild.
+    pub recovery_replay_rows: u64,
+}
+
 /// Everything the registry knows, copied out at once.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub shards: Vec<ShardSnapshot>,
     pub pool: PoolDispatchSnapshot,
+    pub faults: FaultSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -81,12 +110,16 @@ impl MetricsSnapshot {
 #[derive(Debug)]
 pub struct MetricsRegistry {
     shards: Vec<ShardCounters>,
+    faults: FaultCounters,
 }
 
 impl MetricsRegistry {
     /// A zeroed registry with one counter row per shard.
     pub fn new(num_shards: usize) -> Self {
-        MetricsRegistry { shards: (0..num_shards).map(|_| ShardCounters::default()).collect() }
+        MetricsRegistry {
+            shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
+            faults: FaultCounters::default(),
+        }
     }
 
     pub fn num_shards(&self) -> usize {
@@ -113,6 +146,39 @@ impl MetricsRegistry {
         self.shards[shard].queue_depth.store(depth, Ordering::Relaxed);
     }
 
+    /// One shard declared Dead.
+    pub fn record_shard_kill(&self) {
+        self.faults.shard_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` sessions salvaged and re-admitted, destroying `replay_rows` KV
+    /// rows the episode-log replay must rebuild.
+    pub fn record_sessions_recovered(&self, n: u64, replay_rows: u64) {
+        self.faults.sessions_recovered.fetch_add(n, Ordering::Relaxed);
+        self.faults.recovery_replay_rows.fetch_add(replay_rows, Ordering::Relaxed);
+    }
+
+    /// `n` tickets resolved `Failed` by a fault.
+    pub fn record_tickets_failed(&self, n: u64) {
+        self.faults.tickets_failed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` already-ticketed arrivals re-queued by the fault layer.
+    pub fn record_arrivals_requeued(&self, n: u64) {
+        self.faults.arrivals_requeued.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The fleet-wide fault counters as plain values.
+    pub fn fault_snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            shard_kills: self.faults.shard_kills.load(Ordering::Relaxed),
+            sessions_recovered: self.faults.sessions_recovered.load(Ordering::Relaxed),
+            tickets_failed: self.faults.tickets_failed.load(Ordering::Relaxed),
+            arrivals_requeued: self.faults.arrivals_requeued.load(Ordering::Relaxed),
+            recovery_replay_rows: self.faults.recovery_replay_rows.load(Ordering::Relaxed),
+        }
+    }
+
     /// One shard's counters as plain values.
     pub fn shard(&self, shard: usize) -> ShardSnapshot {
         let s = &self.shards[shard];
@@ -129,6 +195,7 @@ impl MetricsRegistry {
         MetricsSnapshot {
             shards: (0..self.shards.len()).map(|s| self.shard(s)).collect(),
             pool: pool_dispatch_snapshot(),
+            faults: self.fault_snapshot(),
         }
     }
 }
@@ -166,5 +233,21 @@ mod tests {
         assert_eq!(snap.shards[1].queue_depth, 2);
         assert_eq!(snap.queue_depth(), 2);
         assert_eq!(snap.pool.workers, nt_tensor::pool::num_threads() as u64);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let m = MetricsRegistry::new(2);
+        m.record_shard_kill();
+        m.record_sessions_recovered(3, 40);
+        m.record_tickets_failed(2);
+        m.record_arrivals_requeued(5);
+        m.record_sessions_recovered(1, 8);
+        let f = m.snapshot().faults;
+        assert_eq!(f.shard_kills, 1);
+        assert_eq!(f.sessions_recovered, 4);
+        assert_eq!(f.tickets_failed, 2);
+        assert_eq!(f.arrivals_requeued, 5);
+        assert_eq!(f.recovery_replay_rows, 48);
     }
 }

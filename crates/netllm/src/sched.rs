@@ -180,6 +180,144 @@ impl<O> AdmissionQueue<O> {
     pub fn pending_of(&self, session: SessionKey) -> usize {
         self.entries.iter().filter(|a| a.session == session).count()
     }
+
+    /// Drain the whole queue in FIFO order — the recovery path: when a
+    /// shard is declared dead its backlog is redistributed to the
+    /// surviving shards' queues (via [`AdmissionQueue::requeue`], so the
+    /// move never drops a ticket).
+    pub fn take_all(&mut self) -> Vec<Arrival<O>> {
+        self.entries.drain(..).collect()
+    }
+}
+
+/// Why [`crate::ShardedServer::submit`] refused an observation. Both
+/// variants return the observation so nothing is silently lost — the
+/// caller retries after the indicated condition clears (see
+/// [`SubmitRetry`] for the deterministic backoff the harnesses use).
+#[derive(PartialEq, Eq)]
+pub enum SubmitError<O> {
+    /// The session's shard queue is at its backpressure cap; a tick's
+    /// drain frees space, so retry after the next tick.
+    QueueFull {
+        /// The refused observation, returned intact.
+        obs: O,
+    },
+    /// The session's shard is Suspect (missed heartbeats) or mid-recovery;
+    /// retry after a tick — the health checker will either revive the
+    /// shard or re-admit the session on a survivor.
+    RetryAfterTick {
+        /// The refused observation, returned intact.
+        obs: O,
+    },
+}
+
+impl<O> SubmitError<O> {
+    /// Recover the refused observation for a retry.
+    pub fn into_obs(self) -> O {
+        match self {
+            SubmitError::QueueFull { obs } | SubmitError::RetryAfterTick { obs } => obs,
+        }
+    }
+
+    pub fn is_queue_full(&self) -> bool {
+        matches!(self, SubmitError::QueueFull { .. })
+    }
+
+    pub fn is_retry_after_tick(&self) -> bool {
+        matches!(self, SubmitError::RetryAfterTick { .. })
+    }
+}
+
+// Manual impl so `submit(..).unwrap()` works without `O: Debug` and the
+// (arbitrarily large) observation never lands in a panic message.
+impl<O> std::fmt::Debug for SubmitError<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { .. } => f.write_str("SubmitError::QueueFull"),
+            SubmitError::RetryAfterTick { .. } => f.write_str("SubmitError::RetryAfterTick"),
+        }
+    }
+}
+
+/// Deterministic retry/backoff for refused submissions. `QueueFull` waits
+/// exactly one tick (the next drain frees space); `RetryAfterTick` backs
+/// off exponentially (1, 2, 4, … up to `max_backoff` ticks) while a shard
+/// stays Suspect, and any success resets the backoff. Pure tick
+/// arithmetic — no wall clock, no randomness — so a soak trace that uses
+/// it replays identically from its seed.
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitRetry {
+    next_try: u64,
+    backoff: u64,
+    max_backoff: u64,
+}
+
+impl Default for SubmitRetry {
+    fn default() -> Self {
+        SubmitRetry::new()
+    }
+}
+
+impl SubmitRetry {
+    /// Helper with an 8-tick backoff cap.
+    pub fn new() -> Self {
+        SubmitRetry { next_try: 0, backoff: 1, max_backoff: 8 }
+    }
+
+    /// Helper with a custom backoff cap (>= 1).
+    pub fn with_max_backoff(max_backoff: u64) -> Self {
+        assert!(max_backoff >= 1, "backoff cap must be >= 1");
+        SubmitRetry { next_try: 0, backoff: 1, max_backoff }
+    }
+
+    /// Whether a submission should be attempted at `tick`.
+    pub fn ready(&self, tick: u64) -> bool {
+        tick >= self.next_try
+    }
+
+    /// Record a refusal at `tick`; schedules the next attempt.
+    pub fn refused<O>(&mut self, tick: u64, err: &SubmitError<O>) {
+        match err {
+            SubmitError::QueueFull { .. } => {
+                self.next_try = tick + 1;
+            }
+            SubmitError::RetryAfterTick { .. } => {
+                self.next_try = tick + self.backoff;
+                self.backoff = (self.backoff * 2).min(self.max_backoff);
+            }
+        }
+    }
+
+    /// Record a success; resets the backoff.
+    pub fn succeeded(&mut self) {
+        self.next_try = 0;
+        self.backoff = 1;
+    }
+}
+
+/// Resolution state of a [`Ticket`] under faults, from
+/// [`crate::ShardedServer::poll_status`]. `Served` and `Failed` are
+/// terminal; `Requeued` means the arrival was displaced by a fault and is
+/// queued again (it will resolve `Served` on a later tick); `Pending`
+/// covers queued-and-undisturbed tickets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TicketStatus<A> {
+    /// Queued or in flight; poll again after a tick.
+    Pending,
+    /// Served — the action, exactly once (terminal).
+    Served(A),
+    /// Displaced by a fault and re-queued; still owed an answer.
+    Requeued,
+    /// Lost to a fault (poisoned step or dropped batch); the submitter
+    /// re-submits the observation if it still wants an answer (terminal).
+    Failed,
+}
+
+impl<A> TicketStatus<A> {
+    /// Whether this status is final (`Served` or `Failed`).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TicketStatus::Served(_) | TicketStatus::Failed)
+    }
 }
 
 /// FNV-1a over the id bytes: cheap, deterministic, and uncorrelated with
@@ -306,6 +444,10 @@ pub struct TickReport {
     pub served_by_label: Vec<(&'static str, usize)>,
     /// What the paged-memory guard did this tick (empty without a pool).
     pub memory: MemoryReport,
+    /// What the fault layer did this tick (kills fired, deaths declared,
+    /// sessions recovered, tickets failed/requeued — all-default on
+    /// fault-free ticks).
+    pub faults: crate::fault::FaultReport,
 }
 
 #[cfg(test)]
@@ -412,6 +554,43 @@ mod tests {
         assert_eq!(p.place(0, &[2, 2, 2], &[0, 0, 0]), 0);
         assert_eq!(p.place(77, &[2, 2, 2], &[0, 0, 0]), 0);
         assert_eq!(p.place(5, &[2, 1, 1], &[0, 0, 0]), 1);
+    }
+
+    #[test]
+    fn take_all_drains_fifo_and_empties_the_queue() {
+        let mut q = AdmissionQueue::with_capacity(8);
+        for (t, s) in [(0u64, 1u64), (1, 2), (2, 1)] {
+            q.push(arrival(t, s)).unwrap();
+        }
+        let all: Vec<u64> = q.take_all().iter().map(|a| a.ticket.0).collect();
+        assert_eq!(all, vec![0, 1, 2], "whole backlog, FIFO order");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn submit_retry_backs_off_on_suspect_and_resets_on_success() {
+        let mut r = SubmitRetry::with_max_backoff(4);
+        assert!(r.ready(0));
+        // QueueFull: exactly one tick.
+        r.refused(3, &SubmitError::QueueFull { obs: () });
+        assert!(!r.ready(3));
+        assert!(r.ready(4));
+        // RetryAfterTick: 1, 2, 4, 4 … (capped) ticks between attempts.
+        r.refused(4, &SubmitError::RetryAfterTick { obs: () });
+        assert!(r.ready(5));
+        r.refused(5, &SubmitError::RetryAfterTick { obs: () });
+        assert!(!r.ready(6));
+        assert!(r.ready(7));
+        r.refused(7, &SubmitError::RetryAfterTick { obs: () });
+        assert!(!r.ready(10));
+        assert!(r.ready(11));
+        r.refused(11, &SubmitError::RetryAfterTick { obs: () });
+        assert!(r.ready(15), "backoff capped at 4 ticks");
+        r.succeeded();
+        assert!(r.ready(0), "success resets the schedule");
+        assert_eq!(SubmitError::QueueFull { obs: 7u32 }.into_obs(), 7);
+        assert!(TicketStatus::<u32>::Failed.is_terminal());
+        assert!(!TicketStatus::<u32>::Requeued.is_terminal());
     }
 
     #[test]

@@ -191,8 +191,34 @@ impl SessionId {
 
 /// A session lifted out of an engine (KV cache + episode state), ready to
 /// be re-admitted elsewhere — the migration unit behind
-/// [`crate::ShardedServer`]'s steer/rebalance plumbing.
+/// [`crate::ShardedServer`]'s steer/rebalance plumbing, and the salvage
+/// unit of crash recovery (park off the dead engine, [`ParkedSlot::drop_kv`]
+/// the pages the dead process can no longer address, admit on a
+/// survivor).
 pub struct ParkedSlot<T: ServedTask>(EngineSlot<T>);
+
+impl<T: ServedTask> ParkedSlot<T> {
+    /// Cached KV positions the parked session holds (per layer) — the
+    /// rows a crash destroys and episode-log replay must rebuild.
+    pub fn kv_rows(&self) -> usize {
+        self.0.session.len()
+    }
+
+    /// Pool pages the parked session holds across layers (0 when
+    /// contiguous).
+    pub fn pages_held(&self) -> usize {
+        self.0.session.pages_held()
+    }
+
+    /// Drop the KV cache — pages return to the pool — keeping the episode
+    /// state. Crash salvage: the KV died with the shard, only the episode
+    /// log survives; after re-admission the session re-anchors from it on
+    /// its next step, exactly like an eviction.
+    pub fn drop_kv(&mut self) {
+        self.0.session.clear();
+        self.0.last_logits.clear();
+    }
+}
 
 /// Multiplexes many concurrent rollouts of a [`ServedTask`] over shared
 /// model weights. The engine owns only per-session state; the model
@@ -317,6 +343,13 @@ impl<T: ServedTask> ServingEngine<T> {
     pub fn pages_of(&self, id: SessionId) -> usize {
         self.check(id);
         self.slots.get(id.index()).session.pages_held()
+    }
+
+    /// Cached KV positions one session holds (per layer) — what a fault
+    /// that drops the cache costs in episode-replay rows.
+    pub fn kv_rows_of(&self, id: SessionId) -> usize {
+        self.check(id);
+        self.slots.get(id.index()).session.len()
     }
 
     /// Admit a new session on backbone group 0 (the only group of a

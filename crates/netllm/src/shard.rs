@@ -46,11 +46,29 @@
 //! band parallelism never stack a second thread layer underneath); the
 //! same route-table design extends to per-process and per-host shards
 //! later — a shard is just an index.
+//!
+//! **Fault tolerance** (continuous front end only): each shard is a
+//! recoverable failure domain. A [`FaultPlan`] armed via
+//! [`ShardedServer::inject`] crashes/stalls shards, poisons single steps
+//! or drops drained batches at exact tick points; the per-tick
+//! [`HealthChecker`] walks silent shards Healthy → Suspect (retry with
+//! backoff — a stalled shard revives with all state intact) → Dead. On
+//! death the shard's sessions are salvaged — KV pages died with the
+//! process and are reclaimed, episode logs survive — re-placed on
+//! surviving shards by the admission policy and re-anchored by the same
+//! replay eviction uses, its queue backlog is redistributed, every
+//! displaced ticket resolves `Requeued`/`Failed` via
+//! [`ShardedServer::poll_status`] instead of hanging, and the dead
+//! shard's pool budget share is permanently retired (degraded capacity →
+//! deferral, never loss). Gated end to end by
+//! `nt-bench/tests/fault_soak.rs`.
 
+use crate::fault::{Fault, FaultPlan, FaultReport};
+use crate::health::{HealthChecker, HealthConfig, Heartbeat};
 use crate::metrics::MetricsRegistry;
 use crate::sched::{
-    fnv1a, AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, TickReport,
-    Ticket,
+    fnv1a, AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, SubmitError,
+    TickReport, Ticket, TicketStatus,
 };
 use crate::serving::{ServedTask, ServingEngine, SessionId};
 use nt_llm::{PagePool, PoolStats};
@@ -121,6 +139,37 @@ pub struct ShardedServer<T: ServedTask> {
     /// Per-shard serving counters (served / steered / evicted / queue
     /// depth), shared with the benches via [`ShardedServer::metrics`].
     metrics: MetricsRegistry,
+    /// Armed fault schedule ([`ShardedServer::inject`]); drained as ticks
+    /// pass its events' fire points.
+    faults: FaultPlan,
+    /// Per-shard Healthy → Suspect → Dead state machines over the
+    /// heartbeats each tick snapshots.
+    health: HealthChecker,
+    /// Ground truth of the simulated shard processes (what the health
+    /// checker can only infer from missing beats).
+    crashed: Vec<CrashState>,
+    /// Tickets resolved `Failed` by a fault, not yet polled.
+    failed: BTreeSet<Ticket>,
+    /// Tickets whose arrivals a fault displaced back into a queue; the
+    /// mark clears when the arrival is finally served.
+    requeued: BTreeSet<Ticket>,
+    /// Fleet width at construction — a dead shard keeps its index (routes
+    /// stay dense), so this is the divisor for a shard's pool share.
+    initial_shards: usize,
+    /// Pool pages minted at construction (capacity shrinks as shards die).
+    pool_minted: usize,
+    /// Largest one-full-context-session page count over every backbone
+    /// admitted so far — retirement never shrinks capacity below this, or
+    /// a recovered giant session could defer forever.
+    floor_pages: usize,
+}
+
+/// Simulated process state of one shard (the fault layer's ground truth).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CrashState {
+    Up,
+    Stalled { until: u64 },
+    Down,
 }
 
 impl<T: ServedTask> ShardedServer<T> {
@@ -157,6 +206,7 @@ impl<T: ServedTask> ShardedServer<T> {
         eviction: EvictionPolicy,
     ) -> Self {
         assert!(num_shards >= 1, "a fleet needs at least one shard");
+        let pool_minted = pool.as_ref().map(PagePool::capacity_pages).unwrap_or(0);
         ShardedServer {
             shards: (0..num_shards)
                 .map(|_| match &pool {
@@ -179,12 +229,85 @@ impl<T: ServedTask> ShardedServer<T> {
             pool,
             eviction,
             metrics: MetricsRegistry::new(num_shards),
+            faults: FaultPlan::new(),
+            health: HealthChecker::new(num_shards, HealthConfig::default()),
+            crashed: vec![CrashState::Up; num_shards],
+            failed: BTreeSet::new(),
+            requeued: BTreeSet::new(),
+            initial_shards: num_shards,
+            pool_minted,
+            floor_pages: 0,
         }
     }
 
     /// The fleet's per-shard metrics registry (see [`crate::metrics`]).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Arm (or extend) the fault schedule. Events fire inside future
+    /// [`ShardedServer::tick`]s at their exact logical-clock points;
+    /// events whose tick already passed fire on the next tick.
+    pub fn inject(&mut self, plan: FaultPlan) {
+        self.faults.extend(plan);
+    }
+
+    /// The per-shard health state machines (read side: states, last
+    /// heartbeats, configured thresholds).
+    pub fn health(&self) -> &HealthChecker {
+        &self.health
+    }
+
+    /// Replace the health thresholds. Only before any failure: retuning a
+    /// checker with Suspect/Dead shards would rewrite history.
+    pub fn set_health_config(&mut self, cfg: HealthConfig) {
+        assert!(
+            self.health.states().iter().all(|s| s.is_healthy())
+                && self.crashed.iter().all(|c| *c == CrashState::Up),
+            "cannot retune health thresholds after failures began"
+        );
+        self.health = HealthChecker::new(self.shards.len(), cfg);
+    }
+
+    /// Shards currently Healthy (placement, steering and rebalance only
+    /// ever target these).
+    pub fn healthy_shards(&self) -> Vec<usize> {
+        self.health.healthy_shards()
+    }
+
+    /// Shards that are believed Healthy *and* whose process is actually
+    /// up. The health checker only learns of a crash after
+    /// `miss_threshold` silent probes, but a join or migration RPC
+    /// against a dead process fails immediately (connection refused) and
+    /// one against a stalled process hangs — so placement and steering
+    /// skip dark shards without waiting for the declaration. The checker
+    /// stays the sole authority for declaring death and salvaging.
+    fn reachable_shards(&self) -> Vec<usize> {
+        self.health
+            .healthy_shards()
+            .into_iter()
+            .filter(|&s| self.crashed[s] == CrashState::Up)
+            .collect()
+    }
+
+    /// Place `id` on a Healthy shard via the admission policy, evaluated
+    /// over the surviving fleet view (`HashRoute` hashes into the healthy
+    /// subset, so placement stays deterministic as the fleet degrades).
+    /// Crashed-but-undeclared shards are skipped (fail-fast RPC); if
+    /// *every* Healthy shard is dark — the undetected-total-loss window —
+    /// fall back to the checker's view: the session lands on a doomed
+    /// shard and the next declaration salvages it, exactly as if the RPC
+    /// layer had raced the crash.
+    fn place_on_healthy(&self, id: GlobalSessionId) -> usize {
+        let up = self.reachable_shards();
+        let healthy = if up.is_empty() { self.health.healthy_shards() } else { up };
+        assert!(
+            !healthy.is_empty(),
+            "no healthy shard left to place session {id} on — total fleet loss"
+        );
+        let active: Vec<usize> = healthy.iter().map(|&s| self.shards[s].active()).collect();
+        let bytes: Vec<usize> = healthy.iter().map(|&s| self.shards[s].cache_bytes()).collect();
+        healthy[self.policy.place(id, &active, &bytes)]
     }
 
     /// The fleet-wide page pool, if the fleet is memory-bounded.
@@ -248,11 +371,17 @@ impl<T: ServedTask> ShardedServer<T> {
     }
 
     /// Admit a session on backbone `group`; the admission policy places it
-    /// from the current fleet view (live slots + KV bytes per shard).
+    /// from the current fleet view (live slots + KV bytes per Healthy
+    /// shard — dead and suspect shards take no new sessions).
     pub fn join_group(&mut self, task: &T, group: usize) -> GlobalSessionId {
         let id = self.next_id;
         self.next_id += 1;
-        let shard = self.policy.place(id, &self.active_per_shard(), &self.cache_bytes_per_shard());
+        let shard = self.place_on_healthy(id);
+        if let Some(pool) = &self.pool {
+            let lm = task.backbone(group).0;
+            let floor = lm.cfg.n_layers * pool.pages_for(lm.cfg.max_seq);
+            self.floor_pages = self.floor_pages.max(floor);
+        }
         let local = self.shards[shard].join_group(task, group);
         self.routes.insert(id, (shard, local));
         self.groups.insert(id, group);
@@ -288,6 +417,11 @@ impl<T: ServedTask> ShardedServer<T> {
         self.groups.remove(&id);
         self.last_served.remove(&id);
         self.steered_this_tick.remove(&id);
+        for &(t, _) in &dropped_arrivals {
+            // A dropped arrival's `Requeued` mark must not outlive it —
+            // poll_status would otherwise promise an answer forever.
+            self.requeued.remove(&t);
+        }
         self.shards[shard].leave(local);
         while self.rebalance_once() {}
         LeaveReport { unpolled, dropped_arrivals }
@@ -295,12 +429,21 @@ impl<T: ServedTask> ShardedServer<T> {
 
     /// One rebalance move, if the fleet is skewed. Returns whether a
     /// session moved. Sessions already steered this tick cycle are not
-    /// eligible victims (no double-migration).
+    /// eligible victims (no double-migration); only Healthy *and up*
+    /// shards are balanced — a dead shard's permanent 0-occupancy must
+    /// not attract the whole fleet, and during the undetected-crash
+    /// window (killed, not yet declared) a dark shard can neither send
+    /// nor receive a migration: a departure emptying it must not pull a
+    /// live session's KV onto a process that will take it to the grave.
     fn rebalance_once(&mut self) -> bool {
-        let (mut min_s, mut min_a) = (0usize, usize::MAX);
-        let (mut max_s, mut max_a) = (0usize, 0usize);
-        for (s, e) in self.shards.iter().enumerate() {
-            let a = e.active();
+        let healthy = self.reachable_shards();
+        if healthy.len() < 2 {
+            return false;
+        }
+        let (mut min_s, mut min_a) = (healthy[0], usize::MAX);
+        let (mut max_s, mut max_a) = (healthy[0], 0usize);
+        for &s in &healthy {
+            let a = self.shards[s].active();
             if a < min_a {
                 (min_s, min_a) = (s, a);
             }
@@ -329,11 +472,18 @@ impl<T: ServedTask> ShardedServer<T> {
 
     /// Migrate a session to `dest` shard: its KV cache, episode state and
     /// queued arrivals move wholesale, so subsequent answers are
-    /// bit-identical to never having moved. No-op when already home.
+    /// bit-identical to never having moved. No-op when already home —
+    /// and no-op when either endpoint's process is down: the transfer
+    /// RPC fails fast against a crashed shard (even one the health
+    /// checker has not yet declared), so the session stays where it is
+    /// instead of marooning its KV on a dead process.
     pub fn steer(&mut self, id: GlobalSessionId, dest: usize) {
         assert!(dest < self.shards.len(), "shard {dest} out of range");
         let &(src, local) = self.routes.get(&id).expect("unknown session id");
-        if src == dest {
+        if src == dest
+            || self.crashed[src] == CrashState::Down
+            || self.crashed[dest] == CrashState::Down
+        {
             return;
         }
         let parked = self.shards[src].park(local);
@@ -379,15 +529,30 @@ impl<T: ServedTask> ShardedServer<T> {
 
     /// Enqueue an observation for `id`'s next decision. Returns the
     /// [`Ticket`] to redeem via [`ShardedServer::poll`] after a future
-    /// [`ShardedServer::tick`] serves it — or the observation back when
-    /// the session's shard queue is at its backpressure cap (retry after
-    /// a tick). Arrivals are stamped with a fleet-wide logical arrival
-    /// clock (the ticket sequence — tickets are issued in submission
-    /// order) and
+    /// [`ShardedServer::tick`] serves it — or a [`SubmitError`] carrying
+    /// the observation back: [`SubmitError::QueueFull`] when the
+    /// session's shard queue is at its backpressure cap (a tick's drain
+    /// frees space), [`SubmitError::RetryAfterTick`] when its shard is
+    /// Suspect (the health checker will revive it or re-admit the session
+    /// on a survivor). Nothing is silently lost at either refusal;
+    /// [`crate::SubmitRetry`] is the deterministic backoff loop callers
+    /// use. Arrivals are stamped with a fleet-wide logical arrival clock
+    /// (the ticket sequence — tickets are issued in submission order) and
     /// the session's adapter group; a session may hold any number of
     /// queued arrivals, served one per tick in FIFO order.
-    pub fn submit(&mut self, id: GlobalSessionId, obs: T::Obs) -> Result<Ticket, T::Obs> {
+    pub fn submit(
+        &mut self,
+        id: GlobalSessionId,
+        obs: T::Obs,
+    ) -> Result<Ticket, SubmitError<T::Obs>> {
         let &(shard, _) = self.routes.get(&id).expect("unknown session id");
+        if !self.health.state(shard).is_healthy() {
+            // Suspect: the shard may revive (stall) or be declared dead
+            // and its sessions re-admitted elsewhere — either way a tick
+            // resolves it. Routes never point to Dead shards (recovery
+            // re-routes at declaration).
+            return Err(SubmitError::RetryAfterTick { obs });
+        }
         let group = self.groups[&id];
         let seq = self.next_ticket;
         let arrival = Arrival { ticket: Ticket(seq), session: id, group, obs };
@@ -396,7 +561,7 @@ impl<T: ServedTask> ShardedServer<T> {
                 self.next_ticket += 1;
                 Ok(Ticket(seq))
             }
-            Err(refused) => Err(refused.obs),
+            Err(refused) => Err(SubmitError::QueueFull { obs: refused.obs }),
         }
     }
 
@@ -423,6 +588,27 @@ impl<T: ServedTask> ShardedServer<T> {
         self.completed.remove(&ticket).map(|(_, action)| action)
     }
 
+    /// Redeem a ticket with its fault-aware resolution: `Served(action)`
+    /// or `Failed` exactly once (terminal — like [`ShardedServer::poll`],
+    /// a resolved ticket is consumed), `Requeued` while a fault has
+    /// displaced the arrival back into a queue (it will serve on a later
+    /// tick), `Pending` otherwise. Under any injected fault schedule
+    /// every ticket reaches `Served` or `Failed` once the queues drain —
+    /// no ticket hangs (the fault-soak gate's first invariant).
+    pub fn poll_status(&mut self, ticket: Ticket) -> TicketStatus<T::Action> {
+        if let Some((_, action)) = self.completed.remove(&ticket) {
+            self.requeued.remove(&ticket);
+            return TicketStatus::Served(action);
+        }
+        if self.failed.remove(&ticket) {
+            return TicketStatus::Failed;
+        }
+        if self.requeued.contains(&ticket) {
+            return TicketStatus::Requeued;
+        }
+        TicketStatus::Pending
+    }
+
     /// Coldest idle session holding pool pages — the
     /// [`EvictionPolicy::ColdestReanchor`] victim order: least recently
     /// served first, ties to the most pages held (biggest reclaim), then
@@ -431,7 +617,11 @@ impl<T: ServedTask> ShardedServer<T> {
     fn coldest_idle_victim(&self, busy: &BTreeSet<GlobalSessionId>) -> Option<GlobalSessionId> {
         self.routes
             .iter()
-            .filter(|(id, &(s, l))| !busy.contains(id) && self.shards[s].pages_of(l) > 0)
+            .filter(|(id, &(s, l))| {
+                !busy.contains(id)
+                    && self.health.state(s).is_healthy()
+                    && self.shards[s].pages_of(l) > 0
+            })
             .min_by_key(|(&id, &(s, l))| {
                 (
                     self.last_served.get(&id).copied().unwrap_or(0),
@@ -594,11 +784,135 @@ impl<T: ServedTask> ShardedServer<T> {
     {
         self.tick_no += 1;
         let tick = self.tick_no;
+        let k = self.shards.len();
+        let mut faults = FaultReport::default();
 
-        // Drain every shard's queue at the boundary, then reserve the
-        // tick's page demand (evicting / deferring under pressure).
-        let mut drained: Vec<Vec<Arrival<T::Obs>>> =
-            self.queues.iter_mut().map(AdmissionQueue::drain_tick).collect();
+        // Revive expired stalls (the transient class: state intact, the
+        // next heartbeat snaps the shard back to Healthy).
+        for s in 0..k {
+            if let CrashState::Stalled { until } = self.crashed[s] {
+                if tick >= until {
+                    self.crashed[s] = CrashState::Up;
+                }
+            }
+        }
+
+        // Fire pre-drain faults: the shard is already dark when this
+        // tick's heartbeats are snapshotted below.
+        let mut plan = std::mem::take(&mut self.faults);
+        for f in plan.take_due(tick, true) {
+            match f {
+                Fault::Kill { shard, .. } => {
+                    if self.crashed[shard] != CrashState::Down {
+                        self.crashed[shard] = CrashState::Down;
+                        faults.killed.push(shard);
+                    }
+                }
+                Fault::Stall { shard, ticks } => {
+                    if self.crashed[shard] == CrashState::Up {
+                        self.crashed[shard] = CrashState::Stalled { until: tick + ticks };
+                        faults.stalled.push(shard);
+                    }
+                }
+                f => unreachable!("{f:?} is not a pre-drain fault"),
+            }
+        }
+
+        // Heartbeats + health observation. Recovery for newly-declared
+        // deaths runs *before* the drain, so salvaged sessions' arrivals
+        // (redistributed to survivors' queues) serve this same tick.
+        let beats: Vec<Option<Heartbeat>> = (0..k)
+            .map(|s| match self.crashed[s] {
+                CrashState::Up => Some(Heartbeat {
+                    tick,
+                    occupancy: self.shards[s].active(),
+                    queue_depth: self.queues[s].len(),
+                    kv_bytes: self.shards[s].cache_bytes(),
+                }),
+                _ => None,
+            })
+            .collect();
+        for s in self.health.observe(tick, &beats) {
+            faults.declared_dead.push(s);
+            self.metrics.record_shard_kill();
+            self.recover_shard(s, &mut faults);
+        }
+
+        // Drain the Healthy shards' queues at the boundary (a Suspect
+        // shard's work waits — retry/backoff, not recovery), then reserve
+        // the tick's page demand (evicting / deferring under pressure).
+        let mut drained: Vec<Vec<Arrival<T::Obs>>> = (0..k)
+            .map(|s| {
+                if self.health.state(s).is_healthy() {
+                    self.queues[s].drain_tick()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+
+        // Fire mid-tick faults: after the drain, before the engine step —
+        // drained arrivals are in flight and must be requeued or failed,
+        // never lost.
+        for f in plan.take_due(tick, false) {
+            match f {
+                Fault::Kill { shard, .. } => {
+                    if self.crashed[shard] == CrashState::Down || self.health.state(shard).is_dead()
+                    {
+                        continue;
+                    }
+                    self.crashed[shard] = CrashState::Down;
+                    faults.killed.push(shard);
+                    // The drained batch is orphaned in the dead process:
+                    // back to the head of its queue (FIFO preserved),
+                    // redistributed with the backlog at declaration.
+                    let orphans = std::mem::take(&mut drained[shard]);
+                    let n = orphans.len() as u64;
+                    for a in &orphans {
+                        self.requeued.insert(a.ticket);
+                    }
+                    self.queues[shard].requeue_front(orphans);
+                    faults.arrivals_requeued += n;
+                    self.metrics.record_arrivals_requeued(n);
+                }
+                Fault::Poison { session } => {
+                    let Some(&(s, local)) = self.routes.get(&session) else { continue };
+                    if !self.health.state(s).is_healthy() {
+                        continue;
+                    }
+                    // Torn step: the in-flight arrival fails, and the
+                    // session's KV is untrusted (a CJS candidate may sit
+                    // half-applied) — drop it; the episode log was never
+                    // touched mid-step, so the next step re-anchors to
+                    // exactly the pre-poison stream.
+                    if let Some(pos) = drained[s].iter().position(|a| a.session == session) {
+                        let a = drained[s].remove(pos);
+                        self.failed.insert(a.ticket);
+                        faults.tickets_failed += 1;
+                        self.metrics.record_tickets_failed(1);
+                    }
+                    let rows = self.shards[s].kv_rows_of(local) as u64;
+                    let _ = self.shards[s].evict(local);
+                    faults.replay_rows += rows;
+                    self.metrics.record_sessions_recovered(0, rows);
+                }
+                Fault::DropBatch { shard } => {
+                    if !self.health.state(shard).is_healthy() {
+                        continue;
+                    }
+                    let batch = std::mem::take(&mut drained[shard]);
+                    let n = batch.len() as u64;
+                    for a in batch {
+                        self.failed.insert(a.ticket);
+                    }
+                    faults.tickets_failed += n;
+                    self.metrics.record_tickets_failed(n);
+                }
+                f => unreachable!("{f:?} is not a mid-tick fault"),
+            }
+        }
+        self.faults = plan;
+
         let mut memory = self.memory_guard(task, &mut drained);
         let per: Vec<Vec<(SessionId, &T::Obs)>> = drained
             .iter()
@@ -615,6 +929,7 @@ impl<T: ServedTask> ShardedServer<T> {
         for (batch, actions) in drained.into_iter().zip(results) {
             debug_assert_eq!(batch.len(), actions.len(), "shard returned a ragged tick");
             for (a, action) in batch.into_iter().zip(actions) {
+                self.requeued.remove(&a.ticket); // displaced, now served
                 self.completed.insert(a.ticket, (a.session, action));
                 self.last_served.insert(a.session, tick);
                 *by_label.entry(task.task_label(a.group)).or_default() += 1;
@@ -636,6 +951,7 @@ impl<T: ServedTask> ShardedServer<T> {
         for (s, q) in self.queues.iter().enumerate() {
             self.metrics.set_queue_depth(s, q.len() as u64);
         }
+        faults.suspect = (0..k).filter(|&s| self.health.state(s).is_suspect()).collect();
         TickReport {
             tick,
             served,
@@ -643,6 +959,51 @@ impl<T: ServedTask> ShardedServer<T> {
             pending: self.pending(),
             served_by_label: by_label.into_iter().collect(),
             memory,
+            faults,
+        }
+    }
+
+    /// Recover a shard the health checker just declared Dead: salvage
+    /// every routed session (KV pages died with the process and are
+    /// reclaimed to the pool; the episode log survives and re-anchors the
+    /// session on its next step, exactly like an eviction), re-place each
+    /// on a Healthy shard via the admission policy, redistribute the dead
+    /// shard's queue backlog to the sessions' new homes (FIFO per session
+    /// preserved — `requeue` appends in order and a session's arrivals
+    /// only ever lived in this one queue), and permanently retire the
+    /// shard's share of the pool budget, clamped so one full-context
+    /// session still fits (degraded capacity defers, never wedges).
+    fn recover_shard(&mut self, dead: usize, report: &mut FaultReport) {
+        self.crashed[dead] = CrashState::Down; // a fatal stall ends here too
+        let victims: Vec<GlobalSessionId> =
+            self.routes.iter().filter(|(_, &(s, _))| s == dead).map(|(&id, _)| id).collect();
+        let mut rows = 0u64;
+        for &id in &victims {
+            let &(_, local) = self.routes.get(&id).expect("victim is routed");
+            let mut parked = self.shards[dead].park(local);
+            rows += parked.kv_rows() as u64;
+            parked.drop_kv();
+            let dest = self.place_on_healthy(id);
+            let new_local = self.shards[dest].admit(parked);
+            self.routes.insert(id, (dest, new_local));
+        }
+        report.sessions_recovered += victims.len() as u64;
+        report.replay_rows += rows;
+        self.metrics.record_sessions_recovered(victims.len() as u64, rows);
+        let backlog = self.queues[dead].take_all();
+        let n = backlog.len() as u64;
+        for a in backlog {
+            let dest = self.routes.get(&a.session).expect("session recovered above").0;
+            self.requeued.insert(a.ticket);
+            self.queues[dest].requeue(a);
+        }
+        report.arrivals_requeued += n;
+        self.metrics.record_arrivals_requeued(n);
+        if let Some(pool) = &self.pool {
+            let share = self.pool_minted / self.initial_shards;
+            let ceiling = pool.capacity_pages().saturating_sub(self.floor_pages);
+            let retired = pool.retire_pages(share.min(ceiling));
+            report.retired_pages += retired as u64;
         }
     }
 
@@ -656,14 +1017,20 @@ impl<T: ServedTask> ShardedServer<T> {
     /// terminates even when the budget is infeasible fleet-wide.
     fn cache_steer_pass(&mut self) {
         let Some(budget) = self.policy.kv_budget() else { return };
-        let k = self.shards.len();
-        if k < 2 {
+        // Only Healthy, up shards steer or receive — a dead shard's
+        // permanent 0 KV bytes must never make it the designated
+        // destination, including one whose crash no probe has missed yet
+        // (`steer` would refuse the transfer and the pass would spin on
+        // the same victim).
+        let healthy = self.reachable_shards();
+        if healthy.len() < 2 {
             return;
         }
         loop {
             let bytes = self.cache_bytes_per_shard();
-            let dest_for =
-                |src: usize| (0..k).filter(|&s| s != src).min_by_key(|&s| (bytes[s], s)).unwrap();
+            let dest_for = |src: usize| {
+                *healthy.iter().filter(|&&s| s != src).min_by_key(|&&s| (bytes[s], s)).unwrap()
+            };
             // An eligible victim holds KV bytes (steering an empty session
             // frees nothing), was not steered this tick cycle, and moving
             // it strictly shrinks the source/destination imbalance.
@@ -679,7 +1046,9 @@ impl<T: ServedTask> ShardedServer<T> {
             // whose moves would not improve anything) are passed over, not
             // a reason to abandon cooler over-budget shards that can
             // still be fixed.
-            let src = (0..k)
+            let src = healthy
+                .iter()
+                .copied()
                 .filter(|&s| bytes[s] > budget)
                 .filter(|&s| {
                     self.routes.iter().any(|(id, &(ss, l))| ss == s && eligible(self, id, ss, l))
@@ -717,6 +1086,14 @@ impl<T: ServedTask> ShardedServer<T> {
         if requests.is_empty() {
             return Vec::new();
         }
+        // Fault injection drives the continuous front end only: lockstep
+        // callers orchestrate their own batches and have no queue to park
+        // work in while a shard is dark.
+        debug_assert!(
+            requests.iter().all(|&(id, _)| self.health.state(self.routes[&id].0).is_healthy()),
+            "lockstep step cannot serve sessions on a crashed/suspect shard — \
+             use submit/tick/poll under fault injection"
+        );
         // Partition into per-shard batches, remembering each request's
         // (shard, position) so answers reassemble in request order.
         let k = self.shards.len();
@@ -1002,8 +1379,112 @@ mod tests {
         assert!(server.submit(id, obs[0].clone()).is_ok());
         assert!(server.submit(id, obs[1].clone()).is_ok());
         let refused = server.submit(id, obs[2].clone());
-        assert!(refused.is_err(), "third submit must hit the backpressure cap");
+        let err = refused.expect_err("third submit must hit the backpressure cap");
+        assert!(err.is_queue_full(), "a healthy shard at the cap refuses with QueueFull");
         let _ = server.tick(&m);
-        assert!(server.submit(id, refused.unwrap_err()).is_ok(), "a tick frees queue space");
+        assert!(server.submit(id, err.into_obs()).is_ok(), "a tick frees queue space");
+    }
+
+    #[test]
+    fn killed_shard_recovers_sessions_and_resolves_every_ticket() {
+        // Unit-scale recovery check (the full adversarial soak lives in
+        // nt-bench/tests/fault_soak.rs): kill one of two shards mid-tick
+        // with an arrival in flight; the health checker must declare it,
+        // salvage its session onto the survivor, and resolve the orphaned
+        // ticket as Requeued-then-Served — with logits equal to the
+        // unbatched no-fault replay.
+        let mut m = model(3, 17);
+        let obs = AbrObservation::synthetic_stream(29, 6);
+        let mut expected: Vec<(usize, Vec<f32>)> = Vec::new();
+        m.reset();
+        for o in &obs {
+            expected.push((m.select(o), m.last_logits().to_vec()));
+        }
+
+        let mut server = ShardedServer::with_policy(2, AdmissionPolicy::LeastLoaded);
+        server.set_health_config(crate::HealthConfig::fast());
+        let id = server.join(&m);
+        let home = server.shard_of(id);
+        server.inject(FaultPlan::new().kill(3, home));
+        let mut served = Vec::new();
+        let mut tickets: std::collections::VecDeque<(usize, Ticket)> = Default::default();
+        let mut next = 0usize;
+        let mut retry = crate::SubmitRetry::new();
+        for t in 1..=14u64 {
+            if next < obs.len() && retry.ready(t) {
+                match server.submit(id, obs[next].clone()) {
+                    Ok(ticket) => {
+                        tickets.push_back((next, ticket));
+                        retry.succeeded();
+                        next += 1;
+                    }
+                    Err(e) => {
+                        assert!(e.is_retry_after_tick(), "suspect shard refuses with retry");
+                        retry.refused(t, &e);
+                    }
+                }
+            }
+            let report = server.tick(&m);
+            if report.tick == 3 {
+                assert_eq!(report.faults.killed, vec![home], "kill fires at its tick");
+            }
+            if !report.faults.declared_dead.is_empty() {
+                assert_eq!(report.faults.declared_dead, vec![home]);
+                assert_eq!(report.faults.sessions_recovered, 1);
+                assert_eq!(server.shard_of(id), 1 - home, "salvaged onto the survivor");
+            }
+            while let Some(&(i, ticket)) = tickets.front() {
+                match server.poll_status(ticket) {
+                    TicketStatus::Served(a) => {
+                        assert_eq!(a, expected[i].0, "decision {i} diverged after recovery");
+                        served.push(i);
+                        tickets.pop_front();
+                    }
+                    TicketStatus::Failed => panic!("no fault here fails tickets"),
+                    TicketStatus::Requeued | TicketStatus::Pending => break,
+                }
+            }
+        }
+        assert!(tickets.is_empty(), "every ticket must resolve — none may hang");
+        assert_eq!(served, (0..obs.len()).collect::<Vec<_>>(), "all decisions served in order");
+        for (x, y) in server.last_logits(id).iter().zip(&expected[obs.len() - 1].1) {
+            assert!((x - y).abs() < 1e-5, "post-recovery logits diverged: {x} vs {y}");
+        }
+        let f = server.metrics().snapshot().faults;
+        assert_eq!(f.shard_kills, 1);
+        assert_eq!(f.sessions_recovered, 1);
+        assert!(server.health().state(home).is_dead());
+    }
+
+    #[test]
+    fn stalled_shard_revives_without_recovery() {
+        // A transient stall shorter than the miss threshold must cost
+        // only latency: no declaration, no salvage, answers identical.
+        let mut m = model(3, 19);
+        let obs = AbrObservation::synthetic_stream(31, 4);
+        let mut expected: Vec<usize> = Vec::new();
+        m.reset();
+        for o in &obs {
+            expected.push(m.select(o));
+        }
+        let mut server = ShardedServer::with_policy(2, AdmissionPolicy::LeastLoaded);
+        let id = server.join(&m);
+        let home = server.shard_of(id);
+        server.inject(FaultPlan::new().stall(2, home, 2));
+        let tickets: Vec<Ticket> =
+            obs.iter().map(|o| server.submit(id, o.clone()).unwrap()).collect();
+        for _ in 0..12 {
+            let report = server.tick(&m);
+            assert!(report.faults.declared_dead.is_empty(), "a short stall must not declare");
+            assert_eq!(report.faults.sessions_recovered, 0);
+        }
+        assert_eq!(server.shard_of(id), home, "no migration for a transient fault");
+        for (i, t) in tickets.iter().enumerate() {
+            match server.poll_status(*t) {
+                TicketStatus::Served(a) => assert_eq!(a, expected[i], "decision {i} diverged"),
+                s => panic!("ticket {i} unresolved after revival: {s:?}"),
+            }
+        }
+        assert_eq!(server.metrics().snapshot().faults.shard_kills, 0);
     }
 }
