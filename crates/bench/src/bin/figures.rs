@@ -1,7 +1,7 @@
 //! Regenerate every evaluation figure of the NetLLM paper.
 //!
 //! ```text
-//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4|bench5|bench6|bench7]
+//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4|bench5|bench6|bench7|bench8]
 //!                                                  [--fidelity smoke|default|paper]
 //! ```
 //!
@@ -29,7 +29,11 @@
 //! fleet on K=4 shards loses one shard mid-tick: the per-tick
 //! served/latency timeline through kill, declaration and recovery, the
 //! recovery latency in ticks, post-recovery throughput vs a (K-1)-shard
-//! baseline, and the fleet's cumulative fault counters). Together they
+//! baseline, and the fleet's cumulative fault counters); `--fig bench8`
+//! regenerates `reports/BENCH_8.json`, the PR 8 ingress snapshot (a
+//! dense B=64 mixed fleet on K=4 shards driven over the loopback wire
+//! protocol vs direct submit/tick: dec/s both ways, the socket/direct
+//! ratio, and p50/p90 submit-to-completion latency). Together they
 //! track the perf trajectory across PRs.
 
 use netllm::{
@@ -110,6 +114,9 @@ fn main() {
     }
     if fig == "bench7" {
         bench7();
+    }
+    if fig == "bench8" {
+        bench8();
     }
     println!("\nall requested figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -1857,6 +1864,74 @@ fn bench7() {
                  tests/fault_soak.rs",
     });
     let path = write_report("BENCH_7", &report).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_8: socket ingress vs direct submit/tick (PR 8 — event-loop ingress)
+// ---------------------------------------------------------------------------
+
+fn bench8() {
+    use netllm::{serve, FleetModels, IngressConfig};
+    use nt_bench::netload::{dense_direct, dense_socket, ObsStreams};
+
+    const B: usize = 64;
+    const K: usize = 4;
+    const ROUNDS: usize = 8;
+
+    println!("\n[bench8] socket ingress vs direct submit/tick (7b-sim, B={B}, K={K})");
+    let dir = std::env::temp_dir().join("bench8-zoo");
+    let streams = ObsStreams::generate(B, ROUNDS, 0xB8B8);
+
+    let direct_models = FleetModels::sized(&dir, "7b-sim", 4);
+    let direct = dense_direct(&direct_models, K, B, ROUNDS, &streams);
+
+    let socket_models = FleetModels::sized(&dir, "7b-sim", 4);
+    let handle = serve(socket_models, IngressConfig { shards: K, ..IngressConfig::default() })
+        .expect("serve ingress");
+    let socket = dense_socket(handle.addr(), B, ROUNDS, &streams);
+    let stats = handle.stats();
+    handle.shutdown();
+
+    let rows: Vec<Vec<String>> = [("direct", &direct), ("socket", &socket)]
+        .iter()
+        .map(|(name, o)| {
+            vec![
+                name.to_string(),
+                format!("{:.1}", o.dec_per_s()),
+                format!("{:.3}", percentile(&o.latencies_ms, 0.5)),
+                format!("{:.3}", percentile(&o.latencies_ms, 0.9)),
+            ]
+        })
+        .collect();
+    print_table("ingress vs direct", &["path", "dec/s", "p50 ms", "p90 ms"], &rows);
+    let ratio = socket.dec_per_s() / direct.dec_per_s();
+    println!("socket/direct throughput ratio: {ratio:.3}");
+
+    let leg = |o: &nt_bench::netload::ThroughputOutcome| {
+        json!({
+            "decisions": o.decisions,
+            "dec_per_s": o.dec_per_s(),
+            "p50_ms": percentile(&o.latencies_ms, 0.5),
+            "p90_ms": percentile(&o.latencies_ms, 0.9),
+        })
+    };
+    let report = json!({
+        "model": "7b-sim",
+        "batch": B,
+        "shards": K,
+        "rounds": ROUNDS,
+        "direct": leg(&direct),
+        "socket": leg(&socket),
+        "socket_direct_ratio": ratio,
+        "ingress": {
+            "ticks": stats.ticks,
+            "busy": stats.busy,
+            "completions": stats.completions,
+            "protocol_errors": stats.protocol_errors,
+        },
+    });
+    let path = write_report("BENCH_8", &report).unwrap();
     println!("wrote {}", path.display());
 }
 

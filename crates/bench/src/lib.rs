@@ -9,10 +9,15 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod netload;
 pub mod report;
 pub mod stats;
 pub mod trace;
 
 pub use engine::Engine;
+pub use netload::{
+    dense_direct, dense_socket, kind_of, replay_direct, replay_socket, ObsStreams, ReplayOutcome,
+    ThroughputOutcome,
+};
 pub use report::{print_table, reports_dir, write_report};
 pub use trace::{trace_seed, Trace, TraceConfig, TraceShape};

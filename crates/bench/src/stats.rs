@@ -9,7 +9,7 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Percentile by nearest-rank on a copy (p in [0,1]).
+/// Percentile by nearest-rank on a copy (p in `[0, 1]`).
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;

@@ -12,7 +12,7 @@
 //! - [`sim`] — event-driven executor model, scheduler trait, decision hook
 //!   (used for RL training and NetLLM experience collection), JCT stats
 //! - [`policies`] — FIFO, Fair, SRPT
-//! - [`snapshot`] — graph featurisation shared by Decima and NetLLM's
+//! - [`mod@snapshot`] — graph featurisation shared by Decima and NetLLM's
 //!   graph-modality encoder
 //! - [`decima`] — GNN + stage/cap heads, BC warm start, exact Decima reward
 //!

@@ -14,7 +14,7 @@
 //! - [`model::TinyLm`] — causal Transformer backbone; token pathway
 //!   ([`model::TinyLm::forward_logits`], [`model::TinyLm::generate`]) and
 //!   embedding pathway ([`model::TinyLm::forward_embeddings`]) for NetLLM
-//! - [`pretrain`] — multi-skill synthetic corpus + pre-training loop
+//! - [`mod@pretrain`] — multi-skill synthetic corpus + pre-training loop
 //! - [`zoo`] — named profiles (llama/opt/mistral/llava-sim, Fig 15), the
 //!   size ladder (0.35b–13b-sim, Fig 16), disk-cached checkpoints
 //!

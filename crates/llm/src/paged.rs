@@ -23,7 +23,7 @@
 //! - **Hard bound.** Every page is minted at construction, so
 //!   `used + free == capacity` at all times and no interleaving of
 //!   allocations can exceed the budget — the worst case is an
-//!   [`PagePool::alloc`] returning `None`, never an OOM-growing buffer.
+//!   [`PagePool::alloc_pages`] returning `None`, never an OOM-growing buffer.
 //!   (Property-tested in `tests/paged_pool.rs`.)
 //! - **All-or-nothing.** `alloc(n)` hands out `n` pages or none, so a
 //!   multi-layer reservation can never strand a session half-grown.

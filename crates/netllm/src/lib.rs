@@ -28,6 +28,13 @@
 //! `DESIGN.md` for the substitution argument (repro band: candle/burn are
 //! not viable for LoRA-style LLM adaptation pipelines, so the stack is
 //! built from scratch at simulator scale).
+//!
+//! [`wire`] and [`ingress`] put the fleet behind a socket: a
+//! length-prefixed, version-negotiated wire protocol and an event-loop
+//! front end where connections feed per-shard admission queues and a
+//! dedicated scheduler thread owns `tick`. See `docs/PROTOCOL.md` for
+//! the frame format and `docs/ARCHITECTURE.md` for the request
+//! lifecycle.
 
 #![forbid(unsafe_code)]
 
@@ -39,6 +46,7 @@ pub mod fault;
 pub mod fleet;
 pub mod heads;
 pub mod health;
+pub mod ingress;
 pub mod metrics;
 pub mod multimodal;
 pub mod prompt;
@@ -46,6 +54,7 @@ pub mod sched;
 pub mod serving;
 pub mod settings;
 pub mod shard;
+pub mod wire;
 
 pub use adapt::{AdaptMode, LoraSpec};
 pub use adapters::abr::{AbrEpisode, AbrRecorder, AbrStep, AbrTrajectory, NetLlmAbr};
@@ -60,9 +69,13 @@ pub use fault::{Fault, FaultEvent, FaultPlan, FaultReport};
 pub use fleet::{FleetAction, FleetObs, FleetSlot, NetLlmFleet, FLEET_ABR, FLEET_CJS, FLEET_VP};
 pub use heads::{AbrHead, CjsHeads, VpHead};
 pub use health::{HealthChecker, HealthConfig, HealthState, Heartbeat};
+pub use ingress::{
+    serve, FleetModels, IngressConfig, IngressHandle, IngressSnapshot, IngressStats, WireClient,
+    WireReceiver, WireSender,
+};
 pub use metrics::{
-    pool_dispatch_snapshot, FaultSnapshot, MetricsRegistry, MetricsSnapshot, PoolDispatchSnapshot,
-    ShardSnapshot,
+    pool_dispatch_snapshot, FaultSnapshot, LatencySnapshot, MetricsRegistry, MetricsSnapshot,
+    PoolDispatchSnapshot, ShardSnapshot,
 };
 pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
@@ -80,3 +93,7 @@ pub use settings::{
     VP_UNSEEN2, VP_UNSEEN3,
 };
 pub use shard::{GlobalSessionId, LeaveReport, ShardedServer};
+pub use wire::{
+    negotiate, read_frame, write_frame, BusyReason, Frame, WireError, MAX_FRAME_LEN,
+    MIN_WIRE_VERSION, WIRE_VERSION,
+};

@@ -6,7 +6,7 @@
 //! The registry is owned by [`crate::ShardedServer`] (one
 //! [`ShardCounters`] row per shard) and updated from the serving paths
 //! with relaxed atomics — counters are monotonic totals, `queue_depth` is
-//! a gauge overwritten at every tick boundary. Readers take [`snapshot`]s
+//! a gauge overwritten at every tick boundary. Readers take [`MetricsRegistry::snapshot`]s
 //! and diff them for per-phase rates; nothing here locks or blocks the
 //! serving hot path.
 
@@ -76,12 +76,76 @@ pub struct FaultSnapshot {
     pub recovery_replay_rows: u64,
 }
 
+/// Number of power-of-two latency buckets: bucket `i` counts samples with
+/// `floor(log2(ns)) == i`, so the range spans 1 ns to ~1.2 s and beyond
+/// (the last bucket is open-ended).
+pub const LATENCY_BUCKETS: usize = 31;
+
+/// Submit→completion latency totals for the network ingress (monotonic,
+/// like every other counter here). Exact sums plus a log2 histogram:
+/// enough for mean/max and bucket-resolution percentiles without the
+/// serving path ever allocating. Precise percentiles for reports are
+/// measured client-side (`figures --fig bench8`).
+#[derive(Debug, Default)]
+pub struct LatencyCounters {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+/// Plain-value copy of [`LatencyCounters`] at a point in time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (ns).
+    pub total_ns: u64,
+    /// Largest single sample (ns).
+    pub max_ns: u64,
+    /// Log2 histogram: `buckets[i]` counts samples in `[2^i, 2^(i+1))` ns
+    /// (last bucket open-ended).
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1e6
+        }
+    }
+
+    /// Approximate `q`-quantile (`q` in `0.0..=1.0`) in milliseconds from
+    /// the log2 histogram: the upper edge of the bucket holding the
+    /// nearest-rank sample, i.e. accurate to within a factor of two.
+    pub fn approx_quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << (i + 1)) as f64 / 1e6;
+            }
+        }
+        self.max_ns as f64 / 1e6
+    }
+}
+
 /// Everything the registry knows, copied out at once.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub shards: Vec<ShardSnapshot>,
     pub pool: PoolDispatchSnapshot,
     pub faults: FaultSnapshot,
+    /// Ingress submit→completion latency (zeroed unless an ingress front
+    /// end is feeding this registry).
+    pub ingress_latency: LatencySnapshot,
 }
 
 impl MetricsSnapshot {
@@ -111,6 +175,7 @@ impl MetricsSnapshot {
 pub struct MetricsRegistry {
     shards: Vec<ShardCounters>,
     faults: FaultCounters,
+    ingress: LatencyCounters,
 }
 
 impl MetricsRegistry {
@@ -119,6 +184,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
             faults: FaultCounters::default(),
+            ingress: LatencyCounters::default(),
         }
     }
 
@@ -168,6 +234,25 @@ impl MetricsRegistry {
         self.faults.arrivals_requeued.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// One ingress submit→completion latency sample of `ns` nanoseconds.
+    pub fn record_ingress_latency(&self, ns: u64) {
+        self.ingress.count.fetch_add(1, Ordering::Relaxed);
+        self.ingress.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.ingress.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.ingress.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The ingress latency counters as plain values.
+    pub fn ingress_latency_snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.ingress.count.load(Ordering::Relaxed),
+            total_ns: self.ingress.total_ns.load(Ordering::Relaxed),
+            max_ns: self.ingress.max_ns.load(Ordering::Relaxed),
+            buckets: self.ingress.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
     /// The fleet-wide fault counters as plain values.
     pub fn fault_snapshot(&self) -> FaultSnapshot {
         FaultSnapshot {
@@ -196,6 +281,7 @@ impl MetricsRegistry {
             shards: (0..self.shards.len()).map(|s| self.shard(s)).collect(),
             pool: pool_dispatch_snapshot(),
             faults: self.fault_snapshot(),
+            ingress_latency: self.ingress_latency_snapshot(),
         }
     }
 }
@@ -233,6 +319,26 @@ mod tests {
         assert_eq!(snap.shards[1].queue_depth, 2);
         assert_eq!(snap.queue_depth(), 2);
         assert_eq!(snap.pool.workers, nt_tensor::pool::num_threads() as u64);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_log2_and_quantiles_bound() {
+        let m = MetricsRegistry::new(1);
+        // 1µs x 9 samples, 1s x 1 sample: p50 lands in the microsecond
+        // bucket, p99+ in the second-scale one.
+        for _ in 0..9 {
+            m.record_ingress_latency(1_000);
+        }
+        m.record_ingress_latency(1_000_000_000);
+        let lat = m.ingress_latency_snapshot();
+        assert_eq!(lat.count, 10);
+        assert_eq!(lat.max_ns, 1_000_000_000);
+        assert_eq!(lat.buckets.iter().sum::<u64>(), 10);
+        let p50 = lat.approx_quantile_ms(0.5);
+        assert!(p50 > 0.0005 && p50 < 0.005, "p50 ~1us, got {p50}ms");
+        let p99 = lat.approx_quantile_ms(0.99);
+        assert!(p99 > 500.0, "p99 ~1s, got {p99}ms");
+        assert!((lat.mean_ms() - 100.0).abs() < 1.0);
     }
 
     #[test]

@@ -103,6 +103,35 @@ impl<A, O> LeaveReport<A, O> {
 
 /// K independent [`ServingEngine`] shards behind a route table, with a
 /// lockstep and a continuous (queue/tick/poll) front end.
+///
+/// The continuous front end in one breath — join, submit, tick until
+/// served, poll, leave:
+///
+/// ```
+/// use netllm::{AdaptMode, LoraSpec, NetLlmAbr, ShardedServer, TicketStatus};
+/// use nt_abr::AbrObservation;
+/// use nt_llm::{size_spec, Zoo};
+///
+/// let zoo = Zoo::new(std::env::temp_dir().join("netllm-shard-doctest"));
+/// let abr = NetLlmAbr::new(
+///     zoo.build_random(&size_spec("0.35b-sim")),
+///     AdaptMode::NoDomain,
+///     LoraSpec::default(),
+///     4,  // observation window
+///     7,  // adapter seed
+/// );
+/// let mut server: ShardedServer<NetLlmAbr> = ShardedServer::new(2);
+/// let id = server.join(&abr);
+/// let obs = AbrObservation::synthetic_stream(7, 1).remove(0);
+/// let ticket = server.submit(id, obs).unwrap();
+/// server.tick(&abr);
+/// let TicketStatus::Served(rung) = server.poll_status(ticket) else {
+///     panic!("one tick serves a lone arrival");
+/// };
+/// assert!(!server.last_logits(id).is_empty());
+/// assert!(server.leave(id).is_clean());
+/// # let _ = rung;
+/// ```
 pub struct ShardedServer<T: ServedTask> {
     shards: Vec<ServingEngine<T>>,
     /// Global id -> (shard, local id). A `BTreeMap` keeps every fleet

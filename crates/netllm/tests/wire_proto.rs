@@ -1,0 +1,316 @@
+//! Wire-protocol framing invariants: every message type round-trips
+//! bit-exactly, truncated or malformed frames are rejected (never
+//! panicked on, never silently misread), and version negotiation refuses
+//! disjoint ranges.
+
+use netllm::wire::{
+    decode_frame, encode_frame, negotiate, read_frame, write_frame, BusyReason, Frame, WireError,
+    EXTENSION_TAG_BASE, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
+};
+use netllm::{CjsObs, FleetAction, FleetObs, VpQuery};
+use nt_abr::AbrObservation;
+use nt_cjs::{Decision, GraphSnapshot};
+use nt_tensor::Tensor;
+use nt_vp::VpSample;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random values from a seed — enough variety to
+/// exercise every field without needing a full Arbitrary impl.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        // SplitMix64 step.
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f32(&mut self) -> f32 {
+        (self.next() % 2_000_000) as f32 / 1000.0 - 1000.0
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() % 2_000_000) as f64 / 1000.0 - 1000.0
+    }
+
+    fn f64s(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn f32s(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn tensor(&mut self, rows: usize, cols: usize) -> Tensor {
+        let data = self.f32s(rows * cols);
+        Tensor::from_vec(vec![rows, cols], data)
+    }
+
+    fn viewports(&mut self, n: usize) -> Vec<[f32; 3]> {
+        (0..n).map(|_| [self.f32(), self.f32(), self.f32()]).collect()
+    }
+}
+
+fn obs_for(kind: u8, g: &mut Gen) -> FleetObs {
+    match kind % 3 {
+        0 => {
+            let th = (g.next() % 9) as usize;
+            let dh = (g.next() % 9) as usize;
+            FleetObs::Abr(AbrObservation {
+                throughput_hist: g.f64s(th),
+                delay_hist: g.f64s(dh),
+                next_sizes: g.f64s(6),
+                buffer_secs: g.f64(),
+                last_rung: if g.next().is_multiple_of(2) {
+                    None
+                } else {
+                    Some((g.next() % 6) as usize)
+                },
+                remain_frac: g.f64(),
+                ladder_mbps: g.f64s(6),
+                chunk_index: (g.next() % 100) as usize,
+            })
+        }
+        1 => {
+            let n = 1 + (g.next() % 5) as usize;
+            FleetObs::Cjs(CjsObs {
+                snap: GraphSnapshot {
+                    n,
+                    feats: g.tensor(n, 4),
+                    adj: g.tensor(n, n),
+                    candidates: (0..n).filter(|_| g.next().is_multiple_of(2)).collect(),
+                    free_frac: g.f32(),
+                },
+                now: g.f64(),
+                active_jobs: (g.next() % 20) as usize,
+                total_executors: (g.next() % 50) as usize,
+            })
+        }
+        _ => {
+            let h = (g.next() % 8) as usize;
+            let f = (g.next() % 8) as usize;
+            FleetObs::Vp(VpQuery {
+                sample: VpSample {
+                    history: g.viewports(h),
+                    future: g.viewports(f),
+                    saliency: g.tensor(2, 3),
+                },
+                pw: (g.next() % 30) as usize,
+            })
+        }
+    }
+}
+
+fn action_for(kind: u8, g: &mut Gen) -> FleetAction {
+    match kind % 3 {
+        0 => FleetAction::Abr((g.next() % 6) as usize),
+        1 => FleetAction::Cjs(Decision {
+            candidate: (g.next() % 10) as usize,
+            cap: (g.next() % 8) as usize,
+        }),
+        _ => {
+            let n = 1 + (g.next() % 5) as usize;
+            FleetAction::Vp(g.viewports(n))
+        }
+    }
+}
+
+/// One frame of each variant, fields driven by the seed. `kind` covers
+/// all 14 message types (sub-kinds picked off the seed).
+fn frame_for(kind: u8, seed: u64) -> Frame {
+    let mut g = Gen(seed);
+    match kind % 14 {
+        0 => {
+            Frame::Hello { min_version: (g.next() % 4) as u16, version: 4 + (g.next() % 8) as u16 }
+        }
+        1 => Frame::HelloAck { version: g.next() as u16 },
+        2 => Frame::HelloReject { min: g.next() as u16, max: g.next() as u16 },
+        3 => Frame::Join { group: (g.next() % 3) as u32 },
+        4 => Frame::Joined { session: g.next(), shard: g.next() as u32 },
+        5 => {
+            let session = g.next();
+            let kind = g.next() as u8;
+            Frame::Submit { session, obs: obs_for(kind, &mut g) }
+        }
+        6 => Frame::TicketGrant { session: g.next(), ticket: g.next() },
+        7 => Frame::Busy {
+            session: g.next(),
+            reason: if g.next().is_multiple_of(2) {
+                BusyReason::QueueFull
+            } else {
+                BusyReason::ShardSuspect
+            },
+            retry_after_ms: g.next() as u32,
+        },
+        8 => {
+            let (ticket, session, step) = (g.next(), g.next(), g.next());
+            let kind = g.next() as u8;
+            let action = action_for(kind, &mut g);
+            let n = (g.next() % 20) as usize;
+            Frame::Completion { ticket, session, step, action, logits: g.f32s(n) }
+        }
+        9 => Frame::Failed { ticket: g.next(), session: g.next() },
+        10 => Frame::Leave { session: g.next() },
+        11 => Frame::LeaveAck {
+            session: g.next(),
+            unpolled: (g.next() % 5) as u32,
+            dropped: (g.next() % 5) as u32,
+        },
+        12 => Frame::Bye,
+        _ => {
+            let session = g.next();
+            let kind = g.next() as u8;
+            Frame::Submit { session, obs: obs_for(kind, &mut g) }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → encode is the identity on bytes, for every
+    /// message type. (Byte equality implies value equality: the encoding
+    /// is injective, so comparing re-encodings sidesteps the missing
+    /// `PartialEq` on tensors.)
+    #[test]
+    fn every_frame_roundtrips_bit_exactly(kind in 0u8..14, seed in 0u64..u64::MAX) {
+        let frame = frame_for(kind, seed);
+        let bytes = encode_frame(&frame);
+        // Length prefix covers exactly the body.
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, bytes.len() - 4);
+        let decoded = decode_frame(&bytes[4..])
+            .expect("well-formed frame decodes")
+            .expect("core frame is not skipped");
+        prop_assert_eq!(encode_frame(&decoded), bytes);
+    }
+
+    /// Every strict prefix of a frame body is rejected — a cut anywhere
+    /// never panics and never yields a bogus frame.
+    #[test]
+    fn truncated_bodies_are_rejected(kind in 0u8..14, seed in 0u64..u64::MAX) {
+        let frame = frame_for(kind, seed);
+        let bytes = encode_frame(&frame);
+        let body = &bytes[4..];
+        // Dense scan near the front (where tags and counts live), sparse
+        // beyond, so huge Submit frames don't make the case quadratic.
+        let mut cut = 0usize;
+        while cut < body.len() {
+            prop_assert!(
+                decode_frame(&body[..cut]).is_err(),
+                "prefix of {} bytes decoded", cut
+            );
+            cut += 1 + cut / 8;
+        }
+    }
+
+    /// A stream cut anywhere mid-frame surfaces `Truncated`, not a hang
+    /// or a panic.
+    #[test]
+    fn truncated_streams_are_rejected(kind in 0u8..14, seed in 0u64..u64::MAX, frac in 0u32..1000) {
+        let frame = frame_for(kind, seed);
+        let bytes = encode_frame(&frame);
+        let cut = (bytes.len() - 1) * frac as usize / 1000;
+        let mut cur = std::io::Cursor::new(bytes[..cut].to_vec());
+        prop_assert!(matches!(read_frame(&mut cur), Err(WireError::Truncated)));
+    }
+
+    /// Appending garbage to any frame body breaks the exact-consumption
+    /// rule.
+    #[test]
+    fn trailing_bytes_are_rejected(kind in 0u8..14, seed in 0u64..u64::MAX) {
+        let frame = frame_for(kind, seed);
+        let bytes = encode_frame(&frame);
+        let mut body = bytes[4..].to_vec();
+        body.push(0x5a);
+        prop_assert!(matches!(decode_frame(&body), Err(WireError::Malformed(_))));
+    }
+}
+
+#[test]
+fn version_mismatch_is_refused_with_the_servers_range() {
+    // Entirely-above and entirely-below ranges both fail...
+    assert!(matches!(
+        negotiate(WIRE_VERSION + 7, WIRE_VERSION + 2),
+        Err(WireError::VersionUnsupported { min, max })
+            if min == WIRE_VERSION + 2 && max == WIRE_VERSION + 7
+    ));
+    if MIN_WIRE_VERSION > 0 {
+        assert!(negotiate(MIN_WIRE_VERSION - 1, 0).is_err());
+    }
+    // ...overlapping ranges land on the highest common version.
+    assert_eq!(negotiate(WIRE_VERSION + 3, WIRE_VERSION).unwrap(), WIRE_VERSION);
+    assert_eq!(negotiate(WIRE_VERSION, MIN_WIRE_VERSION).unwrap(), WIRE_VERSION);
+}
+
+#[test]
+fn malformed_payloads_are_rejected_not_panicked_on() {
+    // An inverted Hello range.
+    let hello = encode_frame(&Frame::Hello { version: 1, min_version: 1 });
+    let mut body = hello[4..].to_vec();
+    body[1..3].copy_from_slice(&5u16.to_le_bytes()); // version = 5
+    body[3..5].copy_from_slice(&9u16.to_le_bytes()); // min = 9 > version
+    assert!(matches!(decode_frame(&body), Err(WireError::Malformed(_))));
+
+    // A Busy frame with an unknown reason byte.
+    let busy =
+        encode_frame(&Frame::Busy { session: 1, reason: BusyReason::QueueFull, retry_after_ms: 5 });
+    let mut body = busy[4..].to_vec();
+    body[9] = 0xee; // reason byte (tag + 8-byte session)
+    assert!(matches!(decode_frame(&body), Err(WireError::Malformed(_))));
+
+    // A Submit whose observation tag is unknown.
+    let mut g = Gen(7);
+    let submit = encode_frame(&Frame::Submit { session: 3, obs: obs_for(0, &mut g) });
+    let mut body = submit[4..].to_vec();
+    body[9] = 0xee; // obs tag
+    assert!(matches!(decode_frame(&body), Err(WireError::Malformed(_))));
+
+    // A hostile sequence count (u32::MAX elements) must be caught by the
+    // bounded-allocation check, not attempted.
+    let completion = encode_frame(&Frame::Completion {
+        ticket: 1,
+        session: 2,
+        step: 0,
+        action: FleetAction::Abr(3),
+        logits: vec![1.0],
+    });
+    let mut body = completion[4..].to_vec();
+    let logits_count_at = body.len() - 4 - 4; // count then one f32
+    body[logits_count_at..logits_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(decode_frame(&body).is_err());
+}
+
+#[test]
+fn unknown_core_tags_reject_extension_tags_skip() {
+    assert!(matches!(decode_frame(&[0x7e, 0, 0]), Err(WireError::UnknownFrame(0x7e))));
+    assert!(matches!(decode_frame(&[EXTENSION_TAG_BASE, 0, 0]), Ok(None)));
+    assert!(matches!(decode_frame(&[0xff]), Ok(None)));
+}
+
+#[test]
+fn oversize_length_prefix_is_rejected_before_allocating() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 16]);
+    let mut cur = std::io::Cursor::new(bytes);
+    assert!(matches!(read_frame(&mut cur), Err(WireError::BadLength(_))));
+}
+
+#[test]
+fn frames_concatenate_on_a_stream() {
+    let mut buf = Vec::new();
+    for kind in 0..14u8 {
+        write_frame(&mut buf, &frame_for(kind, 42)).unwrap();
+    }
+    let mut cur = std::io::Cursor::new(buf);
+    for kind in 0..14u8 {
+        let expect = encode_frame(&frame_for(kind, 42));
+        let got = encode_frame(&read_frame(&mut cur).unwrap());
+        assert_eq!(got, expect, "frame kind {kind} did not survive the stream");
+    }
+    assert!(matches!(read_frame(&mut cur), Err(WireError::Truncated)));
+}

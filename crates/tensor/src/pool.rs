@@ -22,7 +22,7 @@
 //! (`blocks_per_thread = n_blocks.div_ceil(threads)`), and hands each
 //! band to a task through a `Mutex<Option<&mut [T]>>` slot — no `unsafe`
 //! is needed to move the borrows. The only `unsafe` in the crate is the
-//! lifetime erasure in [`dispatch`], a small audited scope documented
+//! lifetime erasure in `dispatch`, a small audited scope documented
 //! in place.
 //!
 //! Panic safety: a panicking task is caught on the worker, recorded, and

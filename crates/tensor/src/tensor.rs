@@ -353,7 +353,7 @@ const LEGACY_PAR_FLOPS_MIN: usize = 4 << 20;
 static LEGACY_KERNELS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Enable/disable the legacy (PR 2) matmul kernel for baseline
-/// measurements (see [`LEGACY_KERNELS`]).
+/// measurements (see `LEGACY_KERNELS`).
 pub fn set_legacy_kernels(on: bool) {
     LEGACY_KERNELS.store(on, std::sync::atomic::Ordering::SeqCst);
 }
@@ -366,7 +366,7 @@ pub fn legacy_kernels_enabled() -> bool {
 /// `out += a x b` for row-major matrices.
 ///
 /// The kernel holds an MRxNR register accumulator tile per output block
-/// ([`matmul_blocked_wide`]), is tiled over the inner dimension ([`KC`]),
+/// (`matmul_blocked_wide`), is tiled over the inner dimension (`KC`),
 /// and — for skinny right-hand sides — switches to a transposed-`B`
 /// packing so both operands of every dot product are contiguous. Large
 /// products additionally split their output rows across the persistent
