@@ -1,7 +1,7 @@
 //! Regenerate every evaluation figure of the NetLLM paper.
 //!
 //! ```text
-//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4|bench5|bench6|bench7|bench8]
+//! cargo run -p nt-bench --release --bin figures -- [--fig all|2|3|4|10|11|12|13|14|15|16|bench2|bench3|bench4|bench5|bench6|bench7|bench8|bench9]
 //!                                                  [--fidelity smoke|default|paper]
 //! ```
 //!
@@ -33,8 +33,13 @@
 //! regenerates `reports/BENCH_8.json`, the PR 8 ingress snapshot (a
 //! dense B=64 mixed fleet on K=4 shards driven over the loopback wire
 //! protocol vs direct submit/tick: dec/s both ways, the socket/direct
-//! ratio, and p50/p90 submit-to-completion latency). Together they
-//! track the perf trajectory across PRs.
+//! ratio, and p50/p90 submit-to-completion latency); `--fig bench9`
+//! regenerates `reports/BENCH_9.json`, the PR 9 page-economy scheduler
+//! snapshot (the `CacheAware`+`ColdestReanchor` pair vs
+//! `PageAware`+`CheapestRebuild` on the tight-budget B=64/K=4 ABR trace:
+//! evictions, deferrals, re-anchor rebuild rows and dec/s, plus the
+//! ample-budget throughput ratio). Together they track the perf
+//! trajectory across PRs.
 
 use netllm::{
     build_abr_env, build_cjs_workloads, build_vp_data, evaluate_token_path, AdaptMode, Fidelity,
@@ -117,6 +122,9 @@ fn main() {
     }
     if fig == "bench8" {
         bench8();
+    }
+    if fig == "bench9" {
+        bench9();
     }
     println!("\nall requested figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -1932,6 +1940,205 @@ fn bench8() {
         },
     });
     let path = write_report("BENCH_8", &report).unwrap();
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_9: page-economy scheduler (PR 9 — PageAware + CheapestRebuild)
+// ---------------------------------------------------------------------------
+
+/// The pre-PR-9 policy pair (`CacheAware` placement + `ColdestReanchor`
+/// eviction) vs the page-economy pair (`PageAware` + `CheapestRebuild`)
+/// on the B=64/K=4 ABR trace. Under the tight ~40% budget the interesting
+/// metric is re-anchor rebuild rows — the work eviction forces, which
+/// `CheapestRebuild` prices and minimizes (`MetricsRegistry`'s
+/// `evicted_rebuild_rows` counter); under the ample budget the pairs must
+/// tie on throughput (the no-regression leg). The enforced gates live in
+/// `crates/bench/tests/sched_gate.rs`; this bin snapshots the trajectory.
+#[allow(clippy::needless_range_loop)]
+fn bench9() {
+    use netllm::{AdaptMode, AdmissionPolicy, EvictionPolicy, LoraSpec, NetLlmAbr, ShardedServer};
+    use nt_abr::AbrObservation;
+    use nt_llm::{PageConfig, PagePool, Zoo};
+
+    println!("\n[bench9] page-economy scheduler snapshot");
+    let zoo = Zoo::new(std::env::temp_dir().join("bench9-zoo"));
+    let shards = 4usize;
+    let ticks = 12usize;
+    let batch = 64usize;
+    let workers = nt_tensor::pool::num_threads();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut m = NetLlmAbr::new(
+        zoo.build_random(&size_spec("7b-sim")),
+        AdaptMode::NoDomain,
+        LoraSpec::default(),
+        8,
+        9,
+    );
+    m.target_return = 2.0;
+    let streams: Vec<Vec<AbrObservation>> =
+        (0..batch).map(|s| AbrObservation::synthetic_stream(9000 + s as u64, ticks)).collect();
+
+    // One queued pass: submit all, tick, poll, drain. Counters come from
+    // the best-timed rep (they are trace-deterministic; only the clock
+    // varies).
+    struct Leg {
+        secs: f64,
+        end_bytes: usize,
+        peak: usize,
+        evictions: u64,
+        deferrals: usize,
+        rebuild_rows: u64,
+    }
+    let run = |policy: AdmissionPolicy, eviction: EvictionPolicy, pool: Option<PagePool>| -> Leg {
+        let mut best: Option<Leg> = None;
+        for _ in 0..3 {
+            let mut server = match &pool {
+                Some(p) => ShardedServer::with_memory(shards, policy, p.clone(), eviction),
+                None => ShardedServer::with_policy(shards, policy),
+            };
+            let ids: Vec<_> = (0..batch).map(|_| server.join(&m)).collect();
+            let mut pending: Vec<std::collections::VecDeque<netllm::Ticket>> =
+                vec![Default::default(); batch];
+            let (mut peak, mut deferrals) = (0usize, 0usize);
+            let mut outstanding = 0usize;
+            let t0 = Instant::now();
+            let mut tick_once = |server: &mut ShardedServer<NetLlmAbr>,
+                                 pending: &mut Vec<std::collections::VecDeque<netllm::Ticket>>,
+                                 outstanding: &mut usize| {
+                let rep = server.tick(&m);
+                peak = peak.max(rep.memory.used_bytes);
+                deferrals += rep.memory.deferred;
+                for q in pending.iter_mut() {
+                    if let Some(&front) = q.front() {
+                        if server.poll(front).is_some() {
+                            q.pop_front();
+                            *outstanding -= 1;
+                        }
+                    }
+                }
+            };
+            for c in 0..ticks {
+                for (s, &id) in ids.iter().enumerate() {
+                    let t = server.submit(id, streams[s][c].clone()).unwrap();
+                    pending[s].push_back(t);
+                    outstanding += 1;
+                }
+                tick_once(&mut server, &mut pending, &mut outstanding);
+            }
+            while outstanding > 0 {
+                tick_once(&mut server, &mut pending, &mut outstanding);
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|b| secs < b.secs) {
+                let snap = server.metrics().snapshot();
+                best = Some(Leg {
+                    secs,
+                    end_bytes: server.cache_bytes(),
+                    peak,
+                    evictions: snap.evicted(),
+                    deferrals,
+                    rebuild_rows: snap.evicted_rebuild_rows(),
+                });
+            }
+        }
+        best.expect("three reps ran")
+    };
+
+    // Contiguous sizing pass (also the policy-free throughput anchor).
+    let contig = run(AdmissionPolicy::LeastLoaded, EvictionPolicy::None, None);
+    let tight_budget = (contig.end_bytes * 2 / 5).max(nt_llm::session_floor_bytes(&m.lm, 16));
+    let ample_budget = 3 * contig.end_bytes + (1 << 20);
+    let pool_for = |budget: usize| {
+        PagePool::for_model(&m.lm, PageConfig { page_tokens: 16, budget_bytes: budget })
+    };
+    let pages_of = |pool: &PagePool| pool.free_pages();
+
+    let decisions = (batch * ticks) as f64;
+    let mut rows = Vec::new();
+    let mut report = serde_json::Map::new();
+    report.insert("environment".into(), json!({"hardware_threads": hw, "pool_workers": workers}));
+    report.insert(
+        "trace".into(),
+        json!({"model": "7b-sim", "batch": batch, "shards": shards, "ticks": ticks}),
+    );
+    report.insert("contiguous_decisions_per_s".into(), json!(decisions / contig.secs));
+    let mut legs = serde_json::Map::new();
+    let mut tight_rebuild = [0u64; 2];
+    let mut ample_dps = [0f64; 2];
+    for (b, budget, band) in [(0usize, tight_budget, "tight"), (1, ample_budget, "ample")] {
+        let pool = pool_for(budget);
+        let pages = pages_of(&pool);
+        let pairs: [(&str, AdmissionPolicy, EvictionPolicy); 2] = [
+            (
+                "cache_aware_coldest",
+                AdmissionPolicy::CacheAware { budget_bytes: budget / shards },
+                EvictionPolicy::ColdestReanchor,
+            ),
+            (
+                "page_aware_cheapest",
+                AdmissionPolicy::PageAware { budget_pages: pages / shards },
+                EvictionPolicy::CheapestRebuild,
+            ),
+        ];
+        for (i, (name, policy, eviction)) in pairs.into_iter().enumerate() {
+            let leg = run(policy, eviction, Some(pool.clone()));
+            let dps = decisions / leg.secs;
+            if b == 0 {
+                tight_rebuild[i] = leg.rebuild_rows;
+            } else {
+                ample_dps[i] = dps;
+            }
+            rows.push(vec![
+                format!("{band}/{name}"),
+                format!("{dps:.0}"),
+                format!("{}", leg.evictions),
+                format!("{}", leg.deferrals),
+                format!("{}", leg.rebuild_rows),
+                format!("{}/{}", leg.peak / 1000, budget / 1000),
+            ]);
+            legs.insert(
+                format!("{band}_{name}"),
+                json!({
+                    "decisions_per_s": dps,
+                    "evictions": leg.evictions,
+                    "deferrals": leg.deferrals,
+                    "rebuild_rows": leg.rebuild_rows,
+                    "peak_pool_bytes": leg.peak,
+                    "budget_bytes": budget,
+                    "budget_pages": pages,
+                }),
+            );
+        }
+    }
+    print_table(
+        "BENCH_9: scheduler policy pairs (7b-sim, B=64, K=4, queued)",
+        &["band/pair", "dec/s", "evictions", "deferrals", "rebuild rows", "peak/budget KB"],
+        &rows,
+    );
+    let rebuild_ratio = tight_rebuild[1] as f64 / tight_rebuild[0].max(1) as f64;
+    let ample_ratio = ample_dps[1] / ample_dps[0];
+    println!(
+        "tight-budget rebuild rows: {} (coldest) vs {} (cheapest) — ratio {rebuild_ratio:.3}",
+        tight_rebuild[0], tight_rebuild[1]
+    );
+    println!("ample-budget throughput ratio (page-economy / old pair): {ample_ratio:.3}");
+    report.insert("legs".into(), serde_json::Value::Object(legs));
+    report.insert("tight_rebuild_rows_ratio".into(), json!(rebuild_ratio));
+    report.insert("ample_throughput_ratio".into(), json!(ample_ratio));
+    report.insert(
+        "note".into(),
+        json!(
+            "rebuild rows = re-anchor replay work forced by eviction, priced by \
+             ServedTask::rebuild_rows at the moment of the clear; CheapestRebuild \
+             picks victims by that price so the tight-budget total must come in \
+             strictly below ColdestReanchor's (enforced, with the 1e-5 forced-clear \
+             equivalence and the >= 0.95x ample-budget bar, in \
+             crates/bench/tests/sched_gate.rs)"
+        ),
+    );
+    let path = write_report("BENCH_9", &serde_json::Value::Object(report)).unwrap();
     println!("wrote {}", path.display());
 }
 

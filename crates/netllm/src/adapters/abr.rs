@@ -483,6 +483,23 @@ impl ServedTask for NetLlmAbr {
         }
     }
 
+    fn rebuild_rows(&self, ep: &AbrEpisode, session: &InferenceSession) -> usize {
+        // The eviction price, by the same `plan_rows` case split: when
+        // the next step would re-anchor anyway (grown history, full or
+        // empty context) the cache is dead weight — clearing it costs
+        // nothing extra. Otherwise the rebuild replays `w` window states
+        // where the intact path appends one (`plan_rows(cleared) -
+        // plan_rows(intact)`, pinned exact in `tests/paged_serving.rs`).
+        let n = ep.episode.steps.len();
+        let grown = n - ep.anchor >= 2 * self.window;
+        if session.is_empty() || !session.fits(TOK_PER_STEP) || grown {
+            0
+        } else {
+            let w = self.window.min(n + 1);
+            (w * TOK_PER_STEP - 1).saturating_sub(TOK_PER_STEP)
+        }
+    }
+
     fn plan_step(
         &self,
         ep: &mut AbrEpisode,

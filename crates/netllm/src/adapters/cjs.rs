@@ -398,6 +398,25 @@ impl ServedTask for NetLlmCjs {
         }
     }
 
+    fn rebuild_rows(&self, ep: &CjsEpisode, session: &InferenceSession) -> usize {
+        // The eviction price: the current decision's `2 + c` rows are
+        // appended either way, so clearing the cache costs exactly the
+        // `3 x` history triples a rebuild replays in front of them — and
+        // nothing when the next step re-anchors regardless (grown
+        // history or an already-empty cache). The context-full trigger
+        // (`!fits(2 + c + 1)`) depends on the unknown next observation's
+        // candidate count, so a session about to re-anchor on *that*
+        // edge is priced at the full history — a conservative
+        // over-estimate, which only demotes it in the victim scan.
+        let grown = ep.steps.len() - ep.anchor >= 2 * self.window;
+        if session.is_empty() || grown {
+            0
+        } else {
+            let anchor = ep.steps.len().saturating_sub(self.window - 1);
+            3 * (ep.steps.len() - anchor)
+        }
+    }
+
     fn plan_step(&self, ep: &mut CjsEpisode, obs: &CjsObs, session: &InferenceSession) -> StepPlan {
         let c = obs.snap.candidates.len().min(MAX_CANDS);
         assert!(c > 0, "CJS decision needs at least one candidate");

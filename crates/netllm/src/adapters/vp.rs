@@ -255,6 +255,12 @@ impl ServedTask for NetLlmVp {
         (self.img_enc.num_patches() + hist + pw, true)
     }
 
+    fn rebuild_rows(&self, _slot: &VpSlot, _session: &InferenceSession) -> usize {
+        // One-shot queries clear the session every step: nothing an
+        // eviction could destroy is ever re-read, so VP victims are free.
+        0
+    }
+
     fn plan_step(
         &self,
         _slot: &mut VpSlot,

@@ -164,6 +164,14 @@ impl ServedTask for NetLlmFleet<'_> {
         }
     }
 
+    fn rebuild_rows(&self, slot: &FleetSlot, session: &InferenceSession) -> usize {
+        match slot {
+            FleetSlot::Abr(ep) => self.abr.rebuild_rows(ep, session),
+            FleetSlot::Cjs(ep) => self.cjs.rebuild_rows(ep, session),
+            FleetSlot::Vp(sl) => self.vp.rebuild_rows(sl, session),
+        }
+    }
+
     fn plan_step(
         &self,
         slot: &mut FleetSlot,

@@ -156,6 +156,19 @@ pub struct IngressConfig {
     /// Hard bound on pre-tick coalescing, so a steady trickle of events
     /// cannot postpone a tick indefinitely.
     pub max_coalesce: Duration,
+    /// Fairness bound: granted-but-unresolved tickets one connection may
+    /// hold. The shard admission queues are shared, so without this cap
+    /// one greedy pipelining client can fill them wall to wall and every
+    /// other client's submits bounce [`Frame::Busy`] until the whole
+    /// backlog drains — the cap refuses the *greedy* client instead
+    /// (same `Busy`/retry contract), keeping a slow client's
+    /// submit→completion latency bounded by its own queue depth, not its
+    /// neighbour's. `tests/ingress.rs` pins the two-client p90. The
+    /// default (half of `queue_cap`/`channel_cap`) leaves a legitimate
+    /// dense client's pipelining untouched — B=64 sessions at a window
+    /// of 4 holds 256 open tickets — while capping any one connection
+    /// at half the shared backlog.
+    pub max_open_per_conn: usize,
 }
 
 impl Default for IngressConfig {
@@ -169,6 +182,7 @@ impl Default for IngressConfig {
             channel_cap: 1024,
             quiesce: Duration::from_micros(200),
             max_coalesce: Duration::from_millis(2),
+            max_open_per_conn: 512,
         }
     }
 }
@@ -285,6 +299,9 @@ enum Event {
 struct ConnState {
     tx: mpsc::Sender<Frame>,
     sessions: BTreeSet<u64>,
+    /// Granted-but-unresolved tickets this connection holds, bounded by
+    /// [`IngressConfig::max_open_per_conn`].
+    open: usize,
 }
 
 /// Scheduler-side state for one live session.
@@ -462,6 +479,7 @@ fn run_scheduler(
         sessions: &mut sessions,
         open: &mut open,
         stats: &stats,
+        max_open_per_conn: cfg.max_open_per_conn,
     };
 
     let idle = Duration::from_millis(25);
@@ -518,6 +536,7 @@ struct SchedCtx<'a> {
     sessions: &'a mut BTreeMap<u64, SessState>,
     open: &'a mut BTreeMap<Ticket, OpenTicket>,
     stats: &'a IngressStats,
+    max_open_per_conn: usize,
 }
 
 impl SchedCtx<'_> {
@@ -525,7 +544,7 @@ impl SchedCtx<'_> {
         match ev {
             Event::Wake => {}
             Event::Connect { conn, tx } => {
-                self.conns.insert(conn, ConnState { tx, sessions: BTreeSet::new() });
+                self.conns.insert(conn, ConnState { tx, sessions: BTreeSet::new(), open: 0 });
             }
             Event::Gone { conn } => self.drop_conn(conn),
             Event::Incoming { conn, frame } => self.handle_frame(conn, frame, ewma_tick_ns),
@@ -559,12 +578,24 @@ impl SchedCtx<'_> {
                 if sess.conn != conn || !obs_matches_group(&obs, sess.group) {
                     return self.violation(conn);
                 }
+                // Fairness cap before the shared queues: a connection at
+                // its in-flight bound is refused exactly like a full
+                // shard queue — Busy, retry after a tick — so one greedy
+                // pipeline can never crowd every other connection out of
+                // the admission queues.
+                if self.conns.get(&conn).expect("checked above").open >= self.max_open_per_conn {
+                    let retry_after_ms = ((ewma_tick_ns / 1e6).ceil() as u32).max(1);
+                    self.stats.busy.fetch_add(1, Ordering::Relaxed);
+                    let reason = BusyReason::QueueFull;
+                    return self.send(conn, Frame::Busy { session, reason, retry_after_ms });
+                }
                 match self.server.submit(session, obs) {
                     Ok(ticket) => {
                         self.open.insert(
                             ticket,
                             OpenTicket { conn, session, submitted: Instant::now() },
                         );
+                        self.conns.get_mut(&conn).expect("checked above").open += 1;
                         self.stats.submits.fetch_add(1, Ordering::Relaxed);
                         self.send(conn, Frame::TicketGrant { session, ticket: ticket.0 });
                     }
@@ -616,6 +647,7 @@ impl SchedCtx<'_> {
                 TicketStatus::Pending | TicketStatus::Requeued => {}
                 TicketStatus::Served(action) => {
                     let ot = self.open.remove(&ticket).expect("ticket is open");
+                    self.release_open(ot.conn);
                     // Valid because the queue drains ≤1 arrival per
                     // session per tick and we sweep after *every* tick:
                     // a Served ticket's logits are from the tick that
@@ -643,6 +675,7 @@ impl SchedCtx<'_> {
                 }
                 TicketStatus::Failed => {
                     let ot = self.open.remove(&ticket).expect("ticket is open");
+                    self.release_open(ot.conn);
                     self.stats.failed.fetch_add(1, Ordering::Relaxed);
                     self.send(ot.conn, Frame::Failed { ticket: ticket.0, session: ot.session });
                 }
@@ -663,7 +696,9 @@ impl SchedCtx<'_> {
         // their action (logits are gone with the session's slot).
         let mut steps = sess.steps;
         for (ticket, action) in report.unpolled {
-            self.open.remove(&ticket);
+            if self.open.remove(&ticket).is_some() {
+                self.release_open(sess.conn);
+            }
             self.stats.completions.fetch_add(1, Ordering::Relaxed);
             if notify {
                 let step = steps;
@@ -682,7 +717,9 @@ impl SchedCtx<'_> {
         }
         let mut dropped = 0u32;
         for (ticket, _obs) in report.dropped_arrivals {
-            self.open.remove(&ticket);
+            if self.open.remove(&ticket).is_some() {
+                self.release_open(sess.conn);
+            }
             dropped += 1;
             if notify {
                 self.stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -704,6 +741,15 @@ impl SchedCtx<'_> {
             let _ = self.leave_session(session, false);
         }
         // Dropping `state.tx` ends the writer, which shuts the socket.
+    }
+
+    /// One in-flight ticket of `conn` resolved — free its fairness-cap
+    /// slot. A no-op for connections already dropped (their state, cap
+    /// counter included, went with them).
+    fn release_open(&mut self, conn: u64) {
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.open = state.open.saturating_sub(1);
+        }
     }
 
     fn violation(&mut self, conn: u64) {

@@ -81,8 +81,8 @@ pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
 };
 pub use sched::{
-    AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, SubmitError,
-    SubmitRetry, TickReport, Ticket, TicketStatus,
+    steer_improves, AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport,
+    PagePressure, PlacementView, SubmitError, SubmitRetry, TickReport, Ticket, TicketStatus,
 };
 pub use serving::{
     ParkedSlot, RollbackPlan, ServedTask, ServingEngine, SessionId, StepOutcome, StepPlan,

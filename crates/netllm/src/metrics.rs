@@ -12,14 +12,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// One shard's counters. All monotonic totals except `queue_depth`
-/// (a gauge: pending arrivals at the last tick boundary).
+/// One shard's counters. All monotonic totals except `queue_depth` and
+/// `held_pages` (gauges overwritten at every tick boundary).
 #[derive(Debug, Default)]
 pub struct ShardCounters {
     served: AtomicU64,
     steered: AtomicU64,
     evicted: AtomicU64,
+    evicted_rebuild_rows: AtomicU64,
     queue_depth: AtomicU64,
+    held_pages: AtomicU64,
 }
 
 /// Plain-value copy of one shard's counters at a point in time.
@@ -31,8 +33,17 @@ pub struct ShardSnapshot {
     pub steered: u64,
     /// Sessions whose KV cache this shard evicted under memory pressure.
     pub evicted: u64,
+    /// Token rows those evictions priced for replay
+    /// ([`crate::ServedTask::rebuild_rows`] at the moment of eviction,
+    /// summed) — the eviction-*cost* counter the policy comparison in
+    /// `figures --fig bench9` scrapes; recorded identically under every
+    /// eviction policy so the totals compare apples-to-apples.
+    pub evicted_rebuild_rows: u64,
     /// Pending arrivals in this shard's queue at the last tick boundary.
     pub queue_depth: u64,
+    /// Pool pages the shard's sessions held at the last tick boundary
+    /// (gauge; 0 for pool-less fleets) — the page-pressure read path.
+    pub held_pages: u64,
 }
 
 /// Plain-value copy of the kernel pool's cumulative dispatch counters
@@ -146,6 +157,9 @@ pub struct MetricsSnapshot {
     /// Ingress submit→completion latency (zeroed unless an ingress front
     /// end is feeding this registry).
     pub ingress_latency: LatencySnapshot,
+    /// Fleet-pool free pages at the last tick boundary (gauge; 0 for
+    /// pool-less fleets).
+    pub pool_free_pages: u64,
 }
 
 impl MetricsSnapshot {
@@ -164,9 +178,19 @@ impl MetricsSnapshot {
         self.shards.iter().map(|s| s.evicted).sum()
     }
 
+    /// Fleet-wide replay rows priced at eviction time.
+    pub fn evicted_rebuild_rows(&self) -> u64 {
+        self.shards.iter().map(|s| s.evicted_rebuild_rows).sum()
+    }
+
     /// Fleet-wide queued arrivals at the last tick boundary.
     pub fn queue_depth(&self) -> u64 {
         self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Fleet-wide held pages at the last tick boundary.
+    pub fn held_pages(&self) -> u64 {
+        self.shards.iter().map(|s| s.held_pages).sum()
     }
 }
 
@@ -176,6 +200,9 @@ pub struct MetricsRegistry {
     shards: Vec<ShardCounters>,
     faults: FaultCounters,
     ingress: LatencyCounters,
+    /// Fleet-pool free pages at the last tick boundary (gauge; 0 for
+    /// pool-less fleets).
+    pool_free_pages: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -185,6 +212,7 @@ impl MetricsRegistry {
             shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
             faults: FaultCounters::default(),
             ingress: LatencyCounters::default(),
+            pool_free_pages: AtomicU64::new(0),
         }
     }
 
@@ -202,14 +230,27 @@ impl MetricsRegistry {
         self.shards[shard].steered.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// One session's KV cache evicted from `shard`.
-    pub fn record_evicted(&self, shard: usize) {
+    /// One session's KV cache evicted from `shard`, priced at
+    /// `rebuild_rows` replay rows ([`crate::ServedTask::rebuild_rows`] at
+    /// the moment of eviction — 0 when its next step re-anchors anyway).
+    pub fn record_evicted(&self, shard: usize, rebuild_rows: u64) {
         self.shards[shard].evicted.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].evicted_rebuild_rows.fetch_add(rebuild_rows, Ordering::Relaxed);
     }
 
     /// Overwrite `shard`'s queue-depth gauge (tick boundary).
     pub fn set_queue_depth(&self, shard: usize, depth: u64) {
         self.shards[shard].queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Overwrite `shard`'s held-pages gauge (tick boundary).
+    pub fn set_held_pages(&self, shard: usize, pages: u64) {
+        self.shards[shard].held_pages.store(pages, Ordering::Relaxed);
+    }
+
+    /// Overwrite the fleet pool's free-pages gauge (tick boundary).
+    pub fn set_free_pages(&self, pages: u64) {
+        self.pool_free_pages.store(pages, Ordering::Relaxed);
     }
 
     /// One shard declared Dead.
@@ -271,7 +312,9 @@ impl MetricsRegistry {
             served: s.served.load(Ordering::Relaxed),
             steered: s.steered.load(Ordering::Relaxed),
             evicted: s.evicted.load(Ordering::Relaxed),
+            evicted_rebuild_rows: s.evicted_rebuild_rows.load(Ordering::Relaxed),
             queue_depth: s.queue_depth.load(Ordering::Relaxed),
+            held_pages: s.held_pages.load(Ordering::Relaxed),
         }
     }
 
@@ -282,6 +325,7 @@ impl MetricsRegistry {
             pool: pool_dispatch_snapshot(),
             faults: self.fault_snapshot(),
             ingress_latency: self.ingress_latency_snapshot(),
+            pool_free_pages: self.pool_free_pages.load(Ordering::Relaxed),
         }
     }
 }
@@ -307,17 +351,24 @@ mod tests {
         m.record_served(0, 5);
         m.record_served(2, 7);
         m.record_steered(1);
-        m.record_evicted(2);
+        m.record_evicted(2, 17);
+        m.record_evicted(2, 0); // a free victim still counts as an eviction
         m.set_queue_depth(1, 4);
         m.set_queue_depth(1, 2); // gauge overwrites, never accumulates
+        m.set_held_pages(0, 9);
+        m.set_held_pages(0, 6); // gauge overwrites
+        m.set_free_pages(40);
         let snap = m.snapshot();
         assert_eq!(snap.shards[0].served, 5);
         assert_eq!(snap.shards[2].served, 7);
         assert_eq!(snap.served(), 12);
         assert_eq!(snap.steered(), 1);
-        assert_eq!(snap.evicted(), 1);
+        assert_eq!(snap.evicted(), 2);
+        assert_eq!(snap.evicted_rebuild_rows(), 17);
         assert_eq!(snap.shards[1].queue_depth, 2);
         assert_eq!(snap.queue_depth(), 2);
+        assert_eq!((snap.shards[0].held_pages, snap.held_pages()), (6, 6));
+        assert_eq!(snap.pool_free_pages, 40);
         assert_eq!(snap.pool.workers, nt_tensor::pool::num_threads() as u64);
     }
 

@@ -331,6 +331,72 @@ pub(crate) fn fnv1a(id: u64) -> u64 {
     h
 }
 
+/// One shard's page-economy snapshot, the unit of the placement view a
+/// [`AdmissionPolicy::PageAware`] policy steers by. In-process fleets
+/// share one [`nt_llm::PagePool`], so every shard reports the same
+/// `free_pages` (the global free list); per-process shards report their
+/// own pool's. All-zero for fleets without a pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagePressure {
+    /// Pages the shard's pool can still lend without eviction.
+    pub free_pages: usize,
+    /// Pages the shard's resident sessions hold.
+    pub held_pages: usize,
+}
+
+/// Pure per-shard fleet view one placement decision reads. Built by the
+/// server at the join/recovery boundary; `place` never touches an engine,
+/// so every policy is unit-testable from plain slices.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementView<'a> {
+    /// Live slots per shard.
+    pub active: &'a [usize],
+    /// KV bytes held per shard.
+    pub cache_bytes: &'a [usize],
+    /// Page economy per shard (all-default without a pool).
+    pub pressure: &'a [PagePressure],
+    /// Resident sessions per shard on the joiner's backbone group — the
+    /// batch-shape signal: same-backbone slots share stacked GEMMs, so
+    /// co-locating them keeps the batched steps dense.
+    pub same_backbone: &'a [usize],
+    /// Pages the placed session needs immediately: 0 for a fresh join
+    /// (its cache starts empty); a migrating or salvaged session's
+    /// rebuild demand otherwise.
+    pub need_pages: usize,
+}
+
+impl<'a> PlacementView<'a> {
+    /// A view with no page economy and no backbone histogram — what the
+    /// byte-denominated policies (`HashRoute`/`LeastLoaded`/`CacheAware`)
+    /// read; `PageAware` placement over it degenerates to `LeastLoaded`.
+    pub fn bytes_only(active: &'a [usize], cache_bytes: &'a [usize]) -> Self {
+        PlacementView { active, cache_bytes, pressure: &[], same_backbone: &[], need_pages: 0 }
+    }
+}
+
+/// The strictly-improving steer contract, extended to the page economy:
+/// moving a victim carrying `victim_load` units (KV bytes for
+/// `CacheAware`, pages for `PageAware`) from a shard at `src_load` to one
+/// at `dest_load` is worthwhile only when the destination ends strictly
+/// below where the source started (no ping-pong between equal-height
+/// shards, no bouncing a session whose cache alone exceeds the budget)
+/// *and* the destination pool's free list covers the victim's pages
+/// (`None` for pool-less fleets) — a steer that lands on a shard with too
+/// few free pages just converts into an eviction on arrival, re-anchoring
+/// someone to move nobody's bytes. Pure; the steer passes and the
+/// `sched.rs` unit tests share it.
+pub fn steer_improves(
+    src_load: usize,
+    dest_load: usize,
+    victim_load: usize,
+    victim_pages: usize,
+    dest_free_pages: Option<usize>,
+) -> bool {
+    victim_load > 0
+        && dest_load + victim_load < src_load
+        && dest_free_pages.is_none_or(|free| free >= victim_pages)
+}
+
 /// Where a joining session lands, and whether the tick scheduler steers
 /// load between shards.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -353,34 +419,91 @@ pub enum AdmissionPolicy {
         /// Per-shard KV-byte budget the steering pass enforces.
         budget_bytes: usize,
     },
+    /// Admit by page pressure instead of raw bytes: prefer shards whose
+    /// free pages cover the session's immediate need
+    /// ([`PlacementView::need_pages`]) without triggering eviction, then
+    /// the shard holding the fewest pages; ties break to the shard with
+    /// the *most* resident same-backbone sessions (co-located
+    /// same-backbone slots share stacked GEMMs, so the batch-shape
+    /// tie-break keeps the batched steps dense), then the fewest live
+    /// slots, then the lowest index. Steers like `CacheAware`, but
+    /// denominated in pages: while a shard holds more than `budget_pages`,
+    /// its coldest session migrates to the lightest shard — every move
+    /// gated by [`steer_improves`], so a destination without the free
+    /// pages to absorb the victim is never picked.
+    PageAware {
+        /// Per-shard held-pages budget the steering pass enforces.
+        budget_pages: usize,
+    },
 }
 
 impl AdmissionPolicy {
-    /// Pick the shard a new session joins. Pure in the fleet view:
-    /// `id` is the new global session id, `active` the live-slot count
-    /// per shard, `cache_bytes` the KV bytes per shard. `active` and
-    /// `cache_bytes` must have one entry per shard.
-    pub fn place(&self, id: u64, active: &[usize], cache_bytes: &[usize]) -> usize {
-        let k = active.len();
-        assert!(k >= 1 && cache_bytes.len() == k, "malformed fleet view");
+    /// Pick the shard a new session joins. Pure in the
+    /// [`PlacementView`]: `id` is the new global session id; the view
+    /// carries one entry per shard (the page/backbone slices may be
+    /// empty for pool-less fleets — `PageAware` then places by live
+    /// slots alone).
+    pub fn place(&self, id: u64, view: &PlacementView) -> usize {
+        let k = view.active.len();
+        assert!(k >= 1 && view.cache_bytes.len() == k, "malformed fleet view");
         match self {
             AdmissionPolicy::HashRoute => (fnv1a(id) % k as u64) as usize,
             AdmissionPolicy::LeastLoaded => {
-                (0..k).min_by_key(|&s| (active[s], s)).expect("non-empty fleet")
+                (0..k).min_by_key(|&s| (view.active[s], s)).expect("non-empty fleet")
             }
             // KV-byte ties (e.g. a fleet that has not served yet) fall
             // back to live-slot count, then index — so cold joins still
             // spread instead of piling onto shard 0.
-            AdmissionPolicy::CacheAware { .. } => {
-                (0..k).min_by_key(|&s| (cache_bytes[s], active[s], s)).expect("non-empty fleet")
+            AdmissionPolicy::CacheAware { .. } => (0..k)
+                .min_by_key(|&s| (view.cache_bytes[s], view.active[s], s))
+                .expect("non-empty fleet"),
+            AdmissionPolicy::PageAware { .. } => {
+                assert!(
+                    view.pressure.is_empty() == view.same_backbone.is_empty(),
+                    "malformed fleet view: page pressure and backbone histogram travel together"
+                );
+                if view.pressure.is_empty() {
+                    // No page economy to read: fall back to live slots.
+                    return (0..k).min_by_key(|&s| (view.active[s], s)).expect("non-empty fleet");
+                }
+                assert!(
+                    view.pressure.len() == k && view.same_backbone.len() == k,
+                    "malformed fleet view"
+                );
+                let key = |s: usize| {
+                    (
+                        view.pressure[s].held_pages,
+                        // Most same-backbone residents first (denser
+                        // stacked GEMMs) — inverted for min_by_key.
+                        usize::MAX - view.same_backbone[s],
+                        view.active[s],
+                        s,
+                    )
+                };
+                // Feasible shards (free pages cover the need, no eviction
+                // on arrival) are preferred outright; when none is — the
+                // whole fleet is under pressure — pick by pressure alone
+                // and let the memory guard arbitrate.
+                (0..k)
+                    .filter(|&s| view.pressure[s].free_pages >= view.need_pages)
+                    .min_by_key(|&s| key(s))
+                    .unwrap_or_else(|| (0..k).min_by_key(|&s| key(s)).expect("non-empty fleet"))
             }
         }
     }
 
-    /// The per-shard KV budget this policy enforces, if any.
+    /// The per-shard KV-byte budget this policy enforces, if any.
     pub fn kv_budget(&self) -> Option<usize> {
         match self {
             AdmissionPolicy::CacheAware { budget_bytes } => Some(*budget_bytes),
+            _ => None,
+        }
+    }
+
+    /// The per-shard held-pages budget this policy enforces, if any.
+    pub fn page_budget(&self) -> Option<usize> {
+        match self {
+            AdmissionPolicy::PageAware { budget_pages } => Some(*budget_pages),
             _ => None,
         }
     }
@@ -404,6 +527,16 @@ pub enum EvictionPolicy {
     /// `last_served` + `heaviest` ordering.
     #[default]
     ColdestReanchor,
+    /// Clear the idle session whose re-anchor rebuild is *cheapest*:
+    /// each candidate is priced by [`crate::ServedTask::rebuild_rows`]
+    /// (the extra token rows its next step replays because the cache is
+    /// gone — 0 when that step re-anchors regardless) times its backbone
+    /// width, so the victim is the one whose eviction costs the fleet
+    /// the least recomputation. Ties break to the most pages held
+    /// (biggest reclaim per re-anchor), then coldest, then lowest id.
+    /// Age-blind by design: a hot session due a free re-anchor is a
+    /// better victim than a cold one carrying a full window.
+    CheapestRebuild,
 }
 
 /// What the memory guard did at one tick boundary (pool occupancy,
@@ -539,7 +672,7 @@ mod tests {
         let bytes = [0usize; 3];
         let mut seen = [false; 3];
         for id in 0..16u64 {
-            let s = p.place(id, &active, &bytes);
+            let s = p.place(id, &PlacementView::bytes_only(&active, &bytes));
             assert_eq!(s, (fnv1a(id) % 3) as usize);
             seen[s] = true;
         }
@@ -549,11 +682,12 @@ mod tests {
     #[test]
     fn least_loaded_picks_fewest_slots_with_deterministic_ties() {
         let p = AdmissionPolicy::LeastLoaded;
-        assert_eq!(p.place(9, &[3, 1, 2], &[0, 0, 0]), 1);
+        let v = |active: &'static [usize]| PlacementView::bytes_only(active, &[0, 0, 0]);
+        assert_eq!(p.place(9, &v(&[3, 1, 2])), 1);
         // Ties break to the lowest shard index, independent of the id.
-        assert_eq!(p.place(0, &[2, 2, 2], &[0, 0, 0]), 0);
-        assert_eq!(p.place(77, &[2, 2, 2], &[0, 0, 0]), 0);
-        assert_eq!(p.place(5, &[2, 1, 1], &[0, 0, 0]), 1);
+        assert_eq!(p.place(0, &v(&[2, 2, 2])), 0);
+        assert_eq!(p.place(77, &v(&[2, 2, 2])), 0);
+        assert_eq!(p.place(5, &v(&[2, 1, 1])), 1);
     }
 
     #[test]
@@ -596,12 +730,93 @@ mod tests {
     #[test]
     fn cache_aware_places_on_lightest_shard() {
         let p = AdmissionPolicy::CacheAware { budget_bytes: 1 << 20 };
-        assert_eq!(p.place(3, &[1, 1, 1], &[500, 100, 300]), 1);
+        let v = |active: &'static [usize], bytes: &'static [usize]| {
+            PlacementView::bytes_only(active, bytes)
+        };
+        assert_eq!(p.place(3, &v(&[1, 1, 1], &[500, 100, 300])), 1);
         // Byte ties fall back to live-slot count (cold joins spread),
         // then to the lowest index.
-        assert_eq!(p.place(3, &[9, 0, 0], &[200, 200, 400]), 1);
-        assert_eq!(p.place(3, &[2, 2, 9], &[200, 200, 400]), 0);
+        assert_eq!(p.place(3, &v(&[9, 0, 0], &[200, 200, 400])), 1);
+        assert_eq!(p.place(3, &v(&[2, 2, 9], &[200, 200, 400])), 0);
         assert_eq!(p.kv_budget(), Some(1 << 20));
         assert_eq!(AdmissionPolicy::LeastLoaded.kv_budget(), None);
+        assert_eq!(p.page_budget(), None);
+        assert_eq!(AdmissionPolicy::PageAware { budget_pages: 40 }.page_budget(), Some(40));
+    }
+
+    fn paged_view<'a>(
+        active: &'a [usize],
+        cache_bytes: &'a [usize],
+        pressure: &'a [PagePressure],
+        same_backbone: &'a [usize],
+        need_pages: usize,
+    ) -> PlacementView<'a> {
+        PlacementView { active, cache_bytes, pressure, same_backbone, need_pages }
+    }
+
+    #[test]
+    fn page_aware_places_on_least_page_pressure() {
+        let p = AdmissionPolicy::PageAware { budget_pages: 100 };
+        let pressure = [
+            PagePressure { free_pages: 10, held_pages: 40 },
+            PagePressure { free_pages: 10, held_pages: 12 },
+            PagePressure { free_pages: 10, held_pages: 25 },
+        ];
+        // Fewest held pages wins regardless of KV bytes or slot count.
+        let v = paged_view(&[1, 9, 1], &[100, 900, 100], &pressure, &[0, 0, 0], 0);
+        assert_eq!(p.place(3, &v), 1);
+        // Without a page economy the policy degenerates to LeastLoaded.
+        assert_eq!(p.place(3, &PlacementView::bytes_only(&[2, 1, 2], &[0, 0, 0])), 1);
+    }
+
+    #[test]
+    fn page_aware_prefers_destinations_whose_free_pages_cover_the_need() {
+        let p = AdmissionPolicy::PageAware { budget_pages: 100 };
+        // Shard 1 has the least pressure but cannot absorb 8 pages
+        // without eviction; shard 2 can — feasibility beats pressure.
+        let pressure = [
+            PagePressure { free_pages: 2, held_pages: 40 },
+            PagePressure { free_pages: 4, held_pages: 10 },
+            PagePressure { free_pages: 9, held_pages: 25 },
+        ];
+        let v = paged_view(&[1, 1, 1], &[0, 0, 0], &pressure, &[0, 0, 0], 8);
+        assert_eq!(p.place(3, &v), 2);
+        // When no shard covers the need, fall back to pure pressure
+        // (the memory guard arbitrates on arrival).
+        let v = paged_view(&[1, 1, 1], &[0, 0, 0], &pressure, &[0, 0, 0], 64);
+        assert_eq!(p.place(3, &v), 1);
+        // Zero need (a fresh join): every shard is feasible.
+        let v = paged_view(&[1, 1, 1], &[0, 0, 0], &pressure, &[0, 0, 0], 0);
+        assert_eq!(p.place(3, &v), 1);
+    }
+
+    #[test]
+    fn page_aware_ties_break_toward_same_backbone_residents() {
+        let p = AdmissionPolicy::PageAware { budget_pages: 100 };
+        // Equal pressure everywhere: the shard already hosting the most
+        // same-backbone sessions wins (denser stacked GEMMs), then fewest
+        // live slots, then index.
+        let pressure = [PagePressure { free_pages: 10, held_pages: 20 }; 3];
+        let v = paged_view(&[4, 4, 4], &[0, 0, 0], &pressure, &[1, 3, 0], 0);
+        assert_eq!(p.place(3, &v), 1);
+        let v = paged_view(&[4, 2, 4], &[0, 0, 0], &pressure, &[2, 2, 2], 0);
+        assert_eq!(p.place(3, &v), 1);
+        let v = paged_view(&[4, 4, 4], &[0, 0, 0], &pressure, &[2, 2, 2], 0);
+        assert_eq!(p.place(3, &v), 0);
+    }
+
+    #[test]
+    fn steer_improves_requires_strict_improvement_and_free_pages() {
+        // The strictly-improving half (regression: CacheAware ping-pong).
+        assert!(steer_improves(100, 10, 20, 0, None));
+        assert!(!steer_improves(100, 90, 20, 0, None), "dest would end above src's start");
+        assert!(!steer_improves(100, 80, 20, 0, None), "equal height is not an improvement");
+        assert!(!steer_improves(100, 10, 0, 0, None), "an empty victim moves nothing");
+        // The page-economy half (the satellite bugfix): a destination
+        // whose pool lacks the victim's pages would evict on arrival —
+        // the move is refused even though the byte math improves.
+        assert!(steer_improves(100, 10, 20, 5, Some(5)));
+        assert!(!steer_improves(100, 10, 20, 5, Some(4)), "too few free pages at the destination");
+        assert!(steer_improves(100, 10, 20, 5, None), "pool-less fleets skip the page check");
     }
 }

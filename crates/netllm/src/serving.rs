@@ -151,6 +151,23 @@ pub trait ServedTask {
         (session.max_tokens() - session.len(), false)
     }
 
+    /// Token rows the slot's *next* step would replay because its cache
+    /// was cleared now — the price of evicting this session, computable
+    /// without an observation (eviction candidates are idle; nothing of
+    /// theirs is in flight). Exactly `plan_rows(cleared).0 -
+    /// plan_rows(intact).0` whenever the intact plan would not re-anchor,
+    /// and 0 when it would (grown history or an already-empty cache make
+    /// the rebuild inevitable, so eviction costs nothing extra). An
+    /// over-estimate is acceptable — it only demotes this session in a
+    /// cost-priced victim scan; the adapters in this crate return the
+    /// exact count (property-tested in `tests/paged_serving.rs`). The
+    /// default mirrors `plan_rows`' conservative default: replay
+    /// everything the cache holds.
+    fn rebuild_rows(&self, slot: &Self::Slot, session: &InferenceSession) -> usize {
+        let _ = slot;
+        session.len()
+    }
+
     /// Phase-3 hook: read the task head over this slot's new hidden rows
     /// `[n, d_model]` (exactly the rows planned this tick), commit the
     /// decision to the episode, and optionally request a candidate
@@ -343,6 +360,45 @@ impl<T: ServedTask> ServingEngine<T> {
     pub fn pages_of(&self, id: SessionId) -> usize {
         self.check(id);
         self.slots.get(id.index()).session.pages_held()
+    }
+
+    /// Pool pages held across every live session (0 for contiguous
+    /// engines) — this shard's half of the [`crate::sched::PagePressure`]
+    /// snapshot.
+    pub fn pages_held(&self) -> usize {
+        self.slots.iter().map(|s| s.session.pages_held()).sum()
+    }
+
+    /// Token rows `id`'s next step would replay if its cache were
+    /// cleared now ([`ServedTask::rebuild_rows`]) — the row half of a
+    /// cost-priced eviction scan.
+    pub fn rebuild_rows_of(&self, task: &T, id: SessionId) -> usize {
+        self.check(id);
+        let slot = self.slots.get(id.index());
+        task.rebuild_rows(&slot.state, &slot.session)
+    }
+
+    /// Re-anchor rebuild price of evicting `id`: replayed rows times the
+    /// session's backbone width (`d_model`) — rows through a wider
+    /// backbone cost proportionally more GEMM work, so heterogeneous
+    /// fleets compare victims in compute, not row counts.
+    pub fn rebuild_cost_of(&self, task: &T, id: SessionId) -> usize {
+        self.check(id);
+        let slot = self.slots.get(id.index());
+        let d_model = task.backbone(task.group_of(&slot.state)).0.cfg.d_model;
+        task.rebuild_rows(&slot.state, &slot.session) * d_model
+    }
+
+    /// Resident sessions per backbone group (`len == task.groups()`) —
+    /// the batch-shape signal a placement policy's same-backbone
+    /// tie-break reads: slots of one group share stacked GEMMs, so a
+    /// shard already hosting a group serves its joiners densest.
+    pub fn backbone_histogram(&self, task: &T) -> Vec<usize> {
+        let mut hist = vec![0usize; task.groups()];
+        for slot in self.slots.iter() {
+            hist[task.group_of(&slot.state)] += 1;
+        }
+        hist
     }
 
     /// Cached KV positions one session holds (per layer) — what a fault

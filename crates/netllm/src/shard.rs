@@ -23,7 +23,8 @@
 //!  submit(id,obs) ─► Ticket     ┌ q0 ─ drain ─► shard 0: ServingEngine ┐
 //!    (arrival clock, adapter ──►│ q1 ─ drain ─► shard 1: ServingEngine ├─ tick ─► poll(Ticket)
 //!     tag, backpressure cap)    └ qK ─ drain ─► shard K: ServingEngine ┘      ─► actions
-//!                join ─► AdmissionPolicy: HashRoute | LeastLoaded | CacheAware
+//!                join ─► AdmissionPolicy: HashRoute | LeastLoaded |
+//!                                         CacheAware | PageAware
 //!                                 (NT_THREADS: one worker per busy shard)
 //! ```
 //!
@@ -32,11 +33,15 @@
 //! fewest live slots, `CacheAware` admits to the lightest shard by KV
 //! bytes and *steers*: at every tick boundary, while a shard's KV bytes
 //! exceed the policy's budget, the coldest (least-recently-served) session
-//! is migrated to the lightest shard. Steering and rebalance-on-leave
-//! ([`ShardedServer::leave`]) share one guard: a session is steered at
-//! most once per tick cycle, so the two mechanisms can both fire in a tick
-//! without double-migrating anyone (regression-tested in
-//! `tests/admission.rs`).
+//! is migrated to the lightest shard. `PageAware` runs the same pass
+//! denominated in pool pages instead of bytes, placing by page pressure
+//! with a same-backbone tie-break (see [`crate::sched`]); every steer —
+//! byte- or page-denominated — is gated by [`steer_improves`], so a move
+//! never lands on a shard whose pool lacks the victim's pages. Steering
+//! and rebalance-on-leave ([`ShardedServer::leave`]) share one guard: a
+//! session is steered at most once per tick cycle, so the two mechanisms
+//! can both fire in a tick without double-migrating anyone
+//! (regression-tested in `tests/admission.rs`).
 //!
 //! Migration ([`ShardedServer::steer`]) parks a session (KV cache +
 //! episode state travel wholesale, queued arrivals follow) and re-admits
@@ -67,8 +72,8 @@ use crate::fault::{Fault, FaultPlan, FaultReport};
 use crate::health::{HealthChecker, HealthConfig, Heartbeat};
 use crate::metrics::MetricsRegistry;
 use crate::sched::{
-    fnv1a, AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport, SubmitError,
-    TickReport, Ticket, TicketStatus,
+    fnv1a, steer_improves, AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport,
+    PagePressure, PlacementView, SubmitError, TickReport, Ticket, TicketStatus,
 };
 use crate::serving::{ServedTask, ServingEngine, SessionId};
 use nt_llm::{PagePool, PoolStats};
@@ -327,7 +332,13 @@ impl<T: ServedTask> ShardedServer<T> {
     /// fall back to the checker's view: the session lands on a doomed
     /// shard and the next declaration salvages it, exactly as if the RPC
     /// layer had raced the crash.
-    fn place_on_healthy(&self, id: GlobalSessionId) -> usize {
+    /// `group` is the session's backbone group — the batch-shape signal
+    /// `PageAware` ties break on (same-backbone slots share stacked
+    /// GEMMs). Placement always charges `need_pages: 0`: a fresh join's
+    /// cache starts empty, and a salvaged session's pages died with its
+    /// shard — its rebuild allocates on the next step, where the memory
+    /// guard arbitrates.
+    fn place_on_healthy(&self, id: GlobalSessionId, group: usize) -> usize {
         let up = self.reachable_shards();
         let healthy = if up.is_empty() { self.health.healthy_shards() } else { up };
         assert!(
@@ -336,7 +347,40 @@ impl<T: ServedTask> ShardedServer<T> {
         );
         let active: Vec<usize> = healthy.iter().map(|&s| self.shards[s].active()).collect();
         let bytes: Vec<usize> = healthy.iter().map(|&s| self.shards[s].cache_bytes()).collect();
-        healthy[self.policy.place(id, &active, &bytes)]
+        // The page economy travels with the backbone histogram (the view
+        // asserts they arrive together); both stay empty for pool-less
+        // fleets, where PageAware degenerates to LeastLoaded.
+        let (pressure, same_backbone) = match self.pool_stats() {
+            Some(st) => {
+                // One in-process pool serves every shard, so each shard
+                // reports the same (global) free list.
+                let pressure: Vec<PagePressure> = healthy
+                    .iter()
+                    .map(|&s| PagePressure {
+                        free_pages: st.free_pages,
+                        held_pages: self.shards[s].pages_held(),
+                    })
+                    .collect();
+                let mut hist = vec![0usize; healthy.len()];
+                for (sid, &(s, _)) in &self.routes {
+                    if self.groups.get(sid) == Some(&group) {
+                        if let Some(i) = healthy.iter().position(|&h| h == s) {
+                            hist[i] += 1;
+                        }
+                    }
+                }
+                (pressure, hist)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let view = PlacementView {
+            active: &active,
+            cache_bytes: &bytes,
+            pressure: &pressure,
+            same_backbone: &same_backbone,
+            need_pages: 0,
+        };
+        healthy[self.policy.place(id, &view)]
     }
 
     /// The fleet-wide page pool, if the fleet is memory-bounded.
@@ -405,7 +449,7 @@ impl<T: ServedTask> ShardedServer<T> {
     pub fn join_group(&mut self, task: &T, group: usize) -> GlobalSessionId {
         let id = self.next_id;
         self.next_id += 1;
-        let shard = self.place_on_healthy(id);
+        let shard = self.place_on_healthy(id, group);
         if let Some(pool) = &self.pool {
             let lm = task.backbone(group).0;
             let floor = lm.cfg.n_layers * pool.pages_for(lm.cfg.max_seq);
@@ -548,6 +592,21 @@ impl<T: ServedTask> ShardedServer<T> {
         self.shards.iter().map(ServingEngine::cache_bytes).collect()
     }
 
+    /// Pool pages held per shard — the accounting `PageAware` placement
+    /// and steering run on (all zero for pool-less fleets).
+    pub fn pages_held_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(ServingEngine::pages_held).collect()
+    }
+
+    /// Resident sessions per backbone group, per shard — the fleet-wide
+    /// batch-shape view (`histograms[shard][group]`). `PageAware`
+    /// placement ties break toward the shard hosting the most
+    /// same-backbone residents, because same-group slots share one
+    /// stacked backbone GEMM per step.
+    pub fn backbone_histograms(&self, task: &T) -> Vec<Vec<usize>> {
+        self.shards.iter().map(|e| e.backbone_histogram(task)).collect()
+    }
+
     /// Head outputs of `id`'s most recent step.
     pub fn last_logits(&self, id: GlobalSessionId) -> &[f32] {
         let &(shard, local) = self.routes.get(&id).expect("unknown session id");
@@ -641,13 +700,16 @@ impl<T: ServedTask> ShardedServer<T> {
     /// Coldest idle session holding pool pages — the
     /// [`EvictionPolicy::ColdestReanchor`] victim order: least recently
     /// served first, ties to the most pages held (biggest reclaim), then
-    /// the lowest id. Sessions in `busy` (about to be served this tick)
-    /// are never victims.
-    fn coldest_idle_victim(&self, busy: &BTreeSet<GlobalSessionId>) -> Option<GlobalSessionId> {
+    /// the lowest id. Sessions in `protected` (their arrival is in this
+    /// tick's batch — drained or deferred) are never victims.
+    fn coldest_idle_victim(
+        &self,
+        protected: &BTreeSet<GlobalSessionId>,
+    ) -> Option<GlobalSessionId> {
         self.routes
             .iter()
             .filter(|(id, &(s, l))| {
-                !busy.contains(id)
+                !protected.contains(id)
                     && self.health.state(s).is_healthy()
                     && self.shards[s].pages_of(l) > 0
             })
@@ -659,6 +721,64 @@ impl<T: ServedTask> ShardedServer<T> {
                 )
             })
             .map(|(&id, _)| id)
+    }
+
+    /// Idle session whose re-anchor rebuild is cheapest — the
+    /// [`EvictionPolicy::CheapestRebuild`] victim order: fewest priced
+    /// rebuild rows × backbone width first
+    /// ([`ServingEngine::rebuild_cost_of`], 0 whenever the session's next
+    /// step re-anchors regardless), ties to the most pages held (biggest
+    /// reclaim per re-anchor), then coldest, then the lowest id.
+    /// Age-blind by design: a hot session due a free re-anchor beats a
+    /// cold one carrying a full window.
+    fn cheapest_rebuild_victim(
+        &self,
+        task: &T,
+        protected: &BTreeSet<GlobalSessionId>,
+    ) -> Option<GlobalSessionId> {
+        self.routes
+            .iter()
+            .filter(|(id, &(s, l))| {
+                !protected.contains(id)
+                    && self.health.state(s).is_healthy()
+                    && self.shards[s].pages_of(l) > 0
+            })
+            .min_by_key(|(&id, &(s, l))| {
+                (
+                    self.shards[s].rebuild_cost_of(task, l),
+                    usize::MAX - self.shards[s].pages_of(l),
+                    self.last_served.get(&id).copied().unwrap_or(0),
+                    id,
+                )
+            })
+            .map(|(&id, _)| id)
+    }
+
+    /// The active eviction policy's next victim, or `None` (under
+    /// [`EvictionPolicy::None`], or when every page-holding session is
+    /// protected). Shared by both memory guards so the scheduled and
+    /// lockstep front ends reclaim identically.
+    fn eviction_victim(
+        &self,
+        task: &T,
+        protected: &BTreeSet<GlobalSessionId>,
+    ) -> Option<GlobalSessionId> {
+        match self.eviction {
+            EvictionPolicy::None => None,
+            EvictionPolicy::ColdestReanchor => self.coldest_idle_victim(protected),
+            EvictionPolicy::CheapestRebuild => self.cheapest_rebuild_victim(task, protected),
+        }
+    }
+
+    /// Reclaim `victim`'s pages, recording the eviction under the rebuild
+    /// rows its next step will now replay (priced *before* the clear —
+    /// an empty cache prices 0). Both policies account identically, so
+    /// the BENCH_9 rebuild-row comparison is apples to apples.
+    fn evict_session(&mut self, victim: GlobalSessionId, task: &T) {
+        let &(s, l) = self.routes.get(&victim).expect("victim is routed");
+        let rows = self.shards[s].rebuild_rows_of(task, l) as u64;
+        let _ = self.shards[s].evict(l);
+        self.metrics.record_evicted(s, rows);
     }
 
     /// One shard's drained batch as `(local id, obs)` requests.
@@ -702,44 +822,108 @@ impl<T: ServedTask> ShardedServer<T> {
         }
     }
 
+    /// Pop every arrival of `victim` out of the drained batch and requeue
+    /// it at the *front* of its shard queue (FIFO preserved, ticket stays
+    /// pending — the same mechanics as a backpressure deferral). Returns
+    /// how many arrivals were deferred.
+    fn defer_session(
+        &mut self,
+        victim: GlobalSessionId,
+        drained: &mut [Vec<Arrival<T::Obs>>],
+    ) -> usize {
+        let mut deferred = 0usize;
+        for (s, batch) in drained.iter_mut().enumerate() {
+            let mut kept = Vec::with_capacity(batch.len());
+            let mut back = Vec::new();
+            for a in batch.drain(..) {
+                if a.session == victim {
+                    back.push(a);
+                } else {
+                    kept.push(a);
+                }
+            }
+            *batch = kept;
+            deferred += back.len();
+            if !back.is_empty() {
+                self.queues[s].requeue_front(back);
+            }
+        }
+        deferred
+    }
+
     /// The scheduled front end's memory guard, run between the drain and
     /// the step: re-anchoring sessions return their pages up front, then
     /// while the tick's page demand exceeds the pool's free list, reclaim
-    /// the coldest idle session's pages (it re-anchors on its next step);
-    /// when no victim remains, defer the youngest drained arrivals back
-    /// to the *front* of their queues — admission backpressure instead of
-    /// OOM growth, and their tickets stay pending, so nothing is lost.
-    /// After this guard every reservation inside the step succeeds under
-    /// any thread interleaving. (Evictions only grow the free list, so
-    /// demand is recomputed only when a deferral shrinks the batch.)
+    /// the [`EvictionPolicy`]'s chosen victim's pages (it re-anchors on
+    /// its next step). Victims are never sessions whose arrivals are in
+    /// the drained batch — evicting work we are about to serve forces an
+    /// immediate re-anchor of that very work (the pre-fix bug: the scan
+    /// recomputed its exclusion set per iteration, so a just-deferred
+    /// session — which serves next tick — was evicted by accident,
+    /// undoing the deferral's whole point; regression-pinned in
+    /// tests/paged_serving.rs).
+    ///
+    /// When pressure persists and every page-holding session is in the
+    /// batch, one of them must yield or the pool freezes (nothing served
+    /// → nothing grows or re-anchors → the same tick repeats forever).
+    /// The guard then *sacrifices* one batch member — chosen by the
+    /// eviction policy's own order, never the oldest arrival's session,
+    /// so the tick always serves someone — deferring its arrival and
+    /// reclaiming its pages as a single decision.
+    ///
+    /// When no victim remains at all, defer the globally youngest drained
+    /// arrivals back to the front of their queues — admission
+    /// backpressure instead of OOM growth, and their tickets stay
+    /// pending, so nothing is lost. After this guard every reservation
+    /// inside the step succeeds under any thread interleaving.
+    /// (Evictions only grow the free list, so demand is recomputed only
+    /// when a deferral shrinks the batch.)
     fn memory_guard(&mut self, task: &T, drained: &mut [Vec<Arrival<T::Obs>>]) -> MemoryReport {
         let mut report = MemoryReport::default();
         let Some(pool) = self.pool.clone() else { return report };
         self.release_reanchor_pages(task, drained);
+        // Computed ONCE from the batch as drained: a session deferred for
+        // backpressure stays protected for the rest of the tick.
+        let protected: BTreeSet<GlobalSessionId> =
+            drained.iter().flatten().map(|a| a.session).collect();
         let mut demand = self.batch_demand(task, drained);
         loop {
             if demand <= pool.free_pages() {
                 break;
             }
-            if self.eviction == EvictionPolicy::ColdestReanchor {
-                let busy: BTreeSet<GlobalSessionId> =
-                    drained.iter().flatten().map(|a| a.session).collect();
-                if let Some(victim) = self.coldest_idle_victim(&busy) {
-                    let &(s, l) = self.routes.get(&victim).expect("victim is routed");
-                    let _ = self.shards[s].evict(l);
-                    self.metrics.record_evicted(s);
+            if let Some(victim) = self.eviction_victim(task, &protected) {
+                self.evict_session(victim, task);
+                report.evicted.push(victim);
+                continue;
+            }
+            // Every page holder is in the batch. Sacrifice by policy
+            // order, sparing the oldest arrival's session (progress
+            // guarantee); defer-and-evict is one decision, so the victim
+            // is never served in the tick that cleared its cache.
+            let oldest = drained
+                .iter()
+                .flatten()
+                .min_by_key(|a| a.ticket)
+                .map(|a| a.session)
+                .expect("demand > 0 implies a non-empty batch");
+            if self.eviction != EvictionPolicy::None {
+                let spare: BTreeSet<GlobalSessionId> = [oldest].into_iter().collect();
+                if let Some(victim) = self.eviction_victim(task, &spare) {
+                    report.deferred += self.defer_session(victim, drained);
+                    self.evict_session(victim, task);
                     report.evicted.push(victim);
+                    demand = self.batch_demand(task, drained);
                     continue;
                 }
             }
-            // No reclaimable victim: defer the globally youngest drained
-            // arrival. Front-requeue preserves FIFO per session, and the
-            // loop converges — every deferral strictly shrinks the batch,
-            // and a batch of one always fits: its session either grows
-            // incrementally (held + delta ≤ one full-context session ≤
-            // capacity) or re-anchors (pages pre-released above, rebuild ≤
-            // one full-context session ≤ capacity — the `for_model`
-            // floor; regression-tested in tests/paged_serving.rs).
+            // No reclaimable victim anywhere: defer the globally youngest
+            // drained arrival. The loop converges — every deferral
+            // strictly shrinks the batch, and a batch of one always fits:
+            // its session either grows incrementally (held + delta ≤ one
+            // full-context session ≤ capacity) or re-anchors (pages
+            // pre-released above, rebuild ≤ one full-context session ≤
+            // capacity — the `for_model` floor; regression-tested in
+            // tests/paged_serving.rs).
             let youngest = drained
                 .iter()
                 .enumerate()
@@ -771,14 +955,9 @@ impl<T: ServedTask> ShardedServer<T> {
         let demand: usize =
             self.shards.iter().zip(per).map(|(e, reqs)| e.page_demand(task, reqs)).sum();
         while demand > pool.free_pages() {
-            let victim = (self.eviction == EvictionPolicy::ColdestReanchor)
-                .then(|| self.coldest_idle_victim(busy))
-                .flatten();
-            match victim {
+            match self.eviction_victim(task, busy) {
                 Some(v) => {
-                    let &(s, l) = self.routes.get(&v).expect("victim is routed");
-                    let _ = self.shards[s].evict(l);
-                    self.metrics.record_evicted(s);
+                    self.evict_session(v, task);
                 }
                 None => panic!(
                     "page pool cannot cover this lockstep batch: demand {demand} pages, \
@@ -979,7 +1158,9 @@ impl<T: ServedTask> ShardedServer<T> {
         }
         for (s, q) in self.queues.iter().enumerate() {
             self.metrics.set_queue_depth(s, q.len() as u64);
+            self.metrics.set_held_pages(s, self.shards[s].pages_held() as u64);
         }
+        self.metrics.set_free_pages(self.pool_stats().map(|st| st.free_pages as u64).unwrap_or(0));
         faults.suspect = (0..k).filter(|&s| self.health.state(s).is_suspect()).collect();
         TickReport {
             tick,
@@ -1012,7 +1193,7 @@ impl<T: ServedTask> ShardedServer<T> {
             let mut parked = self.shards[dead].park(local);
             rows += parked.kv_rows() as u64;
             parked.drop_kv();
-            let dest = self.place_on_healthy(id);
+            let dest = self.place_on_healthy(id, self.groups[&id]);
             let new_local = self.shards[dest].admit(parked);
             self.routes.insert(id, (dest, new_local));
         }
@@ -1036,18 +1217,39 @@ impl<T: ServedTask> ShardedServer<T> {
         }
     }
 
-    /// While any shard's KV bytes exceed the `CacheAware` budget, steer
-    /// its coldest not-yet-steered session to the lightest shard —
-    /// provided the move strictly improves the pair (the destination plus
-    /// the victim stays below the source), so a session whose cache alone
-    /// exceeds the budget is never bounced shard-to-shard tick after tick,
-    /// and equal-height shards never ping-pong. Bounded by the
-    /// once-per-tick guard (each session moves at most once), so the pass
-    /// terminates even when the budget is infeasible fleet-wide.
+    /// The tick boundary's budget-enforcement pass: `CacheAware` steers
+    /// by KV bytes, `PageAware` by held pool pages — same discipline,
+    /// different denomination.
     fn cache_steer_pass(&mut self) {
-        let Some(budget) = self.policy.kv_budget() else { return };
+        if let Some(budget) = self.policy.kv_budget() {
+            self.steer_over_budget(budget, ServingEngine::cache_bytes, |e, l| e.cache_bytes_of(l));
+        }
+        if let Some(budget) = self.policy.page_budget() {
+            self.steer_over_budget(budget, ServingEngine::pages_held, |e, l| e.pages_of(l));
+        }
+    }
+
+    /// While any shard's load (per `shard_load`) exceeds `budget`, steer
+    /// its coldest not-yet-steered session to the lightest shard —
+    /// provided the move passes [`steer_improves`]: the destination plus
+    /// the victim stays strictly below the source (no ping-pong between
+    /// equal-height shards, no bouncing a session whose cache alone
+    /// exceeds the budget) *and* the destination pool's free list covers
+    /// the victim's pages, so a steer never converts into an eviction on
+    /// arrival. (In-process fleets share one pool, making the page check
+    /// conservative — the move itself is a no-op on the free list — but
+    /// it is exactly the contract a per-process destination pool
+    /// enforces.) Bounded by the once-per-tick guard (each session moves
+    /// at most once), so the pass terminates even when the budget is
+    /// infeasible fleet-wide.
+    fn steer_over_budget(
+        &mut self,
+        budget: usize,
+        shard_load: impl Fn(&ServingEngine<T>) -> usize,
+        victim_load: impl Fn(&ServingEngine<T>, SessionId) -> usize,
+    ) {
         // Only Healthy, up shards steer or receive — a dead shard's
-        // permanent 0 KV bytes must never make it the designated
+        // permanent 0 load must never make it the designated
         // destination, including one whose crash no probe has missed yet
         // (`steer` would refuse the transfer and the pass would spin on
         // the same victim).
@@ -1056,19 +1258,20 @@ impl<T: ServedTask> ShardedServer<T> {
             return;
         }
         loop {
-            let bytes = self.cache_bytes_per_shard();
+            let loads: Vec<usize> = self.shards.iter().map(&shard_load).collect();
+            let free = self.pool_stats().map(|st| st.free_pages);
             let dest_for = |src: usize| {
-                *healthy.iter().filter(|&&s| s != src).min_by_key(|&&s| (bytes[s], s)).unwrap()
+                *healthy.iter().filter(|&&s| s != src).min_by_key(|&&s| (loads[s], s)).unwrap()
             };
-            // An eligible victim holds KV bytes (steering an empty session
-            // frees nothing), was not steered this tick cycle, and moving
-            // it strictly shrinks the source/destination imbalance.
             let eligible = |server: &Self, id: &GlobalSessionId, shard: usize, local: SessionId| {
-                if server.steered_this_tick.contains(id) {
-                    return false;
-                }
-                let b = server.shards[shard].cache_bytes_of(local);
-                b > 0 && bytes[dest_for(shard)] + b < bytes[shard]
+                !server.steered_this_tick.contains(id)
+                    && steer_improves(
+                        loads[shard],
+                        loads[dest_for(shard)],
+                        victim_load(&server.shards[shard], local),
+                        server.shards[shard].pages_of(local),
+                        free,
+                    )
             };
             // Hottest over-budget shard that still holds an eligible
             // victim — shards whose sessions were all steered already (or
@@ -1078,11 +1281,11 @@ impl<T: ServedTask> ShardedServer<T> {
             let src = healthy
                 .iter()
                 .copied()
-                .filter(|&s| bytes[s] > budget)
+                .filter(|&s| loads[s] > budget)
                 .filter(|&s| {
                     self.routes.iter().any(|(id, &(ss, l))| ss == s && eligible(self, id, ss, l))
                 })
-                .max_by_key(|&s| (bytes[s], s));
+                .max_by_key(|&s| (loads[s], s));
             let Some(src) = src else { break };
             // Coldest eligible session on the hot shard (ties: lowest id —
             // deterministic).

@@ -8,7 +8,10 @@
 //!   `Failed` on the wire (and silently into the disconnect counter when
 //!   the connection just vanishes) — nothing vanishes unresolved;
 //! - admission backpressure surfaces as `Busy{retry_after}` and clears
-//!   after a tick, mirroring `SubmitRetry`.
+//!   after a tick, mirroring `SubmitRetry`;
+//! - fairness: one greedy pipelining connection cannot monopolize the
+//!   shared admission queues — the per-connection in-flight cap refuses
+//!   *it*, and a slow client's submit→completion latency stays bounded.
 
 use netllm::wire::{read_frame, write_frame};
 use netllm::{
@@ -309,5 +312,110 @@ fn busy_backpressure_clears_after_a_tick() {
     let stats = handle.stats();
     assert!(stats.busy >= 1, "backpressure must have fired: {stats:?}");
     assert_eq!(stats.completions, 2);
+    handle.shutdown();
+}
+
+/// Two clients on one shard: a greedy pipeline flooding submits on its
+/// session, and a slow client submitting one observation at a time. The
+/// per-connection in-flight cap (`max_open_per_conn`) must absorb the
+/// flood — greedy gets the `Busy` refusals, the slow client gets *none*
+/// (the shared queue always has room for it), and the slow client's
+/// submit→completion p90 stays bounded while the flood runs.
+#[test]
+fn greedy_connection_cannot_starve_a_slow_client() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const SLOW_ROUNDS: usize = 12;
+    let cfg = IngressConfig {
+        shards: 1,
+        queue_cap: 16,
+        max_open_per_conn: 4,
+        ..IngressConfig::default()
+    };
+    let handle = serve(tiny("netllm-ingress-fair"), cfg).unwrap();
+
+    // Greedy: split client, sender floods one session as fast as the
+    // socket takes frames, receiver drains grants/busy/completions.
+    let greedy_busy = Arc::new(AtomicU64::new(0));
+    let greedy_granted = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut greedy = WireClient::connect(handle.addr()).unwrap();
+    let (gsession, _) = greedy.join(FLEET_ABR as u32).unwrap();
+    let (mut gtx, mut grx) = greedy.split();
+    let flood_obs = AbrObservation::synthetic_stream(41, 1).remove(0);
+    let flooder = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                if gtx.submit(gsession, &FleetObs::Abr(flood_obs.clone())).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let _ = gtx.bye();
+        })
+    };
+    let drainer = {
+        let (busy, granted) = (Arc::clone(&greedy_busy), Arc::clone(&greedy_granted));
+        std::thread::spawn(move || {
+            while let Ok(frame) = grx.recv() {
+                match frame {
+                    Frame::Busy { .. } => {
+                        busy.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Frame::TicketGrant { .. } => {
+                        granted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        })
+    };
+
+    // Slow client: one in-flight submit at a time, latency measured from
+    // the first submit attempt to the completion (retries included).
+    let mut slow = WireClient::connect(handle.addr()).unwrap();
+    let (session, _) = slow.join(FLEET_ABR as u32).unwrap();
+    let obs = AbrObservation::synthetic_stream(43, SLOW_ROUNDS);
+    let mut latencies = Vec::with_capacity(SLOW_ROUNDS);
+    for o in &obs {
+        let t0 = Instant::now();
+        slow.submit(session, &FleetObs::Abr(o.clone())).unwrap();
+        loop {
+            match slow.recv().unwrap() {
+                Frame::TicketGrant { .. } => {}
+                Frame::Completion { session: s, .. } => {
+                    assert_eq!(s, session);
+                    latencies.push(t0.elapsed());
+                    break;
+                }
+                Frame::Busy { retry_after_ms, .. } => {
+                    panic!(
+                        "slow client refused while greedy held the queue \
+                         (retry_after_ms={retry_after_ms}) — the fairness cap failed"
+                    );
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    flooder.join().unwrap();
+    drainer.join().unwrap();
+
+    assert_eq!(latencies.len(), SLOW_ROUNDS);
+    latencies.sort_unstable();
+    let p90 = latencies[(SLOW_ROUNDS * 9) / 10];
+    // Generous wall bound: with the cap, a slow submit waits for at most
+    // a few ticks behind ≤ max_open_per_conn greedy arrivals; without
+    // it, the 16-deep queue is wall-to-wall greedy and the slow client
+    // spins on Busy retries for the whole flood.
+    assert!(p90 < Duration::from_secs(5), "slow client's p90 blew up: {p90:?}");
+    assert!(
+        greedy_busy.load(Ordering::Relaxed) > 0,
+        "the flood never hit the in-flight cap — the test did not exercise fairness"
+    );
+    assert!(greedy_granted.load(Ordering::Relaxed) > 0, "the flood never got a single grant");
     handle.shutdown();
 }

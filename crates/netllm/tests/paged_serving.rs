@@ -16,11 +16,20 @@
 //! - **`plan_rows` exactness:** every adapter's declared row demand must
 //!   equal what `plan_step` actually appends, including the
 //!   evicted-session branch (that is what the memory guard reserves by).
+//! - **`rebuild_rows` exactness:** the eviction price every adapter
+//!   quotes must equal the extra rows the re-anchor replay actually
+//!   appends (`plan_rows(cleared) − plan_rows(intact)`), and 0 when the
+//!   next step re-anchors regardless — `CheapestRebuild` is only as
+//!   honest as these quotes.
+//! - **Victim protection:** the guard never evicts a session whose
+//!   arrival is in the current drained batch; when every page holder is
+//!   in the batch, the sacrifice is chosen by eviction-policy order
+//!   (sparing the oldest arrival), never the just-deferred youngest.
 
 use netllm::{
-    AdaptMode, AdmissionPolicy, CjsObs, EvictionPolicy, FleetObs, InferenceSession, LoraSpec,
-    NetLlmAbr, NetLlmCjs, NetLlmFleet, NetLlmVp, RollbackPlan, ServedTask, ShardedServer, Ticket,
-    VpQuery, FLEET_ABR, FLEET_CJS, FLEET_VP,
+    AdaptMode, AdmissionPolicy, CjsObs, EvictionPolicy, FleetObs, FleetSlot, InferenceSession,
+    LoraSpec, NetLlmAbr, NetLlmCjs, NetLlmFleet, NetLlmVp, RollbackPlan, ServedTask, ShardedServer,
+    Ticket, VpQuery, FLEET_ABR, FLEET_CJS, FLEET_VP,
 };
 use nt_abr::AbrObservation;
 use nt_cjs::{generate_workload, run_workload, Srpt, WorkloadConfig};
@@ -470,4 +479,261 @@ fn plan_rows_matches_actual_plan_for_every_adapter() {
     let plan = m.vp.plan_step(&mut slot, &q, &sess);
     assert!(clears && plan.reanchor, "VP always rebuilds");
     assert_eq!(rows, plan.tokens.shape()[0], "VP row count diverged");
+}
+
+/// Property: `CheapestRebuild`'s price ([`ServedTask::rebuild_rows`])
+/// equals the extra rows the re-anchor replay actually appends —
+/// `plan_rows(cleared).0 − plan_rows(intact).0` whenever the intact plan
+/// would not re-anchor, and 0 whenever it would (grown history or an
+/// already-empty cache make the rebuild inevitable, so eviction costs
+/// nothing extra). Checked at every step of live ABR and CJS streams
+/// (incremental, natural re-anchor, post-eviction, candidate rollback), a
+/// VP one-shot, and through the fleet's per-variant delegation. The
+/// streams stay far below the context limit, so CJS's documented
+/// conservative edge (`!fits` depends on the next observation) never
+/// fires and the price must be exact.
+#[test]
+fn rebuild_rows_price_equals_the_reanchor_replay_delta() {
+    let window = 3usize;
+    let m = build_models(window);
+    let fleet = NetLlmFleet { abr: &m.abr, cjs: &m.cjs, vp: &m.vp };
+
+    // ---- ABR: incremental, natural re-anchor, post-eviction ------------
+    let stream = AbrObservation::synthetic_stream(701, 14);
+    let mut ep = m.abr.new_slot(0);
+    let mut sess = InferenceSession::new(&m.abr.lm);
+    let mut priced_steps = 0usize;
+    for (i, o) in stream.iter().enumerate() {
+        if i == 9 {
+            sess.clear(); // simulated eviction mid-stream
+        }
+        let priced = m.abr.rebuild_rows(&ep, &sess);
+        assert_eq!(
+            fleet.rebuild_rows(&FleetSlot::Abr(ep.clone()), &sess),
+            priced,
+            "ABR step {i}: fleet delegation diverged from the adapter's price"
+        );
+        let (intact_rows, clears) = m.abr.plan_rows(&ep, o, &sess);
+        if clears {
+            assert_eq!(priced, 0, "ABR step {i}: an inevitable re-anchor must price 0");
+        } else {
+            let (cleared_rows, cleared_clears) =
+                m.abr.plan_rows(&ep, o, &InferenceSession::new(&m.abr.lm));
+            assert!(cleared_clears, "ABR step {i}: a cleared session must re-anchor");
+            assert_eq!(
+                priced,
+                cleared_rows - intact_rows,
+                "ABR step {i}: price != re-anchor replay delta"
+            );
+            priced_steps += 1;
+        }
+        let plan = m.abr.plan_step(&mut ep, o, &sess);
+        if plan.reanchor {
+            sess.clear();
+        }
+        let hidden = sess.append(&m.abr.lm, &m.abr.store, &plan.tokens);
+        let _ = m.abr.settle_step(&mut ep, o, &hidden);
+    }
+    assert!(priced_steps >= 5, "ABR probe must exercise non-zero prices ({priced_steps})");
+
+    // ---- CJS: history rebuilds + candidate rollback ---------------------
+    let obs = record_cjs_obs(39);
+    assert!(obs.len() > 2 * window + 2);
+    let mut ep = m.cjs.new_slot(0);
+    let mut sess = InferenceSession::new(&m.cjs.lm);
+    priced_steps = 0;
+    for (i, o) in obs.iter().enumerate() {
+        if i == 7 {
+            sess.clear(); // simulated eviction
+        }
+        let priced = m.cjs.rebuild_rows(&ep, &sess);
+        assert_eq!(
+            fleet.rebuild_rows(&FleetSlot::Cjs(ep.clone()), &sess),
+            priced,
+            "CJS step {i}: fleet delegation diverged from the adapter's price"
+        );
+        let (intact_rows, clears) = m.cjs.plan_rows(&ep, o, &sess);
+        if clears {
+            assert_eq!(priced, 0, "CJS step {i}: an inevitable re-anchor must price 0");
+        } else {
+            let (cleared_rows, cleared_clears) =
+                m.cjs.plan_rows(&ep, o, &InferenceSession::new(&m.cjs.lm));
+            assert!(cleared_clears, "CJS step {i}: a cleared session must re-anchor");
+            assert_eq!(
+                priced,
+                cleared_rows - intact_rows,
+                "CJS step {i}: price != re-anchor replay delta"
+            );
+            if priced > 0 {
+                priced_steps += 1;
+            }
+        }
+        let plan = m.cjs.plan_step(&mut ep, o, &sess);
+        if plan.reanchor {
+            sess.clear();
+        }
+        let hidden = sess.append(&m.cjs.lm, &m.cjs.store, &plan.tokens);
+        let out = m.cjs.settle_step(&mut ep, o, &hidden);
+        if let Some(RollbackPlan { drop_rows, post_tokens }) = out.rollback {
+            sess.truncate(sess.len() - drop_rows);
+            let _ = sess.append(&m.cjs.lm, &m.cjs.store, &post_tokens);
+        }
+    }
+    assert!(priced_steps >= 3, "CJS probe must exercise non-zero prices ({priced_steps})");
+
+    // ---- VP: one-shot, the rebuild is always inevitable -----------------
+    let sample = &vp_samples()[0];
+    let mut slot = m.vp.new_slot(0);
+    let mut sess = InferenceSession::new(&m.vp.lm);
+    let q = VpQuery { sample: sample.clone(), pw: 5 };
+    assert_eq!(m.vp.rebuild_rows(&slot, &sess), 0, "VP prices 0 on an empty cache");
+    let plan = m.vp.plan_step(&mut slot, &q, &sess);
+    let _ = sess.append(&m.vp.lm, &m.vp.store, &plan.tokens);
+    assert_eq!(m.vp.rebuild_rows(&slot, &sess), 0, "VP re-anchors every query: price 0");
+    assert_eq!(fleet.rebuild_rows(&FleetSlot::Vp(slot), &sess), 0);
+    let (_, clears) = m.vp.plan_rows(&slot, &q, &sess);
+    assert!(clears, "a 0 price must coincide with an inevitable re-anchor");
+}
+
+/// Regression (defer-then-evict): when pool pressure hits a tick where
+/// *every* page-holding session has an arrival in the drained batch, the
+/// guard must sacrifice by eviction-policy order — here the coldest
+/// session — sparing the oldest arrival, and the sacrifice's own arrival
+/// is deferred so it is never served in the tick that cleared its cache.
+/// Before the fix the victim-exclusion set was recomputed per loop
+/// iteration: the guard deferred the *youngest* arrival for backpressure
+/// and then evicted exactly that session on the next scan (it had left
+/// the batch), undoing the deferral's whole point and picking the victim
+/// by arrival-clock accident instead of policy order.
+#[test]
+fn memory_guard_sacrifices_by_policy_order_never_the_just_deferred_youngest() {
+    let window = 3usize;
+    const B: usize = 6;
+    const COLD: usize = 3; // sits out ticks 1..=3: coldest, smallest cache
+    const TICKS: usize = 5;
+    let m = build_models(window);
+    let streams: Vec<Vec<AbrObservation>> =
+        (0..B).map(|s| AbrObservation::synthetic_stream(1100 + s as u64, TICKS)).collect();
+
+    // 20 pages (the one-full-session floor). Five always-on sessions grow
+    // 5→11→17→23→29 rows (1,2,3,3,4 pages at 8 rows/page), the cold one
+    // holds 1 page, so tick 4 opens at 16 pages held / 4 free with a
+    // 6-page demand — pressure with every page holder in the batch.
+    let pool =
+        PagePool::for_model(&m.abr.lm, PageConfig { page_tokens: 8, budget_bytes: 20 * 768 });
+    let budget = 20 * 768;
+    let mut server = ShardedServer::with_memory(
+        2,
+        AdmissionPolicy::LeastLoaded,
+        pool.clone(),
+        EvictionPolicy::ColdestReanchor,
+    );
+    let ids: Vec<_> = (0..B).map(|_| server.join(&m.abr)).collect();
+
+    let mut pending: Vec<VecDeque<Ticket>> = vec![VecDeque::new(); B];
+    let mut subs: Vec<Vec<AbrObservation>> = vec![Vec::new(); B]; // obs actually submitted
+    let mut served: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); B];
+    let mut evictions: Vec<(u64, u64)> = Vec::new();
+    let harvest = |server: &mut ShardedServer<NetLlmAbr>,
+                   pending: &mut Vec<VecDeque<Ticket>>,
+                   served: &mut Vec<Vec<(u64, Vec<f32>)>>,
+                   tick: u64| {
+        for (s, q) in pending.iter_mut().enumerate() {
+            if let Some(&front) = q.front() {
+                if server.poll(front).is_some() {
+                    q.pop_front();
+                    served[s].push((tick, server.last_logits(ids[s]).to_vec()));
+                }
+            }
+        }
+    };
+    // `tick` is the schedule clock, not an index (the COLD skip window
+    // and the pressure-tick assertions below read it directly).
+    #[allow(clippy::needless_range_loop)]
+    for tick in 0..TICKS {
+        for (s, &id) in ids.iter().enumerate() {
+            if s == COLD && (1..=3).contains(&tick) {
+                continue;
+            }
+            let o = streams[s][tick].clone();
+            let t = server.submit(id, o.clone()).expect("submit under the cap");
+            pending[s].push_back(t);
+            subs[s].push(o);
+        }
+        let report = server.tick(&m.abr);
+        assert!(report.memory.used_bytes <= budget);
+        for &v in &report.memory.evicted {
+            evictions.push((report.tick, v));
+        }
+        if tick < TICKS - 1 {
+            assert_eq!(
+                (report.memory.evicted.len(), report.memory.deferred),
+                (0, 0),
+                "tick {tick}: warmup must stay pressure-free"
+            );
+        } else {
+            // The pressure tick. Everyone is in the batch, so the old
+            // code would defer the youngest arrival (session 5) and then
+            // evict it; the fix sacrifices the policy's pick — the cold
+            // session — and defers (not drops) its arrival.
+            assert_eq!(
+                report.memory.evicted,
+                vec![ids[COLD]],
+                "the sacrifice must be the coldest session, by policy order"
+            );
+            assert_eq!(report.memory.deferred, 1, "the sacrifice's arrival is deferred");
+        }
+        harvest(&mut server, &mut pending, &mut served, report.tick);
+        if tick == TICKS - 1 {
+            // Every spared session was served this tick; only the
+            // sacrifice waits for the next one.
+            for (s, q) in pending.iter().enumerate() {
+                assert_eq!(q.len(), usize::from(s == COLD), "session {s} pending after pressure");
+            }
+        }
+    }
+    for _ in 0..20 {
+        if pending.iter().all(VecDeque::is_empty) {
+            break;
+        }
+        let report = server.tick(&m.abr);
+        assert!(report.memory.used_bytes <= budget);
+        for &v in &report.memory.evicted {
+            evictions.push((report.tick, v));
+        }
+        harvest(&mut server, &mut pending, &mut served, report.tick);
+    }
+    for (s, q) in pending.iter().enumerate() {
+        assert!(q.is_empty(), "session {s} has unresolved tickets (sacrifice lost its arrival)");
+        assert_eq!(served[s].len(), subs[s].len(), "session {s} lost decisions");
+    }
+    drop(server);
+    assert_eq!(pool.used_pages(), 0);
+
+    // The evicted-then-rebuilt sessions must still match the unbatched
+    // forced-clear replay exactly.
+    for (s, &id) in ids.iter().enumerate() {
+        let mut ep = m.abr.new_slot(0);
+        let mut sess = InferenceSession::new(&m.abr.lm);
+        let mut prev_tick = 0u64;
+        for (i, o) in subs[s].iter().enumerate() {
+            let (tick, want) = &served[s][i];
+            if evictions.iter().any(|&(u, v)| v == id && u > prev_tick && u < *tick) {
+                sess.clear();
+            }
+            let plan = m.abr.plan_step(&mut ep, o, &sess);
+            if plan.reanchor {
+                sess.clear();
+            }
+            let hidden = sess.append(&m.abr.lm, &m.abr.store, &plan.tokens);
+            let out = m.abr.settle_step(&mut ep, o, &hidden);
+            for (x, y) in out.logits.iter().zip(want) {
+                assert!(
+                    (x - y).abs() < 1e-5,
+                    "session {s} step {i}: served {y} vs forced-clear replay {x}"
+                );
+            }
+            prev_tick = *tick;
+        }
+    }
 }
