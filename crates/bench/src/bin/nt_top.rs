@@ -1,0 +1,184 @@
+//! `nt-top` — a live per-shard fleet view over the telemetry scrape
+//! endpoint (PR 10).
+//!
+//! ```text
+//! # attach to a running ingress server
+//! cargo run -p nt-bench --bin nt-top -- --addr 127.0.0.1:4096
+//!
+//! # no --addr: demo mode — serve a tiny fleet locally, drive dense
+//! # load at it, and watch the table move
+//! cargo run -p nt-bench --bin nt-top
+//! ```
+//!
+//! Each frame is one `MetricsRequest` + one `EventsRequest` over a
+//! dedicated [`WireClient`] connection: a per-shard table (served/s from
+//! snapshot deltas, queue depth, held pages, tick-phase p50/p90, per-shard
+//! submit→completion latency) followed by the tail of the event journal,
+//! drained by cursor so nothing is shown twice. `--frames N` bounds the
+//! run (default 12, so unattended invocations always terminate);
+//! `--interval-ms` sets the poll period (default 500).
+
+use netllm::{
+    serve, EventKind, FleetModels, IngressConfig, MetricsSnapshot, RefusalReason, SteerReason,
+    TelemetryEvent, TickPhase, WireClient,
+};
+use nt_bench::print_table;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let frames: u64 = flag(&args, "--frames").and_then(|s| s.parse().ok()).unwrap_or(12);
+    let interval = Duration::from_millis(
+        flag(&args, "--interval-ms").and_then(|s| s.parse().ok()).unwrap_or(500),
+    );
+
+    // Demo scaffolding kept alive for the whole run when no --addr.
+    let mut demo: Option<(netllm::IngressHandle, Arc<AtomicBool>, std::thread::JoinHandle<()>)> =
+        None;
+    let addr: SocketAddr = match flag(&args, "--addr") {
+        Some(a) => a.parse().expect("--addr must be host:port"),
+        None => {
+            println!("no --addr: serving a demo fleet and driving load at it");
+            let models = FleetModels::tiny(&std::env::temp_dir().join("nt-top-demo"), 2);
+            let handle = serve(models, IngressConfig::default()).expect("serve demo fleet");
+            let addr = handle.addr();
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = stop.clone();
+            let load = std::thread::spawn(move || {
+                use nt_bench::netload::{dense_socket, ObsStreams};
+                let streams = ObsStreams::generate(8, 4, 0x707);
+                while !flag.load(Ordering::Relaxed) {
+                    let _ = dense_socket(addr, 8, 4, &streams);
+                }
+            });
+            demo = Some((handle, stop, load));
+            addr
+        }
+    };
+
+    let mut client = WireClient::connect(addr).expect("connect scrape client");
+    let mut prev: Option<(MetricsSnapshot, Instant)> = None;
+    let mut cursor = 0u64;
+    for frame in 1..=frames {
+        let snap = client.scrape_metrics().expect("scrape metrics");
+        let now = Instant::now();
+        let events = client.scrape_events(cursor).expect("scrape events");
+        cursor = events.next_seq;
+
+        let rows: Vec<Vec<String>> = snap
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, row)| {
+                let rate = prev
+                    .as_ref()
+                    .map(|(p, at)| {
+                        let d = row.served.saturating_sub(p.shards[s].served);
+                        d as f64 / now.duration_since(*at).as_secs_f64().max(1e-9)
+                    })
+                    .unwrap_or(0.0);
+                let phase = |p: TickPhase, q: f64| -> String {
+                    format!("{:.3}", snap.shard_phases[s][p as usize].approx_quantile_ms(q))
+                };
+                vec![
+                    format!("{s}"),
+                    format!("{rate:.0}"),
+                    format!("{}", row.queue_depth),
+                    format!("{}", row.held_pages),
+                    phase(TickPhase::Drain, 0.5),
+                    format!(
+                        "{}/{}",
+                        phase(TickPhase::PlanStep, 0.5),
+                        phase(TickPhase::PlanStep, 0.9)
+                    ),
+                    phase(TickPhase::Settle, 0.5),
+                    format!(
+                        "{:.2}/{:.2}",
+                        snap.shard_latency[s].approx_quantile_ms(0.5),
+                        snap.shard_latency[s].approx_quantile_ms(0.9)
+                    ),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "nt-top frame {frame}/{frames} — {} served, {} completions, {} busy, ticks {}",
+                snap.served(),
+                snap.ingress.completions,
+                snap.ingress.busy,
+                snap.ingress.ticks
+            ),
+            &[
+                "shard",
+                "served/s",
+                "queue",
+                "pages",
+                "drain p50",
+                "step p50/p90",
+                "settle p50",
+                "lat p50/p90 ms",
+            ],
+            &rows,
+        );
+        if !snap.served_by_label.is_empty() {
+            let labels: Vec<String> =
+                snap.served_by_label.iter().map(|(l, n)| format!("{l}={n}")).collect();
+            println!("served by label: {}", labels.join("  "));
+        }
+        if events.dropped > 0 {
+            println!("journal: {} events dropped before this cursor", events.dropped);
+        }
+        for e in events.events.iter().rev().take(6).rev() {
+            println!("  {}", fmt_event(e));
+        }
+        prev = Some((snap, now));
+        if frame < frames {
+            std::thread::sleep(interval);
+        }
+    }
+
+    if let Some((handle, stop, load)) = demo {
+        stop.store(true, Ordering::Relaxed);
+        let _ = load.join();
+        handle.shutdown();
+    }
+}
+
+fn fmt_event(e: &TelemetryEvent) -> String {
+    let body = match e.kind {
+        EventKind::TickSpan { shard, served, span_ns } => {
+            format!("tick-span  shard {shard}: {served} served in {:.3}ms", span_ns as f64 / 1e6)
+        }
+        EventKind::Eviction { shard, session, rebuild_rows } => {
+            format!("eviction   shard {shard}: session {session} ({rebuild_rows} rebuild rows)")
+        }
+        EventKind::Steer { src, dst, session, reason } => {
+            let why = match reason {
+                SteerReason::Rebalance => "rebalance",
+                SteerReason::OverBudget => "over-budget",
+                SteerReason::Manual => "manual",
+            };
+            format!("steer      session {session}: {src} -> {dst} ({why})")
+        }
+        EventKind::ShardDead { shard } => format!("shard-dead shard {shard}"),
+        EventKind::Recovery { shard, sessions, replay_rows } => {
+            format!("recovery   shard {shard}: {sessions} sessions, {replay_rows} replay rows")
+        }
+        EventKind::Busy { session, reason } => {
+            let why = match reason {
+                RefusalReason::QueueFull => "queue-full",
+                RefusalReason::Suspect => "shard-suspect",
+                RefusalReason::FairnessCap => "fairness-cap",
+            };
+            format!("busy       session {session} ({why})")
+        }
+    };
+    format!("[seq {:>6} tick {:>5}] {body}", e.seq, e.clock)
+}

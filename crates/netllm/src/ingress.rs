@@ -62,8 +62,10 @@ use crate::adapters::abr::NetLlmAbr;
 use crate::adapters::cjs::NetLlmCjs;
 use crate::adapters::vp::NetLlmVp;
 use crate::fleet::{FleetObs, NetLlmFleet, FLEET_ABR, FLEET_CJS, FLEET_VP};
+use crate::metrics::MetricsSnapshot;
 use crate::sched::{AdmissionPolicy, EvictionPolicy, SubmitError, Ticket, TicketStatus};
 use crate::shard::ShardedServer;
+use crate::telemetry::{EventKind, EventsView, RefusalReason};
 use crate::wire::{
     negotiate, read_frame, write_frame, BusyReason, Frame, WireError, MIN_WIRE_VERSION,
     WIRE_VERSION,
@@ -169,6 +171,12 @@ pub struct IngressConfig {
     /// of 4 holds 256 open tickets — while capping any one connection
     /// at half the shared backlog.
     pub max_open_per_conn: usize,
+    /// Whether tick-phase timing and the event journal are enabled
+    /// (see [`ShardedServer::set_telemetry`]). On by default — BENCH_10
+    /// prices the overhead at under 3% of dense throughput. Scrape
+    /// frames still answer when off; histograms and the journal just
+    /// stop accumulating.
+    pub telemetry: bool,
 }
 
 impl Default for IngressConfig {
@@ -183,6 +191,7 @@ impl Default for IngressConfig {
             quiesce: Duration::from_micros(200),
             max_coalesce: Duration::from_millis(2),
             max_open_per_conn: 512,
+            telemetry: true,
         }
     }
 }
@@ -202,35 +211,16 @@ pub struct IngressStats {
     ticks: AtomicU64,
 }
 
-/// Plain-value copy of [`IngressStats`] at a point in time.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct IngressSnapshot {
-    /// Connections that completed the version handshake.
-    pub connections: u64,
-    /// Sessions granted via [`Frame::Join`].
-    pub sessions_joined: u64,
-    /// [`Frame::Submit`]s accepted (ticket granted).
-    pub submits: u64,
-    /// [`Frame::Submit`]s refused with [`Frame::Busy`].
-    pub busy: u64,
-    /// [`Frame::Completion`]s pushed.
-    pub completions: u64,
-    /// [`Frame::Failed`]s pushed (fault-resolved or leave-dropped).
-    pub failed: u64,
-    /// Tickets that resolved `Failed` after their connection vanished —
-    /// the leave contract's "nothing vanishes" tally for departures that
-    /// left no one to notify.
-    pub failed_on_disconnect: u64,
-    /// Connections dropped for protocol violations (bad handshake,
-    /// foreign session id, observation/group mismatch, unparseable
-    /// frame).
-    pub protocol_errors: u64,
-    /// Scheduler ticks run.
-    pub ticks: u64,
-}
+/// Plain-value copy of [`IngressStats`] at a point in time. Lives in
+/// [`crate::metrics`] (as a [`crate::MetricsSnapshot`] field) so one
+/// scrape returns the whole read path; re-exported here for the
+/// ingress-facing name.
+pub use crate::metrics::IngressSnapshot;
 
 impl IngressStats {
-    fn snapshot(&self) -> IngressSnapshot {
+    /// The counters as plain values (also composed into scrape replies as
+    /// [`crate::MetricsSnapshot::ingress`]).
+    pub fn snapshot(&self) -> IngressSnapshot {
         IngressSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
             sessions_joined: self.sessions_joined.load(Ordering::Relaxed),
@@ -287,8 +277,10 @@ impl IngressHandle {
 enum Event {
     /// Handshake done; `tx` feeds the connection's writer thread.
     Connect { conn: u64, tx: mpsc::Sender<Frame> },
-    /// One parsed frame from the connection.
-    Incoming { conn: u64, frame: Frame },
+    /// One parsed frame from the connection. Boxed: `MetricsReport`
+    /// embeds a whole snapshot, and this channel carries mostly small
+    /// frames.
+    Incoming { conn: u64, frame: Box<Frame> },
     /// Reader exited (EOF, error, or post-`Bye`); clean the session up.
     Gone { conn: u64 },
     /// No-op: unblock the scheduler so it rechecks the stop flag.
@@ -435,7 +427,7 @@ fn run_connection(
         match read_frame(&mut reader) {
             Ok(frame) => {
                 let bye = matches!(frame, Frame::Bye);
-                if events.send(Event::Incoming { conn, frame }).is_err() || bye {
+                if events.send(Event::Incoming { conn, frame: Box::new(frame) }).is_err() || bye {
                     break;
                 }
             }
@@ -464,6 +456,7 @@ fn run_scheduler(
         None => ShardedServer::with_policy(cfg.shards, cfg.policy),
     };
     server.set_queue_capacity(cfg.queue_cap);
+    server.set_telemetry(cfg.telemetry);
 
     let mut conns: BTreeMap<u64, ConnState> = BTreeMap::new();
     let mut sessions: BTreeMap<u64, SessState> = BTreeMap::new();
@@ -547,7 +540,7 @@ impl SchedCtx<'_> {
                 self.conns.insert(conn, ConnState { tx, sessions: BTreeSet::new(), open: 0 });
             }
             Event::Gone { conn } => self.drop_conn(conn),
-            Event::Incoming { conn, frame } => self.handle_frame(conn, frame, ewma_tick_ns),
+            Event::Incoming { conn, frame } => self.handle_frame(conn, *frame, ewma_tick_ns),
         }
     }
 
@@ -586,6 +579,10 @@ impl SchedCtx<'_> {
                 if self.conns.get(&conn).expect("checked above").open >= self.max_open_per_conn {
                     let retry_after_ms = ((ewma_tick_ns / 1e6).ceil() as u32).max(1);
                     self.stats.busy.fetch_add(1, Ordering::Relaxed);
+                    self.server.journal().record(
+                        self.server.tick_count(),
+                        EventKind::Busy { session, reason: RefusalReason::FairnessCap },
+                    );
                     let reason = BusyReason::QueueFull;
                     return self.send(conn, Frame::Busy { session, reason, retry_after_ms });
                 }
@@ -600,12 +597,20 @@ impl SchedCtx<'_> {
                         self.send(conn, Frame::TicketGrant { session, ticket: ticket.0 });
                     }
                     Err(err) => {
-                        let reason = match err {
-                            SubmitError::QueueFull { .. } => BusyReason::QueueFull,
-                            SubmitError::RetryAfterTick { .. } => BusyReason::ShardSuspect,
+                        let (reason, refusal) = match err {
+                            SubmitError::QueueFull { .. } => {
+                                (BusyReason::QueueFull, RefusalReason::QueueFull)
+                            }
+                            SubmitError::RetryAfterTick { .. } => {
+                                (BusyReason::ShardSuspect, RefusalReason::Suspect)
+                            }
                         };
                         let retry_after_ms = ((ewma_tick_ns / 1e6).ceil() as u32).max(1);
                         self.stats.busy.fetch_add(1, Ordering::Relaxed);
+                        self.server.journal().record(
+                            self.server.tick_count(),
+                            EventKind::Busy { session, reason: refusal },
+                        );
                         self.send(conn, Frame::Busy { session, reason, retry_after_ms });
                     }
                 }
@@ -622,6 +627,26 @@ impl SchedCtx<'_> {
                 self.send(conn, Frame::LeaveAck { session, unpolled, dropped });
             }
             Frame::Bye => self.drop_conn(conn),
+            // Telemetry scrape: answered between ticks, from the same
+            // thread that owns the server, so a report is always a
+            // consistent point-in-time view. Any connection may scrape —
+            // the counters hold no session payloads.
+            Frame::MetricsRequest => {
+                let mut snapshot = self.server.metrics().snapshot();
+                snapshot.ingress = self.stats.snapshot();
+                self.send(conn, Frame::MetricsReport { snapshot });
+            }
+            Frame::EventsRequest { since_seq } => {
+                let view = self.server.journal().drain(since_seq);
+                self.send(
+                    conn,
+                    Frame::EventsBatch {
+                        next_seq: view.next_seq,
+                        dropped: view.dropped,
+                        events: view.events,
+                    },
+                );
+            }
             // Client-bound (or handshake) frames arriving here are a
             // violation — the codec is shared, the direction is not.
             Frame::Hello { .. }
@@ -632,7 +657,9 @@ impl SchedCtx<'_> {
             | Frame::Busy { .. }
             | Frame::Completion { .. }
             | Frame::Failed { .. }
-            | Frame::LeaveAck { .. } => self.violation(conn),
+            | Frame::LeaveAck { .. }
+            | Frame::MetricsReport { .. }
+            | Frame::EventsBatch { .. } => self.violation(conn),
         }
     }
 
@@ -661,6 +688,8 @@ impl SchedCtx<'_> {
                     };
                     let ns = ot.submitted.elapsed().as_nanos() as u64;
                     self.server.metrics().record_ingress_latency(ns);
+                    let shard = self.server.shard_of(ot.session);
+                    self.server.metrics().record_shard_latency(shard, ns);
                     self.stats.completions.fetch_add(1, Ordering::Relaxed);
                     self.send(
                         ot.conn,
@@ -853,6 +882,33 @@ impl WireClient {
     /// this connection leaves and its queued tickets fail.
     pub fn bye(mut self) -> Result<(), WireError> {
         self.send(&Frame::Bye)
+    }
+
+    /// Scrape the fleet's full [`MetricsSnapshot`] (per-shard counters,
+    /// phase and latency histograms, ingress counters); blocks for the
+    /// report. Use a dedicated connection for scraping — on a connection
+    /// with submits in flight, a pushed `Completion` can arrive where
+    /// the report is expected.
+    pub fn scrape_metrics(&mut self) -> Result<MetricsSnapshot, WireError> {
+        self.send(&Frame::MetricsRequest)?;
+        match self.recv()? {
+            Frame::MetricsReport { snapshot } => Ok(snapshot),
+            _ => Err(WireError::Malformed("expected MetricsReport")),
+        }
+    }
+
+    /// Drain the fleet's event journal from cursor `since_seq`; blocks
+    /// for the batch. Pass the returned [`EventsView::next_seq`] as the
+    /// next call's cursor. Same dedicated-connection contract as
+    /// [`WireClient::scrape_metrics`].
+    pub fn scrape_events(&mut self, since_seq: u64) -> Result<EventsView, WireError> {
+        self.send(&Frame::EventsRequest { since_seq })?;
+        match self.recv()? {
+            Frame::EventsBatch { next_seq, dropped, events } => {
+                Ok(EventsView { events, next_seq, dropped })
+            }
+            _ => Err(WireError::Malformed("expected EventsBatch")),
+        }
     }
 
     /// Split into independent send and receive halves, so a load

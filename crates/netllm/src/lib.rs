@@ -54,6 +54,7 @@ pub mod sched;
 pub mod serving;
 pub mod settings;
 pub mod shard;
+pub mod telemetry;
 pub mod wire;
 
 pub use adapt::{AdaptMode, LoraSpec};
@@ -75,7 +76,7 @@ pub use ingress::{
 };
 pub use metrics::{
     pool_dispatch_snapshot, FaultSnapshot, LatencySnapshot, MetricsRegistry, MetricsSnapshot,
-    PoolDispatchSnapshot, ShardSnapshot,
+    PoolDispatchSnapshot, ShardSnapshot, TickPhase, TICK_PHASES,
 };
 pub use prompt::{
     evaluate_token_path, parse_answer, render_answer, render_prompt, PromptVp, TokenPathStats,
@@ -93,6 +94,9 @@ pub use settings::{
     VP_UNSEEN2, VP_UNSEEN3,
 };
 pub use shard::{GlobalSessionId, LeaveReport, ShardedServer};
+pub use telemetry::{
+    EventKind, EventsView, RefusalReason, SteerReason, TelemetryEvent, TelemetryRing,
+};
 pub use wire::{
     negotiate, read_frame, write_frame, BusyReason, Frame, WireError, MAX_FRAME_LEN,
     MIN_WIRE_VERSION, WIRE_VERSION,

@@ -11,6 +11,49 @@
 //! serving hot path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of tick phases [`ShardedServer::tick`](crate::ShardedServer::tick)
+/// attributes wall time to — see [`TickPhase`].
+pub const TICK_PHASES: usize = 5;
+
+/// One phase of a scheduled tick, the index into a shard's per-phase
+/// latency histograms. `Drain`, `PlanStep` and `Settle` are measured per
+/// shard; `MemoryGuard` and `Steer` are fleet-wide tick-boundary passes,
+/// so their recorded duration is the whole pass, identical on every
+/// shard's row (attributing a global rebalance to one shard would be
+/// fiction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TickPhase {
+    /// Queue drain at the tick boundary (per shard).
+    Drain = 0,
+    /// Request planning + the batched engine step (per shard; dominated
+    /// by the step).
+    PlanStep = 1,
+    /// Banking served actions under their tickets (per shard).
+    Settle = 2,
+    /// The paged-memory guard (fleet-wide pass).
+    MemoryGuard = 3,
+    /// The cache/page steering pass (fleet-wide pass).
+    Steer = 4,
+}
+
+impl TickPhase {
+    /// Every phase, in recording order.
+    pub const ALL: [TickPhase; TICK_PHASES] =
+        [Self::Drain, Self::PlanStep, Self::Settle, Self::MemoryGuard, Self::Steer];
+
+    /// Stable short name (report keys, `nt-top` column headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            TickPhase::Drain => "drain",
+            TickPhase::PlanStep => "plan+step",
+            TickPhase::Settle => "settle",
+            TickPhase::MemoryGuard => "memory-guard",
+            TickPhase::Steer => "steer",
+        }
+    }
+}
 
 /// One shard's counters. All monotonic totals except `queue_depth` and
 /// `held_pages` (gauges overwritten at every tick boundary).
@@ -18,10 +61,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct ShardCounters {
     served: AtomicU64,
     steered: AtomicU64,
+    steered_in: AtomicU64,
     evicted: AtomicU64,
     evicted_rebuild_rows: AtomicU64,
     queue_depth: AtomicU64,
     held_pages: AtomicU64,
+    /// Wall-ns per tick phase ([`TickPhase`] order).
+    phases: [LatencyCounters; TICK_PHASES],
+    /// Submit→completion latency of tickets served by this shard.
+    latency: LatencyCounters,
 }
 
 /// Plain-value copy of one shard's counters at a point in time.
@@ -31,6 +79,9 @@ pub struct ShardSnapshot {
     pub served: u64,
     /// Sessions steered *off* this shard (rebalance + cache-aware).
     pub steered: u64,
+    /// Sessions steered *onto* this shard — the destination side of the
+    /// same moves, so one row shows a shard's churn in both directions.
+    pub steered_in: u64,
     /// Sessions whose KV cache this shard evicted under memory pressure.
     pub evicted: u64,
     /// Token rows those evictions priced for replay
@@ -105,6 +156,28 @@ pub struct LatencyCounters {
     buckets: [AtomicU64; LATENCY_BUCKETS],
 }
 
+impl LatencyCounters {
+    /// Record one sample of `ns` nanoseconds: four relaxed atomic ops, no
+    /// allocation, no branch beyond the bucket clamp.
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The counters as plain values.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
 /// Plain-value copy of [`LatencyCounters`] at a point in time.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LatencySnapshot {
@@ -130,8 +203,10 @@ impl LatencySnapshot {
     }
 
     /// Approximate `q`-quantile (`q` in `0.0..=1.0`) in milliseconds from
-    /// the log2 histogram: the upper edge of the bucket holding the
-    /// nearest-rank sample, i.e. accurate to within a factor of two.
+    /// the log2 histogram: the geometric mean of the edges of the bucket
+    /// holding the nearest-rank sample (`2^i * sqrt(2)` ns for bucket
+    /// `i`), still accurate to within a factor of two of the true value
+    /// but centered instead of systematically high like the upper edge.
     pub fn approx_quantile_ms(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -141,11 +216,40 @@ impl LatencySnapshot {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return (1u64 << (i + 1)) as f64 / 1e6;
+                return (1u64 << i) as f64 * std::f64::consts::SQRT_2 / 1e6;
             }
         }
         self.max_ns as f64 / 1e6
     }
+}
+
+/// Plain-value copy of the ingress front end's counters at a point in
+/// time (the `IngressStats` tally in `crate::ingress`, folded into
+/// [`MetricsSnapshot`] so one scrape returns the whole read path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngressSnapshot {
+    /// Connections that completed the version handshake.
+    pub connections: u64,
+    /// Sessions granted via `Frame::Join`.
+    pub sessions_joined: u64,
+    /// `Frame::Submit`s accepted (ticket granted).
+    pub submits: u64,
+    /// `Frame::Submit`s refused with `Frame::Busy`.
+    pub busy: u64,
+    /// `Frame::Completion`s pushed.
+    pub completions: u64,
+    /// `Frame::Failed`s pushed (fault-resolved or leave-dropped).
+    pub failed: u64,
+    /// Tickets that resolved `Failed` after their connection vanished —
+    /// the leave contract's "nothing vanishes" tally for departures that
+    /// left no one to notify.
+    pub failed_on_disconnect: u64,
+    /// Connections dropped for protocol violations (bad handshake,
+    /// foreign session id, observation/group mismatch, unparseable
+    /// frame).
+    pub protocol_errors: u64,
+    /// Scheduler ticks run.
+    pub ticks: u64,
 }
 
 /// Everything the registry knows, copied out at once.
@@ -157,6 +261,19 @@ pub struct MetricsSnapshot {
     /// Ingress submit→completion latency (zeroed unless an ingress front
     /// end is feeding this registry).
     pub ingress_latency: LatencySnapshot,
+    /// Per-shard tick-phase wall-time histograms, indexed
+    /// `[shard][TickPhase as usize]` (empty until a tick runs with
+    /// telemetry on; see [`TickPhase`] for which phases are per-shard
+    /// measurements vs fleet-wide passes).
+    pub shard_phases: Vec<Vec<LatencySnapshot>>,
+    /// Per-shard submit→completion latency, so tail latency is
+    /// attributable to a shard instead of fleet-global.
+    pub shard_latency: Vec<LatencySnapshot>,
+    /// Decisions served per adapter label (sorted by label).
+    pub served_by_label: Vec<(String, u64)>,
+    /// Ingress front-end counters (zeroed unless an ingress scheduler
+    /// composed this snapshot — the registry itself never sees them).
+    pub ingress: IngressSnapshot,
     /// Fleet-pool free pages at the last tick boundary (gauge; 0 for
     /// pool-less fleets).
     pub pool_free_pages: u64,
@@ -200,6 +317,9 @@ pub struct MetricsRegistry {
     shards: Vec<ShardCounters>,
     faults: FaultCounters,
     ingress: LatencyCounters,
+    /// Served totals per adapter label. Touched once per tick (not per
+    /// decision), so a mutex is fine; the serving hot path never sees it.
+    labels: Mutex<std::collections::BTreeMap<&'static str, u64>>,
     /// Fleet-pool free pages at the last tick boundary (gauge; 0 for
     /// pool-less fleets).
     pool_free_pages: AtomicU64,
@@ -212,6 +332,7 @@ impl MetricsRegistry {
             shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
             faults: FaultCounters::default(),
             ingress: LatencyCounters::default(),
+            labels: Mutex::new(std::collections::BTreeMap::new()),
             pool_free_pages: AtomicU64::new(0),
         }
     }
@@ -225,9 +346,35 @@ impl MetricsRegistry {
         self.shards[shard].served.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// `n` decisions served under adapter `label` (called once per label
+    /// per tick from the banking loop, never per decision).
+    pub fn record_label_served(&self, label: &'static str, n: u64) {
+        *self.labels.lock().unwrap().entry(label).or_insert(0) += n;
+    }
+
     /// One session steered off `shard` (counted at the source).
     pub fn record_steered(&self, shard: usize) {
         self.shards[shard].steered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One session steered *onto* `shard` (the destination side of the
+    /// same move [`record_steered`](Self::record_steered) counts at the
+    /// source).
+    pub fn record_steered_in(&self, shard: usize) {
+        self.shards[shard].steered_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `ns` wall-nanoseconds spent in `phase` on behalf of `shard` this
+    /// tick (fleet-wide passes record the same span on every shard row —
+    /// see [`TickPhase`]).
+    pub fn record_phase_ns(&self, shard: usize, phase: TickPhase, ns: u64) {
+        self.shards[shard].phases[phase as usize].record(ns);
+    }
+
+    /// One submit→completion latency sample of `ns` nanoseconds for a
+    /// ticket served by `shard`.
+    pub fn record_shard_latency(&self, shard: usize, ns: u64) {
+        self.shards[shard].latency.record(ns);
     }
 
     /// One session's KV cache evicted from `shard`, priced at
@@ -277,21 +424,23 @@ impl MetricsRegistry {
 
     /// One ingress submit→completion latency sample of `ns` nanoseconds.
     pub fn record_ingress_latency(&self, ns: u64) {
-        self.ingress.count.fetch_add(1, Ordering::Relaxed);
-        self.ingress.total_ns.fetch_add(ns, Ordering::Relaxed);
-        self.ingress.max_ns.fetch_max(ns, Ordering::Relaxed);
-        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.ingress.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.ingress.record(ns);
     }
 
     /// The ingress latency counters as plain values.
     pub fn ingress_latency_snapshot(&self) -> LatencySnapshot {
-        LatencySnapshot {
-            count: self.ingress.count.load(Ordering::Relaxed),
-            total_ns: self.ingress.total_ns.load(Ordering::Relaxed),
-            max_ns: self.ingress.max_ns.load(Ordering::Relaxed),
-            buckets: self.ingress.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
-        }
+        self.ingress.snapshot()
+    }
+
+    /// `shard`'s per-phase wall-time histograms as plain values
+    /// ([`TickPhase`] order).
+    pub fn shard_phase_snapshot(&self, shard: usize) -> Vec<LatencySnapshot> {
+        self.shards[shard].phases.iter().map(|p| p.snapshot()).collect()
+    }
+
+    /// `shard`'s submit→completion latency histogram as plain values.
+    pub fn shard_latency_snapshot(&self, shard: usize) -> LatencySnapshot {
+        self.shards[shard].latency.snapshot()
     }
 
     /// The fleet-wide fault counters as plain values.
@@ -311,6 +460,7 @@ impl MetricsRegistry {
         ShardSnapshot {
             served: s.served.load(Ordering::Relaxed),
             steered: s.steered.load(Ordering::Relaxed),
+            steered_in: s.steered_in.load(Ordering::Relaxed),
             evicted: s.evicted.load(Ordering::Relaxed),
             evicted_rebuild_rows: s.evicted_rebuild_rows.load(Ordering::Relaxed),
             queue_depth: s.queue_depth.load(Ordering::Relaxed),
@@ -319,12 +469,24 @@ impl MetricsRegistry {
     }
 
     /// Every shard's counters plus the kernel pool's dispatch counters.
+    /// The [`MetricsSnapshot::ingress`] field stays zeroed here — only an
+    /// ingress scheduler (which owns those counters) fills it in.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             shards: (0..self.shards.len()).map(|s| self.shard(s)).collect(),
             pool: pool_dispatch_snapshot(),
             faults: self.fault_snapshot(),
             ingress_latency: self.ingress_latency_snapshot(),
+            shard_phases: (0..self.shards.len()).map(|s| self.shard_phase_snapshot(s)).collect(),
+            shard_latency: (0..self.shards.len()).map(|s| self.shard_latency_snapshot(s)).collect(),
+            served_by_label: self
+                .labels
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            ingress: IngressSnapshot::default(),
             pool_free_pages: self.pool_free_pages.load(Ordering::Relaxed),
         }
     }
@@ -351,6 +513,10 @@ mod tests {
         m.record_served(0, 5);
         m.record_served(2, 7);
         m.record_steered(1);
+        m.record_steered_in(2);
+        m.record_label_served("abr", 5);
+        m.record_label_served("abr", 2);
+        m.record_label_served("vp", 1);
         m.record_evicted(2, 17);
         m.record_evicted(2, 0); // a free victim still counts as an eviction
         m.set_queue_depth(1, 4);
@@ -363,6 +529,10 @@ mod tests {
         assert_eq!(snap.shards[2].served, 7);
         assert_eq!(snap.served(), 12);
         assert_eq!(snap.steered(), 1);
+        assert_eq!(snap.shards[1].steered, 1);
+        assert_eq!(snap.shards[2].steered_in, 1);
+        assert_eq!(snap.shards[1].steered_in, 0);
+        assert_eq!(snap.served_by_label, vec![("abr".to_string(), 7), ("vp".to_string(), 1)]);
         assert_eq!(snap.evicted(), 2);
         assert_eq!(snap.evicted_rebuild_rows(), 17);
         assert_eq!(snap.shards[1].queue_depth, 2);
@@ -390,6 +560,45 @@ mod tests {
         let p99 = lat.approx_quantile_ms(0.99);
         assert!(p99 > 500.0, "p99 ~1s, got {p99}ms");
         assert!((lat.mean_ms() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantile_uses_geometric_mean_of_bucket_edges() {
+        let m = MetricsRegistry::new(1);
+        // All samples in bucket 10 ([1024, 2048) ns): every quantile is
+        // the bucket's geometric mean, 1024*sqrt(2) ns ≈ 1448 ns — inside
+        // the bucket, not its upper edge.
+        for _ in 0..100 {
+            m.record_ingress_latency(1_500);
+        }
+        let lat = m.ingress_latency_snapshot();
+        let p50 = lat.approx_quantile_ms(0.5);
+        let expect = 1024.0 * std::f64::consts::SQRT_2 / 1e6;
+        assert!((p50 - expect).abs() < 1e-9, "p50 {p50} != {expect}");
+        // Within-2x bound against the true value (1500 ns).
+        let truth = 1_500.0 / 1e6;
+        assert!(p50 > truth / 2.0 && p50 < truth * 2.0);
+        assert_eq!(p50, lat.approx_quantile_ms(0.01));
+        assert_eq!(p50, lat.approx_quantile_ms(1.0));
+    }
+
+    #[test]
+    fn phase_and_shard_latency_histograms_record_per_shard() {
+        let m = MetricsRegistry::new(2);
+        m.record_phase_ns(0, TickPhase::Drain, 1_000);
+        m.record_phase_ns(0, TickPhase::PlanStep, 2_000);
+        m.record_phase_ns(1, TickPhase::PlanStep, 4_000);
+        m.record_shard_latency(1, 8_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.shard_phases.len(), 2);
+        assert_eq!(snap.shard_phases[0].len(), TICK_PHASES);
+        assert_eq!(snap.shard_phases[0][TickPhase::Drain as usize].count, 1);
+        assert_eq!(snap.shard_phases[0][TickPhase::PlanStep as usize].total_ns, 2_000);
+        assert_eq!(snap.shard_phases[1][TickPhase::PlanStep as usize].total_ns, 4_000);
+        assert_eq!(snap.shard_phases[1][TickPhase::Drain as usize].count, 0);
+        assert_eq!(snap.shard_latency[1].count, 1);
+        assert_eq!(snap.shard_latency[1].max_ns, 8_000);
+        assert_eq!(snap.shard_latency[0].count, 0);
     }
 
     #[test]

@@ -581,6 +581,11 @@ pub struct TickReport {
     /// sessions recovered, tickets failed/requeued — all-default on
     /// fault-free ticks).
     pub faults: crate::fault::FaultReport,
+    /// Fleet-total wall-ns per tick phase, indexed by
+    /// [`crate::metrics::TickPhase`] (per-shard spans summed for the
+    /// per-shard phases; the whole pass for the fleet-wide ones). All
+    /// zero when telemetry is off.
+    pub phase_ns: [u64; crate::metrics::TICK_PHASES],
 }
 
 #[cfg(test)]

@@ -70,15 +70,23 @@
 
 use crate::fault::{Fault, FaultPlan, FaultReport};
 use crate::health::{HealthChecker, HealthConfig, Heartbeat};
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{MetricsRegistry, TickPhase, TICK_PHASES};
 use crate::sched::{
     fnv1a, steer_improves, AdmissionPolicy, AdmissionQueue, Arrival, EvictionPolicy, MemoryReport,
     PagePressure, PlacementView, SubmitError, TickReport, Ticket, TicketStatus,
 };
 use crate::serving::{ServedTask, ServingEngine, SessionId};
+use crate::telemetry::{EventKind, SteerReason, TelemetryRing};
 use nt_llm::{PagePool, PoolStats};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Resident capacity of the fleet's event journal (see
+/// [`crate::telemetry::TelemetryRing`]): enough to hold several dense
+/// ticks' worth of events between scrapes without the journal growing
+/// with load.
+const JOURNAL_CAPACITY: usize = 4096;
 
 /// Fleet-wide session handle issued by [`ShardedServer::join`].
 pub type GlobalSessionId = u64;
@@ -196,6 +204,14 @@ pub struct ShardedServer<T: ServedTask> {
     /// admitted so far — retirement never shrinks capacity below this, or
     /// a recovered giant session could defer forever.
     floor_pages: usize,
+    /// Bounded event journal (tick spans, evictions, steers, faults) —
+    /// the ordered companion to `metrics`' totals, drained by cursor via
+    /// [`ShardedServer::journal`].
+    journal: TelemetryRing,
+    /// Whether tick-phase timing runs ([`ShardedServer::set_telemetry`]).
+    /// Off, ticks take no clock readings and the journal drops writes —
+    /// the baseline the BENCH_10 overhead gate compares against.
+    telemetry: bool,
 }
 
 /// Simulated process state of one shard (the fault layer's ground truth).
@@ -271,12 +287,41 @@ impl<T: ServedTask> ShardedServer<T> {
             initial_shards: num_shards,
             pool_minted,
             floor_pages: 0,
+            journal: TelemetryRing::new(JOURNAL_CAPACITY),
+            telemetry: true,
         }
     }
 
     /// The fleet's per-shard metrics registry (see [`crate::metrics`]).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The fleet's event journal (see [`crate::telemetry`]). Readers
+    /// drain it by cursor; the scrape endpoint serves it as
+    /// `Frame::EventsBatch`.
+    pub fn journal(&self) -> &TelemetryRing {
+        &self.journal
+    }
+
+    /// Turn tick-phase timing and journal recording on/off (on by
+    /// default). Off, [`ShardedServer::tick`] takes no clock readings,
+    /// records no phase histograms and journals nothing — the counters in
+    /// [`ShardedServer::metrics`] keep running either way.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+        self.journal.set_enabled(on);
+    }
+
+    /// Whether tick-phase timing and journal recording are on.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
+    }
+
+    /// The fleet logical clock: ticks run so far (the `clock` stamped on
+    /// journal events).
+    pub fn tick_count(&self) -> u64 {
+        self.tick_no
     }
 
     /// Arm (or extend) the fault schedule. Events fire inside future
@@ -534,7 +579,7 @@ impl<T: ServedTask> ShardedServer<T> {
             .map(|(&id, _)| id);
         match victim {
             Some(v) => {
-                self.steer(v, min_s);
+                self.steer_with(v, min_s, SteerReason::Rebalance);
                 true
             }
             // Every candidate was already steered this tick cycle; leave
@@ -551,6 +596,13 @@ impl<T: ServedTask> ShardedServer<T> {
     /// checker has not yet declared), so the session stays where it is
     /// instead of marooning its KV on a dead process.
     pub fn steer(&mut self, id: GlobalSessionId, dest: usize) {
+        self.steer_with(id, dest, SteerReason::Manual);
+    }
+
+    /// [`ShardedServer::steer`] with the trigger recorded: internal
+    /// callers (rebalance, budget steering) tag their moves so the
+    /// journal can say *why* a session moved, not just where.
+    fn steer_with(&mut self, id: GlobalSessionId, dest: usize, reason: SteerReason) {
         assert!(dest < self.shards.len(), "shard {dest} out of range");
         let &(src, local) = self.routes.get(&id).expect("unknown session id");
         if src == dest
@@ -569,6 +621,11 @@ impl<T: ServedTask> ShardedServer<T> {
         }
         self.steered_this_tick.insert(id);
         self.metrics.record_steered(src);
+        self.metrics.record_steered_in(dest);
+        self.journal.record(
+            self.tick_no,
+            EventKind::Steer { src: src as u32, dst: dest as u32, session: id, reason },
+        );
     }
 
     /// Live sessions across the fleet.
@@ -779,6 +836,10 @@ impl<T: ServedTask> ShardedServer<T> {
         let rows = self.shards[s].rebuild_rows_of(task, l) as u64;
         let _ = self.shards[s].evict(l);
         self.metrics.record_evicted(s, rows);
+        self.journal.record(
+            self.tick_no,
+            EventKind::Eviction { shard: s as u32, session: victim, rebuild_rows: rows },
+        );
     }
 
     /// One shard's drained batch as `(local id, obs)` requests.
@@ -1043,21 +1104,34 @@ impl<T: ServedTask> ShardedServer<T> {
         for s in self.health.observe(tick, &beats) {
             faults.declared_dead.push(s);
             self.metrics.record_shard_kill();
+            self.journal.record(tick, EventKind::ShardDead { shard: s as u32 });
             self.recover_shard(s, &mut faults);
         }
+
+        // Tick-phase attribution: wall-ns per phase, recorded into the
+        // per-shard histograms when telemetry is on. `timing` gates every
+        // clock reading so the off configuration takes none.
+        let timing = self.telemetry;
+        let mut phase_ns = [0u64; TICK_PHASES];
 
         // Drain the Healthy shards' queues at the boundary (a Suspect
         // shard's work waits — retry/backoff, not recovery), then reserve
         // the tick's page demand (evicting / deferring under pressure).
-        let mut drained: Vec<Vec<Arrival<T::Obs>>> = (0..k)
-            .map(|s| {
-                if self.health.state(s).is_healthy() {
-                    self.queues[s].drain_tick()
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
+        let mut drained: Vec<Vec<Arrival<T::Obs>>> = Vec::with_capacity(k);
+        for s in 0..k {
+            let t0 = if timing { Some(Instant::now()) } else { None };
+            let batch = if self.health.state(s).is_healthy() {
+                self.queues[s].drain_tick()
+            } else {
+                Vec::new()
+            };
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.metrics.record_phase_ns(s, TickPhase::Drain, ns);
+                phase_ns[TickPhase::Drain as usize] += ns;
+            }
+            drained.push(batch);
+        }
 
         // Fire mid-tick faults: after the drain, before the engine step —
         // drained arrivals are in flight and must be requeued or failed,
@@ -1121,7 +1195,18 @@ impl<T: ServedTask> ShardedServer<T> {
         }
         self.faults = plan;
 
+        // The memory guard is a fleet-wide pass (one pool, one
+        // reservation), so its span lands identically on every shard's
+        // row — see [`TickPhase::MemoryGuard`].
+        let t0 = if timing { Some(Instant::now()) } else { None };
         let mut memory = self.memory_guard(task, &mut drained);
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            for s in 0..k {
+                self.metrics.record_phase_ns(s, TickPhase::MemoryGuard, ns);
+            }
+            phase_ns[TickPhase::MemoryGuard as usize] = ns;
+        }
         let per: Vec<Vec<(SessionId, &T::Obs)>> = drained
             .iter()
             .enumerate()
@@ -1129,13 +1214,16 @@ impl<T: ServedTask> ShardedServer<T> {
             .collect();
 
         // Step the busy shards (same fan-out as lockstep `step`).
-        let results = self.step_partitioned(task, &per);
+        let (results, step_ns) = self.step_partitioned(task, &per);
+        phase_ns[TickPhase::PlanStep as usize] = step_ns.iter().sum();
 
         // Bank the actions under their tickets.
         let mut served = 0usize;
         let mut by_label: BTreeMap<&'static str, usize> = BTreeMap::new();
-        for (batch, actions) in drained.into_iter().zip(results) {
+        for (s, (batch, actions)) in drained.into_iter().zip(results).enumerate() {
             debug_assert_eq!(batch.len(), actions.len(), "shard returned a ragged tick");
+            let t0 = if timing && !batch.is_empty() { Some(Instant::now()) } else { None };
+            let shard_served = batch.len();
             for (a, action) in batch.into_iter().zip(actions) {
                 self.requeued.remove(&a.ticket); // displaced, now served
                 self.completed.insert(a.ticket, (a.session, action));
@@ -1143,10 +1231,35 @@ impl<T: ServedTask> ShardedServer<T> {
                 *by_label.entry(task.task_label(a.group)).or_default() += 1;
                 served += 1;
             }
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.metrics.record_phase_ns(s, TickPhase::Settle, ns);
+                phase_ns[TickPhase::Settle as usize] += ns;
+                self.journal.record(
+                    tick,
+                    EventKind::TickSpan {
+                        shard: s as u32,
+                        served: shard_served as u32,
+                        span_ns: step_ns[s],
+                    },
+                );
+            }
+        }
+        for (&label, &n) in &by_label {
+            self.metrics.record_label_served(label, n as u64);
         }
 
-        // Cache-aware steering at the tick boundary.
+        // Cache-aware steering at the tick boundary (fleet-wide pass,
+        // recorded like the memory guard above).
+        let t0 = if timing { Some(Instant::now()) } else { None };
         self.cache_steer_pass();
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            for s in 0..k {
+                self.metrics.record_phase_ns(s, TickPhase::Steer, ns);
+            }
+            phase_ns[TickPhase::Steer as usize] = ns;
+        }
 
         // Close the tick cycle: report every steer since the previous
         // boundary (rebalance-on-leave + the pass above) and reset the
@@ -1170,6 +1283,7 @@ impl<T: ServedTask> ShardedServer<T> {
             served_by_label: by_label.into_iter().collect(),
             memory,
             faults,
+            phase_ns,
         }
     }
 
@@ -1200,6 +1314,14 @@ impl<T: ServedTask> ShardedServer<T> {
         report.sessions_recovered += victims.len() as u64;
         report.replay_rows += rows;
         self.metrics.record_sessions_recovered(victims.len() as u64, rows);
+        self.journal.record(
+            self.tick_no,
+            EventKind::Recovery {
+                shard: dead as u32,
+                sessions: victims.len() as u32,
+                replay_rows: rows,
+            },
+        );
         let backlog = self.queues[dead].take_all();
         let n = backlog.len() as u64;
         for a in backlog {
@@ -1296,7 +1418,7 @@ impl<T: ServedTask> ShardedServer<T> {
                 .min_by_key(|(&id, _)| (self.last_served.get(&id).copied().unwrap_or(0), id))
                 .map(|(&id, _)| id)
                 .expect("src was filtered on having an eligible victim");
-            self.steer(victim, dest_for(src));
+            self.steer_with(victim, dest_for(src), SteerReason::OverBudget);
         }
     }
 
@@ -1338,7 +1460,7 @@ impl<T: ServedTask> ShardedServer<T> {
         }
         let busy: BTreeSet<GlobalSessionId> = requests.iter().map(|&(id, _)| id).collect();
         self.memory_guard_lockstep(task, &per, &busy);
-        let results = self.step_partitioned(task, &per);
+        let (results, _step_ns) = self.step_partitioned(task, &per);
         self.tick_no += 1;
         for &(id, _) in requests {
             self.last_served.insert(id, self.tick_no);
@@ -1362,13 +1484,16 @@ impl<T: ServedTask> ShardedServer<T> {
     /// Step every shard with a non-empty batch, fanning the busy shards
     /// out over `NT_THREADS` scoped workers (contiguous bands of shards
     /// per worker). Returns one action vector per shard, in that shard's
-    /// batch order (empty for idle shards). Shared by the lockstep and
-    /// the scheduled front ends.
+    /// batch order (empty for idle shards), plus each shard's step
+    /// wall-ns (all zero when telemetry is off — no clock readings are
+    /// taken). Shared by the lockstep and the scheduled front ends; the
+    /// per-shard spans feed the [`TickPhase::PlanStep`] histograms.
+    #[allow(clippy::type_complexity)]
     fn step_partitioned(
         &mut self,
         task: &T,
         per: &[Vec<(SessionId, &T::Obs)>],
-    ) -> Vec<Vec<T::Action>>
+    ) -> (Vec<Vec<T::Action>>, Vec<u64>)
     where
         T: Sync,
         T::Obs: Sync,
@@ -1376,6 +1501,7 @@ impl<T: ServedTask> ShardedServer<T> {
         T::Action: Send,
     {
         let k = self.shards.len();
+        let timing = self.telemetry;
         #[allow(clippy::type_complexity)]
         let mut busy: Vec<(usize, &mut ServingEngine<T>, &[(SessionId, &T::Obs)])> = self
             .shards
@@ -1391,9 +1517,21 @@ impl<T: ServedTask> ShardedServer<T> {
             nt_tensor::pool::num_threads().min(busy.len())
         };
         let mut results: Vec<Option<Vec<T::Action>>> = (0..k).map(|_| None).collect();
+        let mut step_ns = vec![0u64; k];
+        let timed_step = |e: &mut ServingEngine<T>, b: &[(SessionId, &T::Obs)]| {
+            if timing {
+                let t0 = Instant::now();
+                let r = e.step(task, b);
+                (r, t0.elapsed().as_nanos() as u64)
+            } else {
+                (e.step(task, b), 0)
+            }
+        };
         if threads <= 1 {
             for (s, e, b) in busy {
-                results[s] = Some(e.step(task, b));
+                let (r, ns) = timed_step(e, b);
+                results[s] = Some(r);
+                step_ns[s] = ns;
             }
         } else {
             // Shard bands fan out over the persistent kernel pool; each
@@ -1405,16 +1543,23 @@ impl<T: ServedTask> ShardedServer<T> {
                 Mutex<Option<&mut [(usize, &mut ServingEngine<T>, &[(SessionId, &T::Obs)])]>>,
             > = busy.chunks_mut(band_len).map(|band| Mutex::new(Some(band))).collect();
             #[allow(clippy::type_complexity)]
-            let outs: Vec<Mutex<Vec<(usize, Vec<T::Action>)>>> =
+            let outs: Vec<Mutex<Vec<(usize, Vec<T::Action>, u64)>>> =
                 bands.iter().map(|_| Mutex::new(Vec::new())).collect();
             nt_tensor::pool::run_tasks(bands.len(), |bi| {
                 let band = bands[bi].lock().unwrap().take().expect("shard band dispatched twice");
-                let out: Vec<_> = band.iter_mut().map(|(s, e, b)| (*s, e.step(task, b))).collect();
+                let out: Vec<_> = band
+                    .iter_mut()
+                    .map(|(s, e, b)| {
+                        let (r, ns) = timed_step(e, b);
+                        (*s, r, ns)
+                    })
+                    .collect();
                 *outs[bi].lock().unwrap() = out;
             });
             for m in outs {
-                for (s, r) in m.into_inner().unwrap() {
+                for (s, r, ns) in m.into_inner().unwrap() {
                     results[s] = Some(r);
+                    step_ns[s] = ns;
                 }
             }
         }
@@ -1423,9 +1568,12 @@ impl<T: ServedTask> ShardedServer<T> {
         for (s, r) in results.iter().enumerate() {
             if !r.is_empty() {
                 self.metrics.record_served(s, r.len() as u64);
+                if timing {
+                    self.metrics.record_phase_ns(s, TickPhase::PlanStep, step_ns[s]);
+                }
             }
         }
-        results
+        (results, step_ns)
     }
 }
 

@@ -28,9 +28,12 @@
 //! *core* — a receiver that does not know one must treat the connection
 //! as broken ([`WireError::UnknownFrame`]); tags `>= 0x80` are
 //! *extension* — a receiver that does not know one must skip the frame
-//! silently ([`decode_frame`] returns `Ok(None)`). Future versions add
-//! optional telemetry as extension frames so old peers interoperate, and
-//! new core frames only behind a negotiated version bump.
+//! silently ([`decode_frame`] returns `Ok(None)`). The telemetry scrape
+//! frames ([`Frame::MetricsRequest`] / [`Frame::MetricsReport`] /
+//! [`Frame::EventsRequest`] / [`Frame::EventsBatch`]) are the first real
+//! users of the extension range: a build that predates them skips them
+//! unharmed, which is exactly why they need no version bump. New core
+//! frames still require a negotiated version bump.
 //!
 //! **Backpressure on the wire.** [`Frame::Busy`] is
 //! [`crate::SubmitError`] made caller-visible: it returns the refusal
@@ -47,6 +50,11 @@
 use crate::adapters::cjs::CjsObs;
 use crate::adapters::vp::VpQuery;
 use crate::fleet::{FleetAction, FleetObs};
+use crate::metrics::{
+    FaultSnapshot, IngressSnapshot, LatencySnapshot, MetricsSnapshot, PoolDispatchSnapshot,
+    ShardSnapshot,
+};
+use crate::telemetry::{EventKind, RefusalReason, SteerReason, TelemetryEvent};
 use nt_abr::AbrObservation;
 use nt_cjs::{Decision, GraphSnapshot};
 use nt_tensor::Tensor;
@@ -250,6 +258,32 @@ pub enum Frame {
     /// Graceful connection close (equivalent to a disconnect: every
     /// session of the connection is left, queued tickets fail).
     Bye,
+    /// Telemetry scrape request (extension range): ask the server for one
+    /// [`Frame::MetricsReport`]. Empty payload. A pre-telemetry server
+    /// skips it (and the client times out) instead of erroring.
+    MetricsRequest,
+    /// Telemetry scrape answer (extension range): the full
+    /// [`MetricsSnapshot`] — per-shard counters, phase histograms,
+    /// latency histograms, fault totals, ingress counters.
+    MetricsReport {
+        /// The snapshot at scrape time.
+        snapshot: MetricsSnapshot,
+    },
+    /// Event-journal drain request (extension range): everything resident
+    /// at or after `since_seq` (see [`crate::telemetry::TelemetryRing::drain`]).
+    EventsRequest {
+        /// The reader's cursor (0 on the first drain).
+        since_seq: u64,
+    },
+    /// Event-journal drain answer (extension range).
+    EventsBatch {
+        /// Pass as the next `since_seq` to continue where this stopped.
+        next_seq: u64,
+        /// Events in the requested range overwritten before the drain.
+        dropped: u64,
+        /// The resident events, in sequence order.
+        events: Vec<TelemetryEvent>,
+    },
 }
 
 // Core frame tags (stable; `docs/PROTOCOL.md` is the registry).
@@ -267,6 +301,12 @@ const TAG_LEAVE: u8 = 0x17;
 const TAG_LEAVE_ACK: u8 = 0x18;
 const TAG_BYE: u8 = 0x1f;
 
+// Extension frame tags (must-skip for builds that predate them).
+const TAG_METRICS_REQUEST: u8 = 0x80;
+const TAG_METRICS_REPORT: u8 = 0x81;
+const TAG_EVENTS_REQUEST: u8 = 0x82;
+const TAG_EVENTS_BATCH: u8 = 0x83;
+
 // Payload sub-tags.
 const OBS_ABR: u8 = 0;
 const OBS_CJS: u8 = 1;
@@ -276,6 +316,12 @@ const ACT_CJS: u8 = 1;
 const ACT_VP: u8 = 2;
 const BUSY_QUEUE_FULL: u8 = 0;
 const BUSY_SUSPECT: u8 = 1;
+const EV_TICK_SPAN: u8 = 0;
+const EV_EVICTION: u8 = 1;
+const EV_STEER: u8 = 2;
+const EV_SHARD_DEAD: u8 = 3;
+const EV_RECOVERY: u8 = 4;
+const EV_BUSY: u8 = 5;
 
 // ---- primitive writers --------------------------------------------------
 
@@ -597,6 +643,243 @@ fn read_action(r: &mut Reader) -> Result<FleetAction, WireError> {
     }
 }
 
+// ---- telemetry codecs ---------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_latency(out: &mut Vec<u8>, l: &LatencySnapshot) {
+    put_u64(out, l.count);
+    put_u64(out, l.total_ns);
+    put_u64(out, l.max_ns);
+    put_len(out, l.buckets.len());
+    for &b in &l.buckets {
+        put_u64(out, b);
+    }
+}
+
+fn put_snapshot(out: &mut Vec<u8>, m: &MetricsSnapshot) {
+    put_len(out, m.shards.len());
+    for s in &m.shards {
+        put_u64(out, s.served);
+        put_u64(out, s.steered);
+        put_u64(out, s.steered_in);
+        put_u64(out, s.evicted);
+        put_u64(out, s.evicted_rebuild_rows);
+        put_u64(out, s.queue_depth);
+        put_u64(out, s.held_pages);
+    }
+    put_u64(out, m.pool.workers);
+    put_u64(out, m.pool.dispatches);
+    put_u64(out, m.pool.tasks);
+    put_u64(out, m.faults.shard_kills);
+    put_u64(out, m.faults.sessions_recovered);
+    put_u64(out, m.faults.tickets_failed);
+    put_u64(out, m.faults.arrivals_requeued);
+    put_u64(out, m.faults.recovery_replay_rows);
+    put_latency(out, &m.ingress_latency);
+    put_len(out, m.shard_phases.len());
+    for phases in &m.shard_phases {
+        put_len(out, phases.len());
+        for p in phases {
+            put_latency(out, p);
+        }
+    }
+    put_len(out, m.shard_latency.len());
+    for l in &m.shard_latency {
+        put_latency(out, l);
+    }
+    put_len(out, m.served_by_label.len());
+    for (label, n) in &m.served_by_label {
+        put_str(out, label);
+        put_u64(out, *n);
+    }
+    put_u64(out, m.ingress.connections);
+    put_u64(out, m.ingress.sessions_joined);
+    put_u64(out, m.ingress.submits);
+    put_u64(out, m.ingress.busy);
+    put_u64(out, m.ingress.completions);
+    put_u64(out, m.ingress.failed);
+    put_u64(out, m.ingress.failed_on_disconnect);
+    put_u64(out, m.ingress.protocol_errors);
+    put_u64(out, m.ingress.ticks);
+    put_u64(out, m.pool_free_pages);
+}
+
+fn put_event(out: &mut Vec<u8>, e: &TelemetryEvent) {
+    put_u64(out, e.seq);
+    put_u64(out, e.clock);
+    match e.kind {
+        EventKind::TickSpan { shard, served, span_ns } => {
+            put_u8(out, EV_TICK_SPAN);
+            put_u32(out, shard);
+            put_u32(out, served);
+            put_u64(out, span_ns);
+        }
+        EventKind::Eviction { shard, session, rebuild_rows } => {
+            put_u8(out, EV_EVICTION);
+            put_u32(out, shard);
+            put_u64(out, session);
+            put_u64(out, rebuild_rows);
+        }
+        EventKind::Steer { src, dst, session, reason } => {
+            put_u8(out, EV_STEER);
+            put_u32(out, src);
+            put_u32(out, dst);
+            put_u64(out, session);
+            put_u8(out, reason as u8);
+        }
+        EventKind::ShardDead { shard } => {
+            put_u8(out, EV_SHARD_DEAD);
+            put_u32(out, shard);
+        }
+        EventKind::Recovery { shard, sessions, replay_rows } => {
+            put_u8(out, EV_RECOVERY);
+            put_u32(out, shard);
+            put_u32(out, sessions);
+            put_u64(out, replay_rows);
+        }
+        EventKind::Busy { session, reason } => {
+            put_u8(out, EV_BUSY);
+            put_u64(out, session);
+            put_u8(out, reason as u8);
+        }
+    }
+}
+
+impl<'a> Reader<'a> {
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.seq_len(1)?;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| WireError::Malformed("label is not UTF-8"))
+    }
+
+    fn latency(&mut self) -> Result<LatencySnapshot, WireError> {
+        let count = self.u64()?;
+        let total_ns = self.u64()?;
+        let max_ns = self.u64()?;
+        let n = self.seq_len(8)?;
+        let buckets = (0..n).map(|_| self.u64()).collect::<Result<Vec<u64>, _>>()?;
+        Ok(LatencySnapshot { count, total_ns, max_ns, buckets })
+    }
+
+    fn snapshot(&mut self) -> Result<MetricsSnapshot, WireError> {
+        // Minimum encoded sizes bound every count the payload claims, so
+        // a hostile length cannot force a huge allocation.
+        let n = self.seq_len(56)?;
+        let shards = (0..n)
+            .map(|_| {
+                Ok(ShardSnapshot {
+                    served: self.u64()?,
+                    steered: self.u64()?,
+                    steered_in: self.u64()?,
+                    evicted: self.u64()?,
+                    evicted_rebuild_rows: self.u64()?,
+                    queue_depth: self.u64()?,
+                    held_pages: self.u64()?,
+                })
+            })
+            .collect::<Result<Vec<ShardSnapshot>, WireError>>()?;
+        let pool = PoolDispatchSnapshot {
+            workers: self.u64()?,
+            dispatches: self.u64()?,
+            tasks: self.u64()?,
+        };
+        let faults = FaultSnapshot {
+            shard_kills: self.u64()?,
+            sessions_recovered: self.u64()?,
+            tickets_failed: self.u64()?,
+            arrivals_requeued: self.u64()?,
+            recovery_replay_rows: self.u64()?,
+        };
+        let ingress_latency = self.latency()?;
+        let n = self.seq_len(4)?;
+        let shard_phases = (0..n)
+            .map(|_| {
+                let k = self.seq_len(28)?;
+                (0..k).map(|_| self.latency()).collect::<Result<Vec<LatencySnapshot>, _>>()
+            })
+            .collect::<Result<Vec<Vec<LatencySnapshot>>, WireError>>()?;
+        let n = self.seq_len(28)?;
+        let shard_latency =
+            (0..n).map(|_| self.latency()).collect::<Result<Vec<LatencySnapshot>, _>>()?;
+        let n = self.seq_len(12)?;
+        let served_by_label = (0..n)
+            .map(|_| Ok((self.string()?, self.u64()?)))
+            .collect::<Result<Vec<(String, u64)>, WireError>>()?;
+        let ingress = IngressSnapshot {
+            connections: self.u64()?,
+            sessions_joined: self.u64()?,
+            submits: self.u64()?,
+            busy: self.u64()?,
+            completions: self.u64()?,
+            failed: self.u64()?,
+            failed_on_disconnect: self.u64()?,
+            protocol_errors: self.u64()?,
+            ticks: self.u64()?,
+        };
+        let pool_free_pages = self.u64()?;
+        Ok(MetricsSnapshot {
+            shards,
+            pool,
+            faults,
+            ingress_latency,
+            shard_phases,
+            shard_latency,
+            served_by_label,
+            ingress,
+            pool_free_pages,
+        })
+    }
+
+    fn event(&mut self) -> Result<TelemetryEvent, WireError> {
+        let seq = self.u64()?;
+        let clock = self.u64()?;
+        let kind = match self.u8()? {
+            EV_TICK_SPAN => EventKind::TickSpan {
+                shard: self.u32()?,
+                served: self.u32()?,
+                span_ns: self.u64()?,
+            },
+            EV_EVICTION => EventKind::Eviction {
+                shard: self.u32()?,
+                session: self.u64()?,
+                rebuild_rows: self.u64()?,
+            },
+            EV_STEER => EventKind::Steer {
+                src: self.u32()?,
+                dst: self.u32()?,
+                session: self.u64()?,
+                reason: match self.u8()? {
+                    0 => SteerReason::Rebalance,
+                    1 => SteerReason::OverBudget,
+                    2 => SteerReason::Manual,
+                    _ => return Err(WireError::Malformed("unknown steer reason")),
+                },
+            },
+            EV_SHARD_DEAD => EventKind::ShardDead { shard: self.u32()? },
+            EV_RECOVERY => EventKind::Recovery {
+                shard: self.u32()?,
+                sessions: self.u32()?,
+                replay_rows: self.u64()?,
+            },
+            EV_BUSY => EventKind::Busy {
+                session: self.u64()?,
+                reason: match self.u8()? {
+                    0 => RefusalReason::QueueFull,
+                    1 => RefusalReason::Suspect,
+                    2 => RefusalReason::FairnessCap,
+                    _ => return Err(WireError::Malformed("unknown refusal reason")),
+                },
+            },
+            _ => return Err(WireError::Malformed("unknown event kind")),
+        };
+        Ok(TelemetryEvent { seq, clock, kind })
+    }
+}
+
 // ---- frame codec --------------------------------------------------------
 
 /// Encode one frame as its full wire image (length prefix included).
@@ -672,6 +955,24 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_u32(&mut body, *dropped);
         }
         Frame::Bye => put_u8(&mut body, TAG_BYE),
+        Frame::MetricsRequest => put_u8(&mut body, TAG_METRICS_REQUEST),
+        Frame::MetricsReport { snapshot } => {
+            put_u8(&mut body, TAG_METRICS_REPORT);
+            put_snapshot(&mut body, snapshot);
+        }
+        Frame::EventsRequest { since_seq } => {
+            put_u8(&mut body, TAG_EVENTS_REQUEST);
+            put_u64(&mut body, *since_seq);
+        }
+        Frame::EventsBatch { next_seq, dropped, events } => {
+            put_u8(&mut body, TAG_EVENTS_BATCH);
+            put_u64(&mut body, *next_seq);
+            put_u64(&mut body, *dropped);
+            put_len(&mut body, events.len());
+            for e in events {
+                put_event(&mut body, e);
+            }
+        }
     }
     assert!(body.len() as u64 <= MAX_FRAME_LEN as u64, "frame exceeds MAX_FRAME_LEN");
     let mut out = Vec::with_capacity(4 + body.len());
@@ -682,14 +983,12 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 
 /// Decode one frame body (the bytes the length prefix covers: tag +
 /// payload). `Ok(None)` means an extension-range frame this build must
-/// skip (the forward-compatibility rule); core-range unknowns are
+/// skip (the forward-compatibility rule — *known* extension frames like
+/// the telemetry scrapes decode normally); core-range unknowns are
 /// [`WireError::UnknownFrame`].
 pub fn decode_frame(body: &[u8]) -> Result<Option<Frame>, WireError> {
     let mut r = Reader::new(body);
     let tag = r.u8()?;
-    if tag >= EXTENSION_TAG_BASE {
-        return Ok(None);
-    }
     let frame = match tag {
         TAG_HELLO => {
             let version = r.u16()?;
@@ -752,6 +1051,17 @@ pub fn decode_frame(body: &[u8]) -> Result<Option<Frame>, WireError> {
             Frame::LeaveAck { session, unpolled, dropped }
         }
         TAG_BYE => Frame::Bye,
+        TAG_METRICS_REQUEST => Frame::MetricsRequest,
+        TAG_METRICS_REPORT => Frame::MetricsReport { snapshot: r.snapshot()? },
+        TAG_EVENTS_REQUEST => Frame::EventsRequest { since_seq: r.u64()? },
+        TAG_EVENTS_BATCH => {
+            let next_seq = r.u64()?;
+            let dropped = r.u64()?;
+            let n = r.seq_len(21)?; // smallest event: 8+8+1+4 bytes
+            let events = (0..n).map(|_| r.event()).collect::<Result<Vec<TelemetryEvent>, _>>()?;
+            Frame::EventsBatch { next_seq, dropped, events }
+        }
+        t if t >= EXTENSION_TAG_BASE => return Ok(None),
         other => return Err(WireError::UnknownFrame(other)),
     };
     r.finish()?;
@@ -815,8 +1125,21 @@ mod tests {
 
     #[test]
     fn extension_frames_are_skipped_core_unknowns_reject() {
-        assert!(matches!(decode_frame(&[EXTENSION_TAG_BASE, 1, 2, 3]), Ok(None)));
+        // 0x90 is an extension tag this build does not know — skip. (0x80
+        // through 0x83 are the telemetry frames now, no longer unknown.)
+        assert!(matches!(decode_frame(&[0x90, 1, 2, 3]), Ok(None)));
         assert!(matches!(decode_frame(&[0x7f]), Err(WireError::UnknownFrame(0x7f))));
+    }
+
+    #[test]
+    fn known_extension_frames_decode_instead_of_skipping() {
+        assert!(matches!(decode_frame(&[TAG_METRICS_REQUEST]), Ok(Some(Frame::MetricsRequest))));
+        let mut body = vec![TAG_EVENTS_REQUEST];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(decode_frame(&body), Ok(Some(Frame::EventsRequest { since_seq: 7 }))));
+        // Trailing bytes after a known extension frame are malformed, not
+        // skipped — only *unknown* extension tags get the skip treatment.
+        assert!(matches!(decode_frame(&[TAG_METRICS_REQUEST, 0xaa]), Err(WireError::Malformed(_))));
     }
 
     #[test]

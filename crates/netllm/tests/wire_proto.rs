@@ -3,11 +3,17 @@
 //! panicked on, never silently misread), and version negotiation refuses
 //! disjoint ranges.
 
+use netllm::metrics::{
+    FaultSnapshot, IngressSnapshot, LatencySnapshot, MetricsSnapshot, PoolDispatchSnapshot,
+    ShardSnapshot,
+};
 use netllm::wire::{
     decode_frame, encode_frame, negotiate, read_frame, write_frame, BusyReason, Frame, WireError,
     EXTENSION_TAG_BASE, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
 };
-use netllm::{CjsObs, FleetAction, FleetObs, VpQuery};
+use netllm::{
+    CjsObs, EventKind, FleetAction, FleetObs, RefusalReason, SteerReason, TelemetryEvent, VpQuery,
+};
 use nt_abr::AbrObservation;
 use nt_cjs::{Decision, GraphSnapshot};
 use nt_tensor::Tensor;
@@ -51,6 +57,106 @@ impl Gen {
 
     fn viewports(&mut self, n: usize) -> Vec<[f32; 3]> {
         (0..n).map(|_| [self.f32(), self.f32(), self.f32()]).collect()
+    }
+
+    fn latency(&mut self) -> LatencySnapshot {
+        let n = (self.next() % 6) as usize;
+        LatencySnapshot {
+            count: self.next(),
+            total_ns: self.next(),
+            max_ns: self.next(),
+            buckets: (0..n).map(|_| self.next()).collect(),
+        }
+    }
+
+    fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        let shards = (self.next() % 4) as usize;
+        MetricsSnapshot {
+            shards: (0..shards)
+                .map(|_| ShardSnapshot {
+                    served: self.next(),
+                    steered: self.next(),
+                    steered_in: self.next(),
+                    evicted: self.next(),
+                    evicted_rebuild_rows: self.next(),
+                    queue_depth: self.next(),
+                    held_pages: self.next(),
+                })
+                .collect(),
+            pool: PoolDispatchSnapshot {
+                workers: self.next(),
+                dispatches: self.next(),
+                tasks: self.next(),
+            },
+            faults: FaultSnapshot {
+                shard_kills: self.next(),
+                sessions_recovered: self.next(),
+                tickets_failed: self.next(),
+                arrivals_requeued: self.next(),
+                recovery_replay_rows: self.next(),
+            },
+            ingress_latency: self.latency(),
+            shard_phases: (0..shards)
+                .map(|_| (0..netllm::TICK_PHASES).map(|_| self.latency()).collect())
+                .collect(),
+            shard_latency: (0..shards).map(|_| self.latency()).collect(),
+            served_by_label: vec![
+                ("abr".to_string(), self.next()),
+                ("cjs".to_string(), self.next()),
+            ],
+            ingress: IngressSnapshot {
+                connections: self.next(),
+                sessions_joined: self.next(),
+                submits: self.next(),
+                busy: self.next(),
+                completions: self.next(),
+                failed: self.next(),
+                failed_on_disconnect: self.next(),
+                protocol_errors: self.next(),
+                ticks: self.next(),
+            },
+            pool_free_pages: self.next(),
+        }
+    }
+
+    fn event(&mut self) -> TelemetryEvent {
+        let kind = match self.next() % 6 {
+            0 => EventKind::TickSpan {
+                shard: self.next() as u32,
+                served: self.next() as u32,
+                span_ns: self.next(),
+            },
+            1 => EventKind::Eviction {
+                shard: self.next() as u32,
+                session: self.next(),
+                rebuild_rows: self.next(),
+            },
+            2 => EventKind::Steer {
+                src: self.next() as u32,
+                dst: self.next() as u32,
+                session: self.next(),
+                reason: match self.next() % 3 {
+                    0 => SteerReason::Rebalance,
+                    1 => SteerReason::OverBudget,
+                    _ => SteerReason::Manual,
+                },
+            },
+            3 => EventKind::ShardDead { shard: self.next() as u32 },
+            4 => EventKind::Recovery {
+                shard: self.next() as u32,
+                sessions: self.next() as u32,
+                replay_rows: self.next(),
+            },
+            _ => EventKind::Busy {
+                session: self.next(),
+                reason: match self.next() % 3 {
+                    0 => RefusalReason::QueueFull,
+                    1 => RefusalReason::Suspect,
+                    _ => RefusalReason::FairnessCap,
+                },
+            },
+        };
+        TelemetryEvent { seq: self.next(), clock: self.next(), kind }
     }
 }
 
@@ -119,10 +225,10 @@ fn action_for(kind: u8, g: &mut Gen) -> FleetAction {
 }
 
 /// One frame of each variant, fields driven by the seed. `kind` covers
-/// all 14 message types (sub-kinds picked off the seed).
+/// all 18 message types (sub-kinds picked off the seed).
 fn frame_for(kind: u8, seed: u64) -> Frame {
     let mut g = Gen(seed);
-    match kind % 14 {
+    match kind % 18 {
         0 => {
             Frame::Hello { min_version: (g.next() % 4) as u16, version: 4 + (g.next() % 8) as u16 }
         }
@@ -160,10 +266,21 @@ fn frame_for(kind: u8, seed: u64) -> Frame {
             dropped: (g.next() % 5) as u32,
         },
         12 => Frame::Bye,
-        _ => {
+        13 => {
             let session = g.next();
             let kind = g.next() as u8;
             Frame::Submit { session, obs: obs_for(kind, &mut g) }
+        }
+        14 => Frame::MetricsRequest,
+        15 => Frame::MetricsReport { snapshot: g.metrics_snapshot() },
+        16 => Frame::EventsRequest { since_seq: g.next() },
+        _ => {
+            let n = (g.next() % 8) as usize;
+            Frame::EventsBatch {
+                next_seq: g.next(),
+                dropped: g.next(),
+                events: (0..n).map(|_| g.event()).collect(),
+            }
         }
     }
 }
@@ -176,7 +293,7 @@ proptest! {
     /// is injective, so comparing re-encodings sidesteps the missing
     /// `PartialEq` on tensors.)
     #[test]
-    fn every_frame_roundtrips_bit_exactly(kind in 0u8..14, seed in 0u64..u64::MAX) {
+    fn every_frame_roundtrips_bit_exactly(kind in 0u8..18, seed in 0u64..u64::MAX) {
         let frame = frame_for(kind, seed);
         let bytes = encode_frame(&frame);
         // Length prefix covers exactly the body.
@@ -191,7 +308,7 @@ proptest! {
     /// Every strict prefix of a frame body is rejected — a cut anywhere
     /// never panics and never yields a bogus frame.
     #[test]
-    fn truncated_bodies_are_rejected(kind in 0u8..14, seed in 0u64..u64::MAX) {
+    fn truncated_bodies_are_rejected(kind in 0u8..18, seed in 0u64..u64::MAX) {
         let frame = frame_for(kind, seed);
         let bytes = encode_frame(&frame);
         let body = &bytes[4..];
@@ -210,7 +327,7 @@ proptest! {
     /// A stream cut anywhere mid-frame surfaces `Truncated`, not a hang
     /// or a panic.
     #[test]
-    fn truncated_streams_are_rejected(kind in 0u8..14, seed in 0u64..u64::MAX, frac in 0u32..1000) {
+    fn truncated_streams_are_rejected(kind in 0u8..18, seed in 0u64..u64::MAX, frac in 0u32..1000) {
         let frame = frame_for(kind, seed);
         let bytes = encode_frame(&frame);
         let cut = (bytes.len() - 1) * frac as usize / 1000;
@@ -221,7 +338,7 @@ proptest! {
     /// Appending garbage to any frame body breaks the exact-consumption
     /// rule.
     #[test]
-    fn trailing_bytes_are_rejected(kind in 0u8..14, seed in 0u64..u64::MAX) {
+    fn trailing_bytes_are_rejected(kind in 0u8..18, seed in 0u64..u64::MAX) {
         let frame = frame_for(kind, seed);
         let bytes = encode_frame(&frame);
         let mut body = bytes[4..].to_vec();
@@ -287,8 +404,102 @@ fn malformed_payloads_are_rejected_not_panicked_on() {
 #[test]
 fn unknown_core_tags_reject_extension_tags_skip() {
     assert!(matches!(decode_frame(&[0x7e, 0, 0]), Err(WireError::UnknownFrame(0x7e))));
-    assert!(matches!(decode_frame(&[EXTENSION_TAG_BASE, 0, 0]), Ok(None)));
+    // 0x80–0x83 are now the telemetry frames; an *unknown* extension tag
+    // still skips, payload unread.
+    assert!(matches!(decode_frame(&[0x90, 0, 0]), Ok(None)));
     assert!(matches!(decode_frame(&[0xff]), Ok(None)));
+}
+
+#[test]
+fn telemetry_frames_reject_hostile_counts_and_trailers() {
+    // MetricsReport with its shard count rewritten to u32::MAX: the
+    // bounded-allocation check must refuse before allocating.
+    let mut g = Gen(0xB10C);
+    let report = encode_frame(&Frame::MetricsReport { snapshot: g.metrics_snapshot() });
+    let mut body = report[4..].to_vec();
+    body[1..5].copy_from_slice(&u32::MAX.to_le_bytes()); // shards count after tag
+    assert!(decode_frame(&body).is_err());
+
+    // EventsBatch with a hostile event count.
+    let batch =
+        encode_frame(&Frame::EventsBatch { next_seq: 9, dropped: 2, events: vec![g.event()] });
+    let mut body = batch[4..].to_vec();
+    body[17..21].copy_from_slice(&u32::MAX.to_le_bytes()); // count after tag+2×u64
+    assert!(decode_frame(&body).is_err());
+
+    // An event with an unknown kind byte is Malformed, not skipped.
+    let batch = encode_frame(&Frame::EventsBatch {
+        next_seq: 1,
+        dropped: 0,
+        events: vec![TelemetryEvent { seq: 0, clock: 0, kind: EventKind::ShardDead { shard: 1 } }],
+    });
+    let mut body = batch[4..].to_vec();
+    body[21 + 16] = 0xee; // first event's kind byte (tag+2×u64+count, then seq+clock)
+    assert!(matches!(decode_frame(&body), Err(WireError::Malformed(_))));
+
+    // A *known* extension frame with trailing bytes is Malformed — the
+    // must-skip rule is only for tags we do not implement.
+    let request = encode_frame(&Frame::MetricsRequest);
+    let mut body = request[4..].to_vec();
+    body.push(0xaa);
+    assert!(matches!(decode_frame(&body), Err(WireError::Malformed(_))));
+}
+
+/// A PR 8-era reader: every extension-range tag is unknown to it, so the
+/// forward-compat rule says skip the frame wholesale and keep reading.
+/// (This reproduces the old `decode_frame`'s early `tag >=
+/// EXTENSION_TAG_BASE → Ok(None)` exactly, delegating core tags to the
+/// current decoder, which did not change for them.)
+fn old_peer_read_frame<R: std::io::Read>(r: &mut R) -> Result<Frame, WireError> {
+    loop {
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf).map_err(|_| WireError::Truncated)?;
+        let len = u32::from_le_bytes(len_buf);
+        assert!(len > 0 && len <= MAX_FRAME_LEN);
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body).map_err(|_| WireError::Truncated)?;
+        if body[0] >= EXTENSION_TAG_BASE {
+            continue; // unknown extension frame: skip, never parse
+        }
+        if let Some(frame) = decode_frame(&body)? {
+            return Ok(frame);
+        }
+    }
+}
+
+#[test]
+fn old_peer_skips_telemetry_frames_unharmed() {
+    // A stream a telemetry-aware server might emit: a metrics report and
+    // an events batch interleaved with core frames. The old reader must
+    // deliver exactly the core frames, in order.
+    let mut g = Gen(0x01D);
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &Frame::Joined { session: 7, shard: 1 }).unwrap();
+    write_frame(&mut buf, &Frame::MetricsReport { snapshot: g.metrics_snapshot() }).unwrap();
+    write_frame(
+        &mut buf,
+        &Frame::EventsBatch {
+            next_seq: 40,
+            dropped: 3,
+            events: (0..5).map(|_| g.event()).collect(),
+        },
+    )
+    .unwrap();
+    write_frame(&mut buf, &Frame::TicketGrant { session: 7, ticket: 99 }).unwrap();
+    write_frame(&mut buf, &Frame::MetricsRequest).unwrap();
+    write_frame(&mut buf, &Frame::Bye).unwrap();
+
+    let mut cur = std::io::Cursor::new(buf);
+    assert!(matches!(
+        old_peer_read_frame(&mut cur).unwrap(),
+        Frame::Joined { session: 7, shard: 1 }
+    ));
+    assert!(matches!(
+        old_peer_read_frame(&mut cur).unwrap(),
+        Frame::TicketGrant { session: 7, ticket: 99 }
+    ));
+    assert!(matches!(old_peer_read_frame(&mut cur).unwrap(), Frame::Bye));
+    assert!(matches!(old_peer_read_frame(&mut cur), Err(WireError::Truncated)));
 }
 
 #[test]
@@ -303,11 +514,11 @@ fn oversize_length_prefix_is_rejected_before_allocating() {
 #[test]
 fn frames_concatenate_on_a_stream() {
     let mut buf = Vec::new();
-    for kind in 0..14u8 {
+    for kind in 0..18u8 {
         write_frame(&mut buf, &frame_for(kind, 42)).unwrap();
     }
     let mut cur = std::io::Cursor::new(buf);
-    for kind in 0..14u8 {
+    for kind in 0..18u8 {
         let expect = encode_frame(&frame_for(kind, 42));
         let got = encode_frame(&read_frame(&mut cur).unwrap());
         assert_eq!(got, expect, "frame kind {kind} did not survive the stream");
